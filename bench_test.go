@@ -1,0 +1,374 @@
+package horse
+
+// Benchmark harness regenerating every evaluation artifact of the paper
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for measured
+// numbers):
+//
+//   - BenchmarkFig3Horse / BenchmarkFig3Baseline — Figure 3: wall-clock
+//     execution time of the three-TE demonstration suite on Horse vs the
+//     packet-level real-time emulator, fat-tree k in {4, 6, 8}.
+//   - BenchmarkTopoCreate — the demo's "time required to create the
+//     topology" component.
+//   - BenchmarkDemoBGPECMP / BenchmarkDemoHedera / BenchmarkDemoSDNECMP —
+//     the per-TE aggregate receive rate graphs (Demo-G1..G3).
+//   - BenchmarkModeTransitions — Figure 1's DES<->FTI transition cost.
+//   - BenchmarkAblation* — design-choice sweeps called out in DESIGN.md.
+//
+// Benchmarks run with FTI pacing > 1 to keep wall times tractable; the
+// pacing factor is constant across compared configurations, so ratios
+// (who wins, by how much) are preserved. cmd/fig3 runs the same suite at
+// paper-faithful pacing 1.0.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// benchConfig is the accelerated clock used throughout the benches.
+func benchConfig() Config {
+	return Config{
+		FTIStep:      Millisecond,
+		QuietTimeout: 200 * Millisecond,
+		Pacing:       20,
+		MaxIdleWall:  3 * time.Second,
+	}
+}
+
+// teDuration is the virtual duration of each TE experiment in the suite.
+const teDuration = 10 * Second
+
+// runTE runs one TE experiment on a fresh topology and returns its result.
+func runTE(b *testing.B, k int, te string) *Result {
+	b.Helper()
+	var (
+		g   *Topology
+		err error
+	)
+	exp := NewExperiment(benchConfig())
+	switch te {
+	case "bgp-ecmp":
+		g, err = FatTree(k, BGP())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.SetTopology(g)
+		exp.UseBGP(BGPOptions{ECMP: true})
+	case "hedera":
+		g, err = FatTree(k, SDN())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.SetTopology(g)
+		exp.UseSDN(AppHedera(5 * Second))
+	case "ecmp5":
+		g, err = FatTree(k, SDN())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.SetTopology(g)
+		exp.UseSDN(AppECMP5())
+	default:
+		b.Fatalf("unknown TE %q", te)
+	}
+	if err := exp.SendPermutation(42, 1*Gbps, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	res, err := exp.Run(teDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig3Horse regenerates the Horse curve of Figure 3: the wall
+// time to execute the full demonstration (all three TE approaches) per
+// fat-tree size.
+func BenchmarkFig3Horse(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				for _, te := range []string{"bgp-ecmp", "hedera", "ecmp5"} {
+					res := runTE(b, k, te)
+					if res.SteadyAggregateRx() <= 0 {
+						b.Fatalf("%s delivered no traffic", te)
+					}
+				}
+				b.ReportMetric(time.Since(start).Seconds(), "wall-s/suite")
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Baseline regenerates the Mininet curve of Figure 3 with
+// the packet-level real-time emulator (see the substitution note in
+// internal/baseline): per TE run it pays topology setup plus the full
+// experiment duration in real time.
+func BenchmarkFig3Baseline(b *testing.B) {
+	// The baseline has no control plane; its per-TE cost is setup +
+	// real-time execution, identical across TE approaches, so emulate
+	// the suite as 3 sequential runs.
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				for te := 0; te < 3; te++ {
+					g, err := topo.FatTree(topo.FatTreeOpts{K: k})
+					if err != nil {
+						b.Fatal(err)
+					}
+					em, err := baseline.New(g, baseline.Config{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					flows := baselineFlows(g, 42)
+					// The emulator runs 1:1 with the wall clock for the
+					// experiment's virtual duration, scaled by the same
+					// pacing factor the Horse benches use, keeping the
+					// Figure 3 comparison apples-to-apples.
+					st := em.Run(flows, time.Duration(float64(teDuration.Duration())/benchConfig().Pacing))
+					em.Close()
+					if st.DeliveredBytes == 0 {
+						b.Fatal("baseline delivered no traffic")
+					}
+				}
+				b.ReportMetric(time.Since(start).Seconds(), "wall-s/suite")
+			}
+		})
+	}
+}
+
+// baselineFlows builds the demo's permutation workload for the emulator.
+func baselineFlows(g *topo.Graph, seed int64) []baseline.FlowSpec {
+	hosts := g.Hosts()
+	specs := traffic.Permutation(seed, 1*core.Gbps, 0, 0)(len(hosts))
+	out := make([]baseline.FlowSpec, 0, len(specs))
+	for _, s := range specs {
+		src := hosts[s.SrcHost]
+		dst := hosts[s.DstHost]
+		out = append(out, baseline.FlowSpec{
+			Tuple: core.FiveTuple{Src: src.IP, Dst: dst.IP, Proto: s.Proto,
+				SrcPort: s.SrcPort, DstPort: s.DstPort},
+			Src: src.ID, Dst: dst.ID, Rate: s.Rate,
+		})
+	}
+	return out
+}
+
+// BenchmarkTopoCreate measures topology creation time — the first number
+// the demo displays for each run — for Horse and the baseline.
+func BenchmarkTopoCreate(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("horse/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := FatTree(k, SDN())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.Size().Hosts != k*k*k/4 {
+					b.Fatal("bad fat-tree")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("baseline/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := topo.FatTree(topo.FatTreeOpts{K: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				em, err := baseline.New(g, baseline.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(em.SetupTime.Seconds(), "setup-s")
+				em.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkDemoBGPECMP regenerates Demo-G1: aggregate receive rate under
+// BGP with (src,dst)-hash ECMP.
+func BenchmarkDemoBGPECMP(b *testing.B) {
+	for _, k := range []int{4, 6} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runTE(b, k, "bgp-ecmp")
+				reportDemoMetrics(b, k, res)
+			}
+		})
+	}
+}
+
+// BenchmarkDemoHedera regenerates Demo-G2: aggregate receive rate under
+// Hedera with 5-second statistics polling.
+func BenchmarkDemoHedera(b *testing.B) {
+	for _, k := range []int{4, 6} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runTE(b, k, "hedera")
+				reportDemoMetrics(b, k, res)
+				if res.StatsQueries == 0 {
+					b.Fatal("Hedera never polled statistics")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDemoSDNECMP regenerates Demo-G3: aggregate receive rate under
+// proactive 5-tuple ECMP.
+func BenchmarkDemoSDNECMP(b *testing.B) {
+	for _, k := range []int{4, 6} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runTE(b, k, "ecmp5")
+				reportDemoMetrics(b, k, res)
+			}
+		})
+	}
+}
+
+func reportDemoMetrics(b *testing.B, k int, res *Result) {
+	b.Helper()
+	hosts := float64(k * k * k / 4)
+	// Normalized aggregate throughput: 1.0 = every host receives its
+	// full offered 1 Gbps.
+	b.ReportMetric(float64(res.SteadyAggregateRx())/float64(Gbps)/hosts, "norm-rx")
+	b.ReportMetric(res.Sim.WallTotal.Seconds(), "wall-s")
+	b.ReportMetric(float64(res.Sim.Transitions), "transitions")
+}
+
+// BenchmarkModeTransitions exercises the Figure 1 scenario: a two-router
+// BGP session driving DES->FTI->DES transitions.
+func BenchmarkModeTransitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := TwoRouters()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp := NewExperiment(benchConfig())
+		exp.SetTopology(g)
+		exp.UseBGP(BGPOptions{})
+		if err := exp.AddFlow("h1", "h2", 500*Mbps, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		res, err := exp.Run(10 * Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Sim.Transitions), "transitions")
+		b.ReportMetric(res.Sim.WallTotal.Seconds(), "wall-s")
+	}
+}
+
+// BenchmarkAblationFTIStep sweeps the FTI increment: smaller steps track
+// control plane timing more precisely but add stepping overhead.
+func BenchmarkAblationFTIStep(b *testing.B) {
+	for _, step := range []Time{100 * Microsecond, Millisecond, 10 * Millisecond, 100 * Millisecond} {
+		b.Run(step.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.FTIStep = step
+				g, err := TwoRouters()
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp := NewExperiment(cfg)
+				exp.SetTopology(g)
+				exp.UseBGP(BGPOptions{})
+				res, err := exp.Run(10 * Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Sim.WallTotal.Seconds(), "wall-s")
+				b.ReportMetric(float64(res.Sim.Events), "events")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQuietTimeout sweeps the FTI->DES quiet timeout: too
+// small flaps modes mid-convergence, too large wastes real time.
+func BenchmarkAblationQuietTimeout(b *testing.B) {
+	for _, q := range []Time{20 * Millisecond, 100 * Millisecond, 500 * Millisecond, 2 * Second} {
+		b.Run(q.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.QuietTimeout = q
+				g, err := TwoRouters()
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp := NewExperiment(cfg)
+				exp.SetTopology(g)
+				exp.UseBGP(BGPOptions{})
+				res, err := exp.Run(10 * Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Sim.Transitions), "transitions")
+				b.ReportMetric(res.Sim.WallTotal.Seconds(), "wall-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationECMPHash contrasts the demo's two hash choices on the
+// same reactive control plane: (src,dst) hashing (the BGP demo's
+// collision behaviour) vs full 5-tuple hashing.
+func BenchmarkAblationECMPHash(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		srcDst bool
+	}{{"srcdst", true}, {"5tuple", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := FatTree(4, SDN())
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp := NewExperiment(benchConfig())
+				exp.SetTopology(g)
+				exp.UseSDN(AppReactive(mode.srcDst))
+				if err := exp.SendPermutation(42, 1*Gbps, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				res, err := exp.Run(teDuration)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportDemoMetrics(b, 4, res)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineDES measures the raw DES event throughput (no control
+// plane): the fast path Horse falls back to between control events.
+func BenchmarkEngineDES(b *testing.B) {
+	e := sim.New(sim.Config{MaxIdleWall: time.Second})
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(core.Millisecond, tick)
+		} else {
+			e.Stop()
+		}
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	e.Run(core.MaxTime)
+	if count < b.N {
+		b.Fatalf("executed %d events, want %d", count, b.N)
+	}
+}

@@ -1,0 +1,152 @@
+// Command fig3 regenerates Figure 3 of the paper: wall-clock execution
+// time of the three-TE demonstration suite on Horse versus a packet-level
+// real-time emulation baseline (the paper's Mininet), for fat-tree sizes
+// k in {4, 6, 8}.
+//
+// Usage:
+//
+//	fig3 [-k 4,6,8] [-dur 10s] [-pacing 1.0] [-skip-baseline]
+//
+// With -pacing 1.0 (default) Horse's FTI mode is paper-faithful real
+// time; larger values compress control plane wall time proportionally on
+// BOTH systems, preserving the ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	horse "repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		kList        = flag.String("k", "4,6,8", "comma-separated fat-tree arities")
+		dur          = flag.Duration("dur", 10*time.Second, "virtual duration per TE experiment")
+		pacing       = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = paper-faithful real time)")
+		skipBaseline = flag.Bool("skip-baseline", false, "run only Horse")
+		seed         = flag.Int64("seed", 42, "traffic permutation seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("# Figure 3: execution time of the demonstration (3 TE approaches, %v virtual each, pacing %.1f)\n", *dur, *pacing)
+	fmt.Printf("%-4s %-14s %-14s %-14s %-8s\n", "k", "horse-setup", "horse-exec", "baseline-exec", "ratio")
+
+	for _, ks := range strings.Split(*kList, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(ks))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad k %q: %v\n", ks, err)
+			os.Exit(1)
+		}
+		horseSetup, horseExec := runHorseSuite(k, *dur, *pacing, *seed)
+		line := fmt.Sprintf("%-4d %-14v %-14v", k, horseSetup.Round(time.Millisecond), horseExec.Round(time.Millisecond))
+		if *skipBaseline {
+			fmt.Println(line)
+			continue
+		}
+		baseExec := runBaselineSuite(k, *dur, *pacing, *seed)
+		fmt.Printf("%s %-14v %-8.2f\n", line, baseExec.Round(time.Millisecond),
+			float64(baseExec)/float64(horseExec))
+	}
+}
+
+// runHorseSuite executes the three TE experiments on Horse and returns
+// (topology setup, execution) wall times.
+func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64) (setup, exec time.Duration) {
+	until := core.FromDuration(dur)
+	for _, te := range []string{"bgp-ecmp", "hedera", "ecmp5"} {
+		cfg := horse.Config{Pacing: pacing}
+		exp := horse.NewExperiment(cfg)
+		var (
+			g   *horse.Topology
+			err error
+		)
+		switch te {
+		case "bgp-ecmp":
+			g, err = horse.FatTree(k, horse.BGP())
+			if err == nil {
+				exp.SetTopology(g)
+				exp.UseBGP(horse.BGPOptions{ECMP: true})
+			}
+		case "hedera":
+			g, err = horse.FatTree(k, horse.SDN())
+			if err == nil {
+				exp.SetTopology(g)
+				exp.UseSDN(horse.AppHedera(5 * horse.Second))
+			}
+		case "ecmp5":
+			g, err = horse.FatTree(k, horse.SDN())
+			if err == nil {
+				exp.SetTopology(g)
+				exp.UseSDN(horse.AppECMP5())
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "k=%d %s: %v\n", k, te, err)
+			os.Exit(1)
+		}
+		if err := exp.SendPermutation(seed, 1*horse.Gbps, 0, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := exp.Run(until)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "k=%d %s: %v\n", k, te, err)
+			os.Exit(1)
+		}
+		setup += res.SetupWall
+		exec += res.Sim.WallTotal
+		fmt.Fprintf(os.Stderr, "  horse k=%d %-9s wall=%-10v steady-rx=%v\n",
+			k, te, res.Sim.WallTotal.Round(time.Millisecond), res.SteadyAggregateRx())
+	}
+	return setup, exec
+}
+
+// runBaselineSuite executes the equivalent three runs on the real-time
+// emulator: each pays topology setup plus the experiment duration 1:1
+// with the wall clock (scaled by the same pacing factor).
+func runBaselineSuite(k int, dur time.Duration, pacing float64, seed int64) time.Duration {
+	var total time.Duration
+	for te := 0; te < 3; te++ {
+		g, err := topo.FatTree(topo.FatTreeOpts{K: k})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		em, err := baseline.New(g, baseline.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := em.Run(flowsFor(g, seed), time.Duration(float64(dur)/pacing))
+		em.Close()
+		total += em.SetupTime + st.Wall
+		fmt.Fprintf(os.Stderr, "  baseline k=%d run %d setup=%v %v\n", k, te+1,
+			em.SetupTime.Round(time.Millisecond), st)
+	}
+	return total
+}
+
+func flowsFor(g *topo.Graph, seed int64) []baseline.FlowSpec {
+	hosts := g.Hosts()
+	specs := traffic.Permutation(seed, 1*core.Gbps, 0, 0)(len(hosts))
+	out := make([]baseline.FlowSpec, 0, len(specs))
+	for _, s := range specs {
+		src := hosts[s.SrcHost]
+		dst := hosts[s.DstHost]
+		out = append(out, baseline.FlowSpec{
+			Tuple: core.FiveTuple{Src: src.IP, Dst: dst.IP, Proto: s.Proto,
+				SrcPort: s.SrcPort, DstPort: s.DstPort},
+			Src: src.ID, Dst: dst.ID, Rate: s.Rate,
+		})
+	}
+	return out
+}

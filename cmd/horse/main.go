@@ -1,0 +1,146 @@
+// Command horse is the general experiment runner: pick a topology, a
+// control plane scenario and a workload, run it under the hybrid clock,
+// and print the results.
+//
+// Usage examples:
+//
+//	horse -topo fattree:4 -scenario ecmp5 -traffic permutation:42 -dur 20s
+//	horse -topo ring:8:2 -scenario bgp -traffic stride:1 -dur 30s
+//	horse -topo two-routers -scenario bgp -dur 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	horse "repro"
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers")
+		scenario    = flag.String("scenario", "ecmp5", "control plane: bgp, bgp-ecmp, ecmp5, hedera, reactive")
+		trafficSpec = flag.String("traffic", "permutation:42", "workload: permutation:SEED, stride:N, none")
+		rate        = flag.Float64("rate", 1.0, "per-flow rate in Gbps")
+		dur         = flag.Duration("dur", 20*time.Second, "virtual duration")
+		pacing      = flag.Float64("pacing", 1.0, "FTI pacing")
+		verbose     = flag.Bool("v", false, "log subsystem activity")
+		tsv         = flag.Bool("tsv", false, "dump aggregate rx series as TSV")
+	)
+	flag.Parse()
+
+	bgpWanted := strings.HasPrefix(*scenario, "bgp")
+	g, err := buildTopo(*topoSpec, bgpWanted)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := horse.Config{Pacing: *pacing}
+	if *verbose {
+		cfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	exp := horse.NewExperiment(cfg)
+	exp.SetTopology(g)
+
+	switch *scenario {
+	case "bgp":
+		exp.UseBGP(horse.BGPOptions{})
+	case "bgp-ecmp":
+		exp.UseBGP(horse.BGPOptions{ECMP: true})
+	case "ecmp5":
+		exp.UseSDN(horse.AppECMP5())
+	case "hedera":
+		exp.UseSDN(horse.AppHedera(5 * horse.Second))
+	case "reactive":
+		exp.UseSDN(horse.AppReactive(false))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	flowRate := horse.Rate(*rate) * horse.Gbps
+	switch {
+	case *trafficSpec == "none":
+	case strings.HasPrefix(*trafficSpec, "permutation"):
+		seed := int64(42)
+		if _, arg, ok := strings.Cut(*trafficSpec, ":"); ok {
+			seed, _ = strconv.ParseInt(arg, 10, 64)
+		}
+		if err := exp.SendPermutation(seed, flowRate, 0, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case strings.HasPrefix(*trafficSpec, "stride"):
+		n := 1
+		if _, arg, ok := strings.Cut(*trafficSpec, ":"); ok {
+			n, _ = strconv.Atoi(arg)
+		}
+		if err := exp.AddTraffic(traffic.Stride(n, flowRate, 0, 0)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *trafficSpec)
+		os.Exit(2)
+	}
+
+	res, err := exp.Run(core.FromDuration(*dur))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *tsv {
+		fmt.Print(res.AggregateRx.TSV())
+	}
+	fmt.Println(res)
+}
+
+func buildTopo(spec string, routers bool) (*horse.Topology, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	opt := horse.SDN()
+	if routers {
+		opt = horse.BGP()
+	}
+	switch kind {
+	case "fattree":
+		k, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("fattree needs an arity: %w", err)
+		}
+		return horse.FatTree(k, opt)
+	case "linear":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("linear needs a length: %w", err)
+		}
+		return horse.Linear(n, opt)
+	case "star":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("star needs a size: %w", err)
+		}
+		return horse.Star(n, opt)
+	case "ring":
+		parts := strings.Split(rest, ":")
+		n, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("ring needs a size: %w", err)
+		}
+		chord := 0
+		if len(parts) > 1 {
+			chord, _ = strconv.Atoi(parts[1])
+		}
+		return horse.WANRing(n, chord, opt)
+	case "two-routers":
+		return horse.TwoRouters(opt)
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", kind)
+	}
+}

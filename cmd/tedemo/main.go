@@ -1,0 +1,89 @@
+// Command tedemo runs one of the paper's three traffic-engineering
+// demonstrations on a fat-tree and prints the aggregate receive-rate time
+// series (the graph the demo shows "of the aggregated rate of all flows
+// arriving at the hosts"), followed by a summary.
+//
+// Usage:
+//
+//	tedemo -te bgp|hedera|ecmp5 [-k 4] [-dur 20s] [-pacing 1.0] [-seed 42] [-tsv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	horse "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		te     = flag.String("te", "ecmp5", "TE approach: bgp, hedera or ecmp5")
+		k      = flag.Int("k", 4, "fat-tree arity (4, 6 or 8 in the demo)")
+		dur    = flag.Duration("dur", 20*time.Second, "virtual experiment duration")
+		pacing = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = real time)")
+		seed   = flag.Int64("seed", 42, "permutation seed")
+		tsv    = flag.Bool("tsv", false, "print the full time series as TSV")
+	)
+	flag.Parse()
+
+	exp := horse.NewExperiment(horse.Config{Pacing: *pacing})
+	var (
+		g   *horse.Topology
+		err error
+	)
+	switch *te {
+	case "bgp":
+		g, err = horse.FatTree(*k, horse.BGP())
+		if err == nil {
+			exp.SetTopology(g)
+			exp.UseBGP(horse.BGPOptions{ECMP: true})
+		}
+	case "hedera":
+		g, err = horse.FatTree(*k, horse.SDN())
+		if err == nil {
+			exp.SetTopology(g)
+			exp.UseSDN(horse.AppHedera(5 * horse.Second))
+		}
+	case "ecmp5":
+		g, err = horse.FatTree(*k, horse.SDN())
+		if err == nil {
+			exp.SetTopology(g)
+			exp.UseSDN(horse.AppECMP5())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown TE approach %q\n", *te)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := exp.SendPermutation(*seed, 1*horse.Gbps, 0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := exp.Run(core.FromDuration(*dur))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *tsv {
+		fmt.Print(res.AggregateRx.TSV())
+	}
+	hosts := res.Topology.Hosts
+	fmt.Printf("# te=%s k=%d hosts=%d offered=%dGbps\n", *te, *k, hosts, hosts)
+	fmt.Printf("steady aggregate rx : %v (%.1f%% of offered)\n",
+		res.SteadyAggregateRx(), 100*float64(res.SteadyAggregateRx())/float64(horse.Gbps)/float64(hosts))
+	fmt.Printf("peak aggregate rx   : %v\n", horse.Rate(res.AggregateRx.Max()))
+	fmt.Printf("execution wall time : %v (setup %v)\n",
+		res.Sim.WallTotal.Round(time.Millisecond), res.SetupWall.Round(time.Millisecond))
+	fmt.Printf("clock               : FTI %v / DES %v virtual, %d transitions\n",
+		res.Sim.VirtualFTI, res.Sim.VirtualDES, res.Sim.Transitions)
+	fmt.Printf("control plane       : %d bytes, %d writes, %d flowmods, %d routes, %d packet-ins, %d stats\n",
+		res.ControlBytes, res.ControlWrites, res.FlowModsApplied,
+		res.RouteInstalls, res.PacketIns, res.StatsQueries)
+}

@@ -1,0 +1,88 @@
+// TE shootout: the paper's demonstration in one program.
+//
+// Runs all three traffic-engineering approaches of the demo on the same
+// fat-tree and workload, printing for each the topology creation time,
+// execution time, and the aggregate rate of flows arriving at the hosts —
+// exactly the numbers the live demo displays.
+//
+//	go run ./examples/teshootout [k]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	horse "repro"
+)
+
+func main() {
+	k := 4
+	if len(os.Args) > 1 {
+		var err error
+		if k, err = strconv.Atoi(os.Args[1]); err != nil {
+			log.Fatalf("bad fat-tree arity %q", os.Args[1])
+		}
+	}
+	const seed = 42
+	hosts := k * k * k / 4
+	fmt.Printf("fat-tree k=%d: %d hosts, permutation UDP @ 1 Gbps each (offered %d Gbps)\n\n", k, hosts, hosts)
+	fmt.Printf("%-12s %-12s %-12s %-14s %-12s\n", "TE", "setup", "exec(wall)", "steady-rx", "of offered")
+
+	type te struct {
+		name  string
+		build func(exp *horse.Experiment) error
+	}
+	tes := []te{
+		{"bgp-ecmp", func(exp *horse.Experiment) error {
+			g, err := horse.FatTree(k, horse.BGP())
+			if err != nil {
+				return err
+			}
+			exp.SetTopology(g)
+			exp.UseBGP(horse.BGPOptions{ECMP: true})
+			return nil
+		}},
+		{"hedera", func(exp *horse.Experiment) error {
+			g, err := horse.FatTree(k, horse.SDN())
+			if err != nil {
+				return err
+			}
+			exp.SetTopology(g)
+			exp.UseSDN(horse.AppHedera(5 * horse.Second))
+			return nil
+		}},
+		{"ecmp5", func(exp *horse.Experiment) error {
+			g, err := horse.FatTree(k, horse.SDN())
+			if err != nil {
+				return err
+			}
+			exp.SetTopology(g)
+			exp.UseSDN(horse.AppECMP5())
+			return nil
+		}},
+	}
+
+	for _, t := range tes {
+		exp := horse.NewExperiment(horse.Config{Pacing: 10})
+		if err := t.build(exp); err != nil {
+			log.Fatal(err)
+		}
+		if err := exp.SendPermutation(seed, 1*horse.Gbps, 0, 0); err != nil {
+			log.Fatal(err)
+		}
+		res, err := exp.Run(30 * horse.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rx := res.SteadyAggregateRx()
+		fmt.Printf("%-12s %-12v %-12v %-14v %5.1f%%\n",
+			t.name,
+			res.SetupWall.Round(time.Millisecond),
+			res.Sim.WallTotal.Round(time.Millisecond),
+			rx,
+			100*float64(rx)/float64(horse.Gbps)/float64(hosts))
+	}
+}

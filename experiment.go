@@ -1,0 +1,307 @@
+package horse
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// scenarioKind selects the control plane flavour.
+type scenarioKind int
+
+const (
+	scenarioNone scenarioKind = iota
+	scenarioBGP
+	scenarioSDN
+)
+
+// BGPOptions configures the BGP control plane.
+type BGPOptions struct {
+	// ECMP enables multipath best-path selection (the demo's
+	// "BGP plus ECMP path selection by hashing of IP source and
+	// destination").
+	ECMP bool
+	// HoldTime for all sessions (default 90s wall time).
+	HoldTime time.Duration
+}
+
+// Experiment is a single Horse run: a topology, a control plane scenario
+// and a workload.
+type Experiment struct {
+	cfg      Config
+	g        *Topology
+	kind     scenarioKind
+	bgpOpts  BGPOptions
+	app      App
+	flows    []traffic.Spec
+	extraRun []func(e *Experiment) // test/ablation hooks
+
+	// populated during Run
+	engine *sim.Engine
+	net    *netmodel.Network
+	mgr    *cm.Manager
+}
+
+// NewExperiment creates an experiment with the given clock configuration.
+func NewExperiment(cfg Config) *Experiment {
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 100 * Millisecond
+	}
+	return &Experiment{cfg: cfg}
+}
+
+// SetTopology assigns the experiment topology.
+func (e *Experiment) SetTopology(g *Topology) { e.g = g }
+
+// UseBGP selects an emulated BGP control plane (requires a topology whose
+// forwarding nodes are routers).
+func (e *Experiment) UseBGP(opts BGPOptions) {
+	e.kind = scenarioBGP
+	e.bgpOpts = opts
+}
+
+// UseSDN selects an emulated OpenFlow control plane running the given app
+// (requires a topology whose forwarding nodes are switches).
+func (e *Experiment) UseSDN(app App) {
+	e.kind = scenarioSDN
+	e.app = app
+}
+
+// AddFlow schedules one flow between two named hosts.
+func (e *Experiment) AddFlow(src, dst string, rate Rate, start, duration Time) error {
+	if e.g == nil {
+		return fmt.Errorf("horse: set a topology before adding flows")
+	}
+	hosts := e.g.Hosts()
+	idx := func(name string) int {
+		for i, h := range hosts {
+			if h.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	si, di := idx(src), idx(dst)
+	if si < 0 || di < 0 {
+		return fmt.Errorf("horse: unknown host %q or %q", src, dst)
+	}
+	e.flows = append(e.flows, traffic.Spec{
+		SrcHost: si, DstHost: di, Rate: rate, Start: start, Duration: duration,
+		Proto:   core.ProtoUDP,
+		SrcPort: uint16(10000 + len(e.flows)),
+		DstPort: uint16(20000 + len(e.flows)),
+	})
+	return nil
+}
+
+// AddTraffic applies a workload pattern over the topology's hosts.
+func (e *Experiment) AddTraffic(p traffic.Pattern) error {
+	if e.g == nil {
+		return fmt.Errorf("horse: set a topology before adding traffic")
+	}
+	e.flows = append(e.flows, p(len(e.g.Hosts()))...)
+	return nil
+}
+
+// SendPermutation applies the paper's demo workload: every host sends one
+// UDP flow at the given rate to a distinct random destination.
+func (e *Experiment) SendPermutation(seed int64, rate Rate, start, duration Time) error {
+	return e.AddTraffic(traffic.Permutation(seed, rate, start, duration))
+}
+
+// Run executes the experiment until the given virtual time and returns
+// the results. Run may only be called once per Experiment.
+func (e *Experiment) Run(until Time) (*Result, error) {
+	if e.g == nil {
+		return nil, fmt.Errorf("horse: no topology")
+	}
+	if e.kind == scenarioNone {
+		return nil, fmt.Errorf("horse: no control plane scenario (UseBGP or UseSDN)")
+	}
+	if err := e.g.Validate(); err != nil {
+		return nil, fmt.Errorf("horse: invalid topology: %w", err)
+	}
+
+	setupStart := time.Now()
+	e.engine = sim.New(sim.Config{
+		FTIStep:      e.cfg.FTIStep,
+		QuietTimeout: e.cfg.QuietTimeout,
+		Pacing:       e.cfg.Pacing,
+		MaxIdleWall:  e.cfg.MaxIdleWall,
+		// The emulated control plane boots in wall time at experiment
+		// start; begin in FTI so DES cannot outrun it (paper §2).
+		StartInFTI: true,
+	})
+	e.net = netmodel.New(e.g)
+	e.mgr = cm.New(e.engine, e.net, e.cfg.Logf)
+	defer e.mgr.Stop()
+
+	// Wire the control plane. This launches the emulated processes; their
+	// first messages are already queued as control activity when the
+	// engine starts, exactly like Horse booting Quagga/controller
+	// processes at experiment start.
+	switch e.kind {
+	case scenarioBGP:
+		if err := e.mgr.WireBGP(cm.BGPConfig{ECMP: e.bgpOpts.ECMP, HoldTime: e.bgpOpts.HoldTime}); err != nil {
+			return nil, err
+		}
+	case scenarioSDN:
+		if err := e.mgr.WireSDN(e.app.build()); err != nil {
+			return nil, err
+		}
+	}
+	setupWall := time.Since(setupStart)
+
+	// Schedule the workload.
+	hosts := e.g.Hosts()
+	specs := e.flows
+	result := &Result{
+		Topology:  e.g.Size(),
+		SetupWall: setupWall,
+	}
+	result.AggregateRx = &stats.Series{Name: "aggregate-rx"}
+	var flowsDone []*fluid.Flow
+
+	e.engine.PostData(func() {
+		for i, spec := range specs {
+			if spec.SrcHost >= len(hosts) || spec.DstHost >= len(hosts) {
+				continue
+			}
+			id := fluid.FlowID(i + 1)
+			src := hosts[spec.SrcHost]
+			dst := hosts[spec.DstHost]
+			f := &fluid.Flow{
+				ID: id,
+				Tuple: core.FiveTuple{
+					Src: src.IP, Dst: dst.IP, Proto: spec.Proto,
+					SrcPort: spec.SrcPort, DstPort: spec.DstPort,
+				},
+				Src: src.ID, Dst: dst.ID, Demand: spec.Rate,
+			}
+			flowsDone = append(flowsDone, f)
+			start := spec.Start
+			dur := spec.Duration
+			e.engine.Schedule(start, func() {
+				e.net.StartFlow(f, e.engine.Now())
+			})
+			if dur > 0 {
+				e.engine.Schedule(start+dur, func() {
+					e.net.StopFlow(f.ID, e.engine.Now())
+				})
+			}
+		}
+		// Aggregate receive rate sampling.
+		var sample func()
+		sample = func() {
+			e.net.Flows.Integrate(e.engine.Now())
+			result.AggregateRx.Add(e.engine.Now(), float64(e.net.Flows.AggregateRx()))
+			if e.engine.Now() < until {
+				e.engine.After(e.cfg.SampleInterval, sample)
+			}
+		}
+		e.engine.Schedule(0, sample)
+	})
+
+	for _, hook := range e.extraRun {
+		hook(e)
+	}
+
+	simStats := e.engine.Run(until)
+
+	// Final integration and flow accounting.
+	e.net.Flows.Integrate(simStats.VirtualEnd)
+	result.PerHostRxBytes = make(map[string]uint64)
+	for _, f := range e.net.Flows.Flows() {
+		if dst := e.g.Node(f.Dst); dst != nil {
+			result.PerHostRxBytes[dst.Name] += f.Bytes
+		}
+	}
+	for _, f := range flowsDone {
+		fr := FlowResult{
+			Tuple: f.Tuple,
+			Bytes: f.Bytes,
+			State: f.State.String(),
+		}
+		if until > 0 {
+			fr.AvgRate = Rate(float64(f.Bytes*8) / until.Seconds())
+		}
+		result.Flows = append(result.Flows, fr)
+	}
+	result.Sim = simStats
+	result.ControlBytes = e.mgr.Stats.ControlBytes.Load()
+	result.ControlWrites = e.mgr.Stats.ControlWrites.Load()
+	result.RouteInstalls = e.mgr.Stats.RouteInstalls.Load()
+	result.RouteWithdraws = e.mgr.Stats.RouteWithdraws.Load()
+	result.FlowModsApplied = e.mgr.Stats.FlowModsApplied.Load()
+	result.PacketIns = e.mgr.Stats.PacketIns.Load()
+	result.StatsQueries = e.mgr.Stats.StatsQueries.Load()
+	result.Drops = e.net.Drops()
+	return result, nil
+}
+
+// Engine exposes the simulation engine for tests and ablations; it is nil
+// before Run.
+func (e *Experiment) Engine() *sim.Engine { return e.engine }
+
+// Manager exposes the Connection Manager; nil before Run.
+func (e *Experiment) Manager() *cm.Manager { return e.mgr }
+
+// Result is the outcome of one run.
+type Result struct {
+	Topology  topo.Stats
+	Sim       sim.Stats
+	SetupWall time.Duration
+
+	// AggregateRx is the demo's headline series: total rate arriving at
+	// all hosts over virtual time.
+	AggregateRx *stats.Series
+
+	// PerHostRxBytes maps destination host name to bytes received by
+	// flows still live at the end of the run.
+	PerHostRxBytes map[string]uint64
+
+	Flows []FlowResult
+
+	ControlBytes    uint64
+	ControlWrites   uint64
+	RouteInstalls   uint64
+	RouteWithdraws  uint64
+	FlowModsApplied uint64
+	PacketIns       uint64
+	StatsQueries    uint64
+	Drops           uint64
+}
+
+// FlowResult summarizes one flow.
+type FlowResult struct {
+	Tuple   core.FiveTuple
+	Bytes   uint64
+	AvgRate Rate
+	State   string
+}
+
+// SteadyAggregateRx reports the mean aggregate receive rate over the
+// second half of the run — a convergence-insensitive summary.
+func (r *Result) SteadyAggregateRx() Rate {
+	if r.AggregateRx.Len() == 0 {
+		return 0
+	}
+	half := r.Sim.VirtualEnd / 2
+	return Rate(r.AggregateRx.MeanAfter(half))
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("hosts=%d switches=%d routers=%d wall=%v (setup %v) %s steady-rx=%v",
+		r.Topology.Hosts, r.Topology.Switches, r.Topology.Routers,
+		r.Sim.WallTotal.Round(time.Millisecond), r.SetupWall.Round(time.Millisecond),
+		r.Sim.String(), r.SteadyAggregateRx())
+}

@@ -1,0 +1,176 @@
+// Package horse is a Go reproduction of Horse ("Faster Control Plane
+// Experimentation with Horse", SIGCOMM 2019 demo): a hybrid network
+// experimentation tool with an emulated control plane (real BGP speakers
+// and real OpenFlow controllers exchanging real wire-format messages in
+// wall time) and a simulated data plane (an event-driven fluid traffic
+// model).
+//
+// The hybrid clock runs the experiment in Fixed Time Increment (FTI) mode
+// — real-time paced — while the control plane is active, and falls back to
+// Discrete Event Simulation (DES) fast-forward after a configurable quiet
+// period. Experiments therefore pay wall-clock time only for control
+// plane activity, which is where Horse's speedup over full emulation
+// (e.g. Mininet) comes from.
+//
+// A minimal experiment:
+//
+//	topo, _ := horse.FatTree(4, horse.SDN())
+//	exp := horse.NewExperiment(horse.Config{})
+//	exp.SetTopology(topo)
+//	exp.UseSDN(horse.AppECMP5())
+//	exp.SendPermutation(42, 1*horse.Gbps, 0, 0)
+//	res, _ := exp.Run(10 * horse.Second)
+//	fmt.Println(res.AggregateRx.Mean())
+package horse
+
+import (
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// Time is virtual time in nanoseconds since experiment start.
+type Time = core.Time
+
+// Common virtual durations.
+const (
+	Microsecond = core.Microsecond
+	Millisecond = core.Millisecond
+	Second      = core.Second
+)
+
+// Rate is a traffic rate in bits per second.
+type Rate = core.Rate
+
+// Common rates.
+const (
+	Kbps = core.Kbps
+	Mbps = core.Mbps
+	Gbps = core.Gbps
+)
+
+// Topology is an experiment topology graph.
+type Topology = topo.Graph
+
+// Config tunes the hybrid clock and measurement.
+type Config struct {
+	// FTIStep is the virtual time per FTI increment (default 1ms).
+	FTIStep Time
+	// QuietTimeout is how long the clock stays in FTI after the last
+	// control plane event before resuming DES (default 500ms).
+	QuietTimeout Time
+	// Pacing is the virtual:wall ratio in FTI mode. 1.0 (default) is
+	// paper-faithful real time; larger values accelerate experiments
+	// at the cost of compressing control plane timing. Results taken
+	// with Pacing != 1 must be reported as such.
+	Pacing float64
+	// SampleInterval is the aggregate-rate sampling period
+	// (default 100ms).
+	SampleInterval Time
+	// MaxIdleWall bounds the wait for control plane activity when the
+	// event queue is empty (default 2s).
+	MaxIdleWall time.Duration
+	// Logf, when set, receives debug logging from every subsystem.
+	Logf func(format string, args ...any)
+}
+
+// TopoOption adjusts topology generation.
+type TopoOption func(*topoOpts)
+
+type topoOpts struct {
+	linkRate  Rate
+	linkDelay Time
+	routers   bool
+}
+
+// LinkRate sets the capacity of every generated link (default 1 Gbps).
+func LinkRate(r Rate) TopoOption { return func(o *topoOpts) { o.linkRate = r } }
+
+// LinkDelay sets the per-direction propagation delay (default 10µs).
+func LinkDelay(d Time) TopoOption { return func(o *topoOpts) { o.linkDelay = d } }
+
+// BGP makes the generated forwarding nodes BGP routers.
+func BGP() TopoOption { return func(o *topoOpts) { o.routers = true } }
+
+// SDN makes the generated forwarding nodes OpenFlow switches (default).
+func SDN() TopoOption { return func(o *topoOpts) { o.routers = false } }
+
+// FatTree builds the k-ary fat-tree of the paper's demonstration
+// (k pods, k^3/4 hosts).
+func FatTree(k int, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	return topo.FatTree(topo.FatTreeOpts{
+		K: k, LinkRate: o.linkRate, LinkDelay: o.linkDelay, Routers: o.routers,
+	})
+}
+
+// Linear builds a chain of n forwarding nodes with one host each.
+func Linear(n int, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	kind := topo.Switch
+	if o.routers {
+		kind = topo.Router
+	}
+	return topo.Linear(n, kind, o.linkRate, o.linkDelay)
+}
+
+// Star builds a single forwarding node with n hosts.
+func Star(n int, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	kind := topo.Switch
+	if o.routers {
+		kind = topo.Router
+	}
+	return topo.Star(n, kind, o.linkRate, o.linkDelay)
+}
+
+// TwoRouters builds the paper's Figure 1 scenario: two BGP routers with
+// one host each.
+func TwoRouters(opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	return topo.TwoRouters(o.linkRate, o.linkDelay)
+}
+
+// WANRing builds a ring of n BGP routers with chords every chord hops.
+func WANRing(n, chord int, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	return topo.WANRing(n, chord, o.linkRate, o.linkDelay)
+}
+
+func applyTopoOpts(opts []TopoOption) topoOpts {
+	o := topoOpts{linkRate: 1 * Gbps, linkDelay: 10 * Microsecond}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// App selects the SDN controller application.
+type App struct {
+	build func() controller.App
+	name  string
+}
+
+// AppECMP5 is the proactive 5-tuple-hash ECMP application (the demo's TE
+// approach iii).
+func AppECMP5() App {
+	return App{name: "ecmp5", build: func() controller.App { return &controller.ECMPApp{} }}
+}
+
+// AppHedera is the Hedera scheduler (TE approach ii): reactive path setup
+// plus demand estimation and Global First Fit every poll interval
+// (default and paper value: 5s).
+func AppHedera(poll Time) App {
+	return App{name: "hedera", build: func() controller.App { return &controller.HederaApp{PollInterval: poll} }}
+}
+
+// AppReactive pins each flow to a hash-chosen shortest path with no
+// periodic scheduling; srcDstHash selects (src,dst)-only hashing.
+func AppReactive(srcDstHash bool) App {
+	return App{name: "reactive", build: func() controller.App { return &controller.ReactiveApp{HashSrcDst: srcDstHash} }}
+}
+
+// Name reports the application's name.
+func (a App) Name() string { return a.name }

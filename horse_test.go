@@ -1,0 +1,373 @@
+package horse
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// testConfig accelerates FTI pacing so integration tests finish quickly.
+// Pacing 10 compresses control plane wall time 10x into virtual time;
+// shapes are preserved (see Config.Pacing docs).
+func testConfig() Config {
+	return Config{
+		FTIStep:      Millisecond,
+		QuietTimeout: 200 * Millisecond,
+		Pacing:       10,
+		MaxIdleWall:  3 * time.Second,
+	}
+}
+
+func TestFigure1Scenario(t *testing.T) {
+	// The paper's Figure 1: two BGP routers establish a session,
+	// exchange updates, install routes (DES->FTI), converge, and the
+	// experiment returns to DES while traffic flows.
+	topo, err := TwoRouters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h1", "h2", 500*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(30 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BGP session produced control traffic and route installs.
+	if res.ControlBytes == 0 {
+		t.Error("no control bytes observed")
+	}
+	if res.RouteInstalls < 2 {
+		t.Errorf("route installs = %d, want >= 2", res.RouteInstalls)
+	}
+	// The hybrid clock ran in FTI during convergence and dropped back
+	// to DES (the run starts in FTI, so at least one FTI->DES switch).
+	if res.Sim.Transitions < 1 {
+		t.Errorf("mode transitions = %d, want >= 1", res.Sim.Transitions)
+	}
+	if res.Sim.VirtualFTI == 0 || res.Sim.VirtualDES == 0 {
+		t.Errorf("virtual split FTI=%v DES=%v; both modes must be visited",
+			res.Sim.VirtualFTI, res.Sim.VirtualDES)
+	}
+	// Traffic converged to the demanded rate.
+	if got := res.SteadyAggregateRx(); got < 400*Mbps {
+		t.Errorf("steady aggregate rx = %v, want ~500Mbps", got)
+	}
+	if len(res.Flows) != 1 || res.Flows[0].State != fluid.Active.String() {
+		t.Errorf("flow result = %+v", res.Flows)
+	}
+	// DES fast-forward: 30s of virtual time must cost far less wall.
+	if res.Sim.WallTotal > 15*time.Second {
+		t.Errorf("wall time %v for 30s virtual; DES fast-forward broken", res.Sim.WallTotal)
+	}
+}
+
+func TestSDNProactiveECMP(t *testing.T) {
+	topo, err := FatTree(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseSDN(AppECMP5())
+	if err := exp.SendPermutation(1, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(30 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowModsApplied == 0 {
+		t.Error("no flow mods applied")
+	}
+	// All 16 hosts receive traffic; aggregate must be a large fraction
+	// of 16 Gbps (ECMP hash collisions cost some).
+	got := res.SteadyAggregateRx()
+	if got < 4*Gbps {
+		t.Errorf("steady aggregate rx = %v, want >= 4Gbps", got)
+	}
+	if got > 16*Gbps+Rate(1e6) {
+		t.Errorf("aggregate rx %v exceeds offered load", got)
+	}
+	active := 0
+	for _, f := range res.Flows {
+		if f.State == fluid.Active.String() {
+			active++
+		}
+	}
+	if active != 16 {
+		t.Errorf("active flows = %d, want 16", active)
+	}
+}
+
+func TestSDNHederaScheduler(t *testing.T) {
+	topo, err := FatTree(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	// 2s virtual poll so several rounds fit in the run.
+	exp.UseSDN(AppHedera(2 * Second))
+	if err := exp.SendPermutation(7, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(30 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reactive setup: every flow punted once.
+	if res.PacketIns == 0 {
+		t.Error("no packet-ins")
+	}
+	// The scheduler polled statistics periodically.
+	if res.StatsQueries == 0 {
+		t.Error("no stats queries; Hedera poller did not run")
+	}
+	if got := res.SteadyAggregateRx(); got < 4*Gbps {
+		t.Errorf("steady aggregate rx = %v, want >= 4Gbps", got)
+	}
+}
+
+func TestBGPFatTreeECMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fat-tree BGP convergence is seconds of wall time")
+	}
+	topo, err := FatTree(4, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{ECMP: true})
+	if err := exp.SendPermutation(3, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(60 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteInstalls == 0 {
+		t.Fatal("no BGP route installs")
+	}
+	active := 0
+	for _, f := range res.Flows {
+		if f.State == fluid.Active.String() {
+			active++
+		}
+	}
+	if active != 16 {
+		t.Errorf("active flows = %d, want 16 (BGP did not converge)", active)
+	}
+	if got := res.SteadyAggregateRx(); got < 2*Gbps {
+		t.Errorf("steady aggregate rx = %v", got)
+	}
+}
+
+func TestReactiveAppSrcDstHash(t *testing.T) {
+	topo, err := FatTree(2, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseSDN(AppReactive(true))
+	if err := exp.SendPermutation(5, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(20 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketIns == 0 || res.FlowModsApplied == 0 {
+		t.Errorf("reactive app inactive: packetins=%d flowmods=%d", res.PacketIns, res.FlowModsApplied)
+	}
+	if got := res.SteadyAggregateRx(); got <= 0 {
+		t.Error("no traffic delivered")
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	exp := NewExperiment(Config{})
+	if _, err := exp.Run(Second); err == nil {
+		t.Error("run without topology accepted")
+	}
+	topo, _ := Star(3, SDN())
+	exp.SetTopology(topo)
+	if _, err := exp.Run(Second); err == nil {
+		t.Error("run without scenario accepted")
+	}
+	if err := exp.AddFlow("nope", "h1", Gbps, 0, 0); err == nil {
+		t.Error("unknown host accepted")
+	}
+	// BGP scenario on a switch-only topology must fail.
+	exp.UseBGP(BGPOptions{})
+	if _, err := exp.Run(Second); err == nil {
+		t.Error("BGP on switch topology accepted")
+	}
+	// And SDN on a router-only topology.
+	rt, _ := TwoRouters()
+	exp2 := NewExperiment(Config{})
+	exp2.SetTopology(rt)
+	exp2.UseSDN(AppECMP5())
+	if _, err := exp2.Run(Second); err == nil {
+		t.Error("SDN on router topology accepted")
+	}
+}
+
+func TestFlowWithDuration(t *testing.T) {
+	topo, err := Star(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseSDN(AppReactive(false))
+	// A 5-second flow inside a 20-second run.
+	if err := exp.AddFlow("h0", "h1", 800*Mbps, 2*Second, 5*Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(20 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.State != fluid.Done.String() {
+		t.Errorf("flow state = %v, want done", f.State)
+	}
+	// ~800Mbps for <=5s: at most 500 MB, and well above zero.
+	if f.Bytes == 0 || f.Bytes > 520_000_000 {
+		t.Errorf("flow bytes = %d", f.Bytes)
+	}
+	// The tail of the run has zero aggregate rate.
+	if last := res.AggregateRx.Last(); last.Value != 0 {
+		t.Errorf("rate after flow end = %v", last.Value)
+	}
+}
+
+func TestModeTransitionsObservable(t *testing.T) {
+	// Check the Stats plumbing via a raw engine run (unit-level), then
+	// assert the experiment surfaces them.
+	e := sim.New(sim.Config{Pacing: 1000, QuietTimeout: 5 * Millisecond, MaxIdleWall: 100 * time.Millisecond})
+	e.Post(func() {})
+	st := e.Run(Second)
+	if st.Transitions < 2 {
+		t.Fatalf("raw engine transitions = %d", st.Transitions)
+	}
+}
+
+func TestBGPFatTreeK8Scale(t *testing.T) {
+	// The paper's largest demo size: 80 BGP routers, 128 hosts, ~256
+	// eBGP sessions. Guards against bootstrap deadlocks and quadratic
+	// reroute storms at scale.
+	if testing.Short() {
+		t.Skip("k=8 BGP takes ~1s and 80 emulated routers")
+	}
+	topo, err := FatTree(8, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{ECMP: true})
+	if err := exp.SendPermutation(42, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(10 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteInstalls == 0 {
+		t.Fatal("no route installs at k=8")
+	}
+	if got := res.SteadyAggregateRx(); got < 10*Gbps {
+		t.Errorf("steady rx = %v, want >= 10Gbps of 128 offered", got)
+	}
+	if res.Sim.WallTotal > 60*time.Second {
+		t.Errorf("k=8 run took %v wall", res.Sim.WallTotal)
+	}
+}
+
+func TestRouterFailureWithdrawsRoutes(t *testing.T) {
+	// Failure injection: kill R2's routing daemon mid-run. R1 must
+	// receive the session teardown, withdraw the learned route, and the
+	// flow must blackhole — then the run continues in DES.
+	topo, err := TwoRouters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h1", "h2", 500*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Schedule the crash at 5s virtual through the run hook.
+	exp.extraRun = append(exp.extraRun, func(e *Experiment) {
+		r2, _ := e.g.NodeByName("r2")
+		e.engine.PostData(func() {
+			e.engine.Schedule(5*Second, func() {
+				e.engine.MarkControl() // the crash is a control plane event
+				sp := e.mgr.Speaker(r2.ID)
+				go sp.Stop()
+			})
+		})
+	})
+	res, err := exp.Run(30 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteInstalls == 0 {
+		t.Fatal("no installs before the crash")
+	}
+	if res.RouteWithdraws == 0 {
+		t.Fatal("crash produced no withdrawals")
+	}
+	// The flow died with the route: no rate at the end of the run.
+	if last := res.AggregateRx.Last(); last.Value != 0 {
+		t.Errorf("rate after router failure = %v, want 0", last.Value)
+	}
+	// But it did deliver before the crash.
+	if res.Flows[0].Bytes == 0 {
+		t.Error("flow never delivered before the crash")
+	}
+}
+
+func TestPerHostRxBytes(t *testing.T) {
+	topo, err := Star(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseSDN(AppReactive(false))
+	if err := exp.AddFlow("h0", "h1", 100*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.AddFlow("h2", "h1", 100*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(10 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerHostRxBytes["h1"] == 0 {
+		t.Fatalf("h1 received nothing: %v", res.PerHostRxBytes)
+	}
+	if res.PerHostRxBytes["h3"] != 0 {
+		t.Fatalf("h3 received traffic: %v", res.PerHostRxBytes)
+	}
+	// h1's bytes equal the sum of both flows' deliveries.
+	var sum uint64
+	for _, f := range res.Flows {
+		sum += f.Bytes
+	}
+	if res.PerHostRxBytes["h1"] != sum {
+		t.Fatalf("per-host %d != flow sum %d", res.PerHostRxBytes["h1"], sum)
+	}
+}

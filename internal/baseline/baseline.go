@@ -1,0 +1,267 @@
+// Package baseline implements the packet-level, real-time emulator Horse
+// is compared against in the paper's Figure 3 (there: Mininet).
+//
+// Substitution note (see DESIGN.md): Mininet is a Linux-container
+// emulator and cannot be embedded here, so the baseline reproduces the
+// two cost terms that dominate Mininet's execution time:
+//
+//  1. topology setup cost that grows with node and link count (network
+//     namespaces and veth pairs in Mininet; goroutines, channels, routing
+//     state and a calibrated per-element delay here); and
+//  2. real-time execution: emulated traffic is actual packet tokens
+//     forwarded hop by hop by per-node processes, so an experiment lasting
+//     T seconds costs at least T seconds of wall clock, per TE run.
+//
+// Horse's advantage in Figure 3 — DES fast-forward while the control
+// plane is quiet — is exactly what this baseline cannot do, which is the
+// paper's point.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// Config tunes the emulator.
+type Config struct {
+	// TokenBytes is the payload one packet token represents. Larger
+	// tokens lower the per-second event count the emulator must keep
+	// up with in real time (Mininet has the same knob via MTU/offload).
+	// Default 1.25 MB (100 tokens/s per 1 Gbps flow).
+	TokenBytes int
+	// PerNodeSetup is the emulated cost of creating one node
+	// (netns+interfaces in Mininet). Default 2ms.
+	PerNodeSetup time.Duration
+	// PerLinkSetup is the emulated cost of one cable (veth pair).
+	// Default 500µs.
+	PerLinkSetup time.Duration
+	// QueueTokens is the per-port queue depth; tokens beyond it drop
+	// (UDP has no congestion control). Default 16.
+	QueueTokens int
+}
+
+func (c *Config) setDefaults() {
+	if c.TokenBytes <= 0 {
+		c.TokenBytes = 1_250_000
+	}
+	if c.PerNodeSetup <= 0 {
+		c.PerNodeSetup = 2 * time.Millisecond
+	}
+	if c.PerLinkSetup <= 0 {
+		c.PerLinkSetup = 500 * time.Microsecond
+	}
+	if c.QueueTokens <= 0 {
+		c.QueueTokens = 16
+	}
+}
+
+// token is one emulated packet.
+type token struct {
+	tuple core.FiveTuple
+	dst   core.NodeID
+	bytes int
+}
+
+// Emulator is a running emulated network.
+type Emulator struct {
+	cfg Config
+	g   *topo.Graph
+
+	// ecmp[node][dstHost] -> candidate egress ports
+	ecmp map[core.NodeID]map[core.NodeID][]core.PortID
+	// in[node] is the node process's ingress queue.
+	in map[core.NodeID]chan token
+
+	delivered atomic.Uint64 // bytes received at destination hosts
+	dropped   atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	SetupTime time.Duration
+}
+
+// New builds the emulated network, paying the per-element setup costs —
+// this is the "time required to create the topology" the demo displays.
+func New(g *topo.Graph, cfg Config) (*Emulator, error) {
+	cfg.setDefaults()
+	start := time.Now()
+	e := &Emulator{
+		cfg:  cfg,
+		g:    g,
+		ecmp: make(map[core.NodeID]map[core.NodeID][]core.PortID),
+		in:   make(map[core.NodeID]chan token),
+		stop: make(chan struct{}),
+	}
+	hosts := g.Hosts()
+	// Routing state: ECMP next hops per (forwarding node, destination
+	// host) — the converged network Mininet would reach after its own
+	// control plane set up.
+	for _, n := range g.Nodes {
+		time.Sleep(cfg.PerNodeSetup)
+		e.in[n.ID] = make(chan token, cfg.QueueTokens)
+		if n.Kind == topo.Host {
+			continue
+		}
+		table := make(map[core.NodeID][]core.PortID, len(hosts))
+		for _, h := range hosts {
+			paths := g.AllShortestPaths(n.ID, h.ID)
+			seen := map[core.PortID]bool{}
+			var ports []core.PortID
+			for _, p := range paths {
+				if len(p) == 0 {
+					continue
+				}
+				l := g.Link(p[0])
+				if l != nil && !seen[l.FromPort] {
+					seen[l.FromPort] = true
+					ports = append(ports, l.FromPort)
+				}
+			}
+			if len(ports) > 0 {
+				table[h.ID] = ports
+			}
+		}
+		e.ecmp[n.ID] = table
+	}
+	for range g.Links {
+		time.Sleep(cfg.PerLinkSetup / 2) // half per direction
+	}
+	// Node processes.
+	for _, n := range g.Nodes {
+		n := n
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.nodeProc(n)
+		}()
+	}
+	e.SetupTime = time.Since(start)
+	return e, nil
+}
+
+// nodeProc is one emulated node's forwarding loop.
+func (e *Emulator) nodeProc(n *topo.Node) {
+	inCh := e.in[n.ID]
+	for {
+		select {
+		case <-e.stop:
+			return
+		case tk := <-inCh:
+			if n.Kind == topo.Host {
+				if tk.dst == n.ID {
+					e.delivered.Add(uint64(tk.bytes))
+				} else {
+					e.dropped.Add(uint64(tk.bytes))
+				}
+				continue
+			}
+			ports := e.ecmp[n.ID][tk.dst]
+			if len(ports) == 0 {
+				e.dropped.Add(uint64(tk.bytes))
+				continue
+			}
+			h := tk.tuple.Hash()
+			port := ports[int(h%uint32(len(ports)))]
+			p := e.g.Port(n.ID, port)
+			if p == nil {
+				e.dropped.Add(uint64(tk.bytes))
+				continue
+			}
+			select {
+			case e.in[p.Peer] <- tk:
+			default:
+				e.dropped.Add(uint64(tk.bytes)) // queue overflow
+			}
+		}
+	}
+}
+
+// FlowSpec is one constant-rate UDP flow.
+type FlowSpec struct {
+	Tuple core.FiveTuple
+	Src   core.NodeID
+	Dst   core.NodeID
+	Rate  core.Rate
+}
+
+// Run emulates the given flows for duration of REAL time (emulation runs
+// 1:1 with the wall clock, which is the whole point of the comparison)
+// and returns the delivered bytes.
+func (e *Emulator) Run(flows []FlowSpec, duration time.Duration) RunStats {
+	start := time.Now()
+	var senders sync.WaitGroup
+	stopSend := make(chan struct{})
+	for _, f := range flows {
+		f := f
+		src := e.g.Node(f.Src)
+		if src == nil || len(src.Ports) == 0 {
+			continue
+		}
+		firstHop := src.Ports[0].Peer
+		interval := time.Duration(float64(e.cfg.TokenBytes*8) / float64(f.Rate) * float64(time.Second))
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSend:
+					return
+				case <-tick.C:
+					tk := token{tuple: f.Tuple, dst: f.Dst, bytes: e.cfg.TokenBytes}
+					select {
+					case e.in[firstHop] <- tk:
+					default:
+						e.dropped.Add(uint64(tk.bytes))
+					}
+				}
+			}
+		}()
+	}
+	timer := time.NewTimer(duration)
+	<-timer.C
+	close(stopSend)
+	senders.Wait()
+	elapsed := time.Since(start)
+	return RunStats{
+		Wall:           elapsed,
+		DeliveredBytes: e.delivered.Load(),
+		DroppedBytes:   e.dropped.Load(),
+	}
+}
+
+// Close shuts the emulated network down.
+func (e *Emulator) Close() {
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// RunStats is the outcome of one Run.
+type RunStats struct {
+	Wall           time.Duration
+	DeliveredBytes uint64
+	DroppedBytes   uint64
+}
+
+// AggregateRx converts delivered bytes over the run into a mean rate.
+func (s RunStats) AggregateRx() core.Rate {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return core.Rate(float64(s.DeliveredBytes*8) / s.Wall.Seconds())
+}
+
+func (s RunStats) String() string {
+	return fmt.Sprintf("wall=%v delivered=%dB dropped=%dB rx=%v",
+		s.Wall.Round(time.Millisecond), s.DeliveredBytes, s.DroppedBytes, s.AggregateRx())
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+func fastCfg() Config {
+	return Config{
+		TokenBytes:   125_000, // 1000 tokens/s at 1 Gbps
+		PerNodeSetup: 100 * time.Microsecond,
+		PerLinkSetup: 50 * time.Microsecond,
+		QueueTokens:  16,
+	}
+}
+
+func TestEmulatorDeliversTraffic(t *testing.T) {
+	g, err := topo.Star(4, topo.Switch, core.Gbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	h0, _ := g.NodeByName("h0")
+	h1, _ := g.NodeByName("h1")
+	flows := []FlowSpec{{
+		Tuple: core.FiveTuple{Src: h0.IP, Dst: h1.IP, Proto: core.ProtoUDP, SrcPort: 1, DstPort: 2},
+		Src:   h0.ID, Dst: h1.ID, Rate: 100 * core.Mbps,
+	}}
+	st := e.Run(flows, 300*time.Millisecond)
+	if st.DeliveredBytes == 0 {
+		t.Fatalf("nothing delivered: %v", st)
+	}
+	// 100 Mbps for 0.3s ~ 3.75 MB; allow generous slack for pacing.
+	if st.DeliveredBytes > 6_000_000 {
+		t.Fatalf("delivered too much: %v", st)
+	}
+	if st.AggregateRx() <= 0 {
+		t.Fatal("zero aggregate rx")
+	}
+}
+
+func TestEmulatorRunsInRealTime(t *testing.T) {
+	// The defining property of emulation: a 300ms experiment takes at
+	// least 300ms of wall clock.
+	g, err := topo.Star(2, topo.Switch, core.Gbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	start := time.Now()
+	e.Run(nil, 300*time.Millisecond)
+	if el := time.Since(start); el < 300*time.Millisecond {
+		t.Fatalf("emulation finished early: %v", el)
+	}
+}
+
+func TestSetupCostGrowsWithTopology(t *testing.T) {
+	cfg := fastCfg()
+	small, err := topo.FatTree(topo.FatTreeOpts{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := New(small, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.Close()
+	big, err := topo.FatTree(topo.FatTreeOpts{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := New(big, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb.Close()
+	if eb.SetupTime <= es.SetupTime {
+		t.Fatalf("setup: k=4 %v <= k=2 %v", eb.SetupTime, es.SetupTime)
+	}
+}
+
+func TestECMPSpreadsAcrossCore(t *testing.T) {
+	g, err := topo.FatTree(topo.FatTreeOpts{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Inter-pod flows with distinct ports hash over 4 core paths.
+	src, _ := g.NodeByName("host-0-0-0")
+	dst, _ := g.NodeByName("host-2-1-1")
+	var flows []FlowSpec
+	for i := 0; i < 8; i++ {
+		flows = append(flows, FlowSpec{
+			Tuple: core.FiveTuple{Src: src.IP, Dst: dst.IP, Proto: core.ProtoUDP,
+				SrcPort: uint16(100 + i), DstPort: 2},
+			Src: src.ID, Dst: dst.ID, Rate: 50 * core.Mbps,
+		})
+	}
+	st := e.Run(flows, 300*time.Millisecond)
+	if st.DeliveredBytes == 0 {
+		t.Fatalf("no delivery across fat-tree: %v", st)
+	}
+}
+
+func TestMisroutedTokenDropped(t *testing.T) {
+	g := topo.New()
+	s := g.AddSwitch("s0")
+	h := g.AddHost("h0")
+	h.IP = netip.MustParseAddr("10.0.0.1")
+	g.Connect(s, h, core.Gbps, 0)
+	e, err := New(g, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Destination unknown to the routing table.
+	flows := []FlowSpec{{
+		Tuple: core.FiveTuple{Src: h.IP, Dst: netip.MustParseAddr("10.9.9.9"), Proto: core.ProtoUDP, SrcPort: 1, DstPort: 2},
+		Src:   h.ID, Dst: core.NodeID(9999), Rate: 100 * core.Mbps,
+	}}
+	st := e.Run(flows, 200*time.Millisecond)
+	if st.DeliveredBytes != 0 {
+		t.Fatalf("misrouted tokens delivered: %v", st)
+	}
+	if st.DroppedBytes == 0 {
+		t.Fatal("drops not counted")
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

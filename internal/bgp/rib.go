@@ -1,0 +1,274 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Path is one candidate route for a prefix, as stored in Adj-RIB-In (or
+// as a locally originated route with an empty AS path).
+type Path struct {
+	Attrs PathAttrs
+	// PeerAddr identifies the session the path was learned from; the
+	// zero value marks locally originated routes.
+	PeerAddr netip.Addr
+	// PeerRouterID breaks final ties deterministically.
+	PeerRouterID netip.Addr
+	// Port is the local egress port toward the peer, used when the
+	// path is installed into the simulated FIB.
+	Port core.PortID
+	// Local marks locally originated routes.
+	Local bool
+}
+
+// pathBetter compares two candidate paths per the RFC 4271 decision
+// process (subset: LOCAL_PREF, AS path length, ORIGIN, MED, router ID).
+// It returns <0 when a is preferred, >0 when b is, 0 for an exact ECMP
+// tie at the multipath comparison depth.
+func pathCompare(a, b *Path) int {
+	lpA, lpB := a.Attrs.LocalPref, b.Attrs.LocalPref
+	if !a.Attrs.HasLP {
+		lpA = 100
+	}
+	if !b.Attrs.HasLP {
+		lpB = 100
+	}
+	if lpA != lpB {
+		if lpA > lpB {
+			return -1
+		}
+		return 1
+	}
+	// Local routes beat learned routes (weight, in vendor terms).
+	if a.Local != b.Local {
+		if a.Local {
+			return -1
+		}
+		return 1
+	}
+	if la, lb := len(a.Attrs.ASPath), len(b.Attrs.ASPath); la != lb {
+		if la < lb {
+			return -1
+		}
+		return 1
+	}
+	if a.Attrs.Origin != b.Attrs.Origin {
+		if a.Attrs.Origin < b.Attrs.Origin {
+			return -1
+		}
+		return 1
+	}
+	// MED compared across all neighbors (the "always-compare-med"
+	// flavour, which is what anycast-style DC fabrics run).
+	mA, mB := uint32(0), uint32(0)
+	if a.Attrs.HasMED {
+		mA = a.Attrs.MED
+	}
+	if b.Attrs.HasMED {
+		mB = b.Attrs.MED
+	}
+	if mA != mB {
+		if mA < mB {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// tieBreak orders ECMP-equal paths deterministically (router ID, then
+// peer address).
+func tieBreak(a, b *Path) bool {
+	if c := a.PeerRouterID.Compare(b.PeerRouterID); c != 0 {
+		return c < 0
+	}
+	return a.PeerAddr.Compare(b.PeerAddr) < 0
+}
+
+// RIB holds Adj-RIB-In entries per peer plus locally originated routes,
+// and computes the Loc-RIB with optional ECMP multipath.
+type RIB struct {
+	// adjIn[peer][prefix] = path
+	adjIn map[netip.Addr]map[netip.Prefix]*Path
+	local map[netip.Prefix]*Path
+	// locRIB[prefix] = selected path set (len>1 only with multipath).
+	locRIB map[netip.Prefix][]*Path
+	// Multipath enables ECMP: all paths tying through the comparison
+	// are selected (the "bgp bestpath as-path multipath-relax"
+	// behaviour, required for fat-tree ECMP across different peer ASes).
+	Multipath bool
+}
+
+// NewRIB creates an empty RIB.
+func NewRIB(multipath bool) *RIB {
+	return &RIB{
+		adjIn:     make(map[netip.Addr]map[netip.Prefix]*Path),
+		local:     make(map[netip.Prefix]*Path),
+		locRIB:    make(map[netip.Prefix][]*Path),
+		Multipath: multipath,
+	}
+}
+
+// SetLocal originates a prefix locally.
+func (r *RIB) SetLocal(p netip.Prefix, attrs PathAttrs) {
+	r.local[p.Masked()] = &Path{Attrs: attrs, Local: true}
+}
+
+// UpdateAdjIn records a path learned from peer; a nil path withdraws.
+// It returns whether anything changed.
+func (r *RIB) UpdateAdjIn(peer netip.Addr, prefix netip.Prefix, path *Path) bool {
+	prefix = prefix.Masked()
+	m := r.adjIn[peer]
+	if path == nil {
+		if m == nil {
+			return false
+		}
+		if _, had := m[prefix]; !had {
+			return false
+		}
+		delete(m, prefix)
+		return true
+	}
+	if m == nil {
+		m = make(map[netip.Prefix]*Path)
+		r.adjIn[peer] = m
+	}
+	m[prefix] = path
+	return true
+}
+
+// DropPeer removes every path learned from peer (session down),
+// returning the affected prefixes.
+func (r *RIB) DropPeer(peer netip.Addr) []netip.Prefix {
+	m := r.adjIn[peer]
+	if m == nil {
+		return nil
+	}
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	delete(r.adjIn, peer)
+	sortPrefixes(out)
+	return out
+}
+
+// Decide recomputes the Loc-RIB selection for prefix and returns the new
+// best-path set (nil if unreachable) plus whether it changed.
+func (r *RIB) Decide(prefix netip.Prefix) ([]*Path, bool) {
+	prefix = prefix.Masked()
+	var candidates []*Path
+	if lp := r.local[prefix]; lp != nil {
+		candidates = append(candidates, lp)
+	}
+	// Deterministic peer iteration.
+	peers := make([]netip.Addr, 0, len(r.adjIn))
+	for a := range r.adjIn {
+		peers = append(peers, a)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Compare(peers[j]) < 0 })
+	for _, a := range peers {
+		if p := r.adjIn[a][prefix]; p != nil {
+			candidates = append(candidates, p)
+		}
+	}
+	var selected []*Path
+	if len(candidates) > 0 {
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if pathCompare(c, best) < 0 {
+				best = c
+			}
+		}
+		for _, c := range candidates {
+			if c == best || (r.Multipath && pathCompare(c, best) == 0) {
+				selected = append(selected, c)
+			}
+		}
+		if !r.Multipath && len(selected) > 1 {
+			// Single-path mode: final deterministic tiebreak.
+			sort.Slice(selected, func(i, j int) bool { return tieBreak(selected[i], selected[j]) })
+			selected = selected[:1]
+		} else {
+			sort.Slice(selected, func(i, j int) bool { return tieBreak(selected[i], selected[j]) })
+		}
+	}
+	old := r.locRIB[prefix]
+	if pathSetEqual(old, selected) {
+		return selected, false
+	}
+	if selected == nil {
+		delete(r.locRIB, prefix)
+	} else {
+		r.locRIB[prefix] = selected
+	}
+	return selected, true
+}
+
+// Best returns the Loc-RIB selection for prefix.
+func (r *RIB) Best(prefix netip.Prefix) []*Path { return r.locRIB[prefix.Masked()] }
+
+// Prefixes returns every prefix present in the Loc-RIB, sorted.
+func (r *RIB) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(r.locRIB))
+	for p := range r.locRIB {
+		out = append(out, p)
+	}
+	sortPrefixes(out)
+	return out
+}
+
+// KnownPrefixes returns every prefix seen in local or any Adj-RIB-In,
+// sorted; the decision process re-evaluates these after session changes.
+func (r *RIB) KnownPrefixes() []netip.Prefix {
+	set := make(map[netip.Prefix]bool)
+	for p := range r.local {
+		set[p] = true
+	}
+	for _, m := range r.adjIn {
+		for p := range m {
+			set[p] = true
+		}
+	}
+	out := make([]netip.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sortPrefixes(out)
+	return out
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}
+
+func pathSetEqual(a, b []*Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			// Pointer comparison is too strict across re-decides;
+			// compare the fields that matter to the FIB and to
+			// advertisements.
+			if a[i].PeerAddr != b[i].PeerAddr || a[i].Port != b[i].Port ||
+				a[i].Attrs.NextHop != b[i].Attrs.NextHop ||
+				len(a[i].Attrs.ASPath) != len(b[i].Attrs.ASPath) {
+				return false
+			}
+			for j := range a[i].Attrs.ASPath {
+				if a[i].Attrs.ASPath[j] != b[i].Attrs.ASPath[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,639 @@
+package bgp
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+)
+
+// SessionState is the RFC 4271 FSM state of one peering session. The
+// transport is handed to the speaker pre-connected (the emulation harness
+// wires both ends), so Connect/Active collapse into the initial state.
+type SessionState int
+
+const (
+	StateIdle SessionState = iota
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+	StateClosed
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	case StateClosed:
+		return "Closed"
+	default:
+		return fmt.Sprintf("state%d", int(s))
+	}
+}
+
+// RouteEvent is the speaker's FIB-install hook payload: the Connection
+// Manager receives these and applies them to the simulated router's FIB —
+// the exact seam where the original Horse intercepts Quagga's
+// RIB-to-kernel installs.
+type RouteEvent struct {
+	Prefix   netip.Prefix
+	NextHops []fib.NextHop // empty = withdraw
+}
+
+// PeerConfig describes one session to establish.
+type PeerConfig struct {
+	Conn       io.ReadWriteCloser
+	LocalAddr  netip.Addr // local /31 interface address (our NEXT_HOP)
+	RemoteAddr netip.Addr // peer /31 interface address
+	RemoteAS   uint32     // expected peer ASN (0 = accept any)
+	Port       core.PortID
+}
+
+// Config configures a speaker.
+type Config struct {
+	Name      string
+	ASN       uint32
+	RouterID  netip.Addr
+	HoldTime  time.Duration // default 90s; 0 disables keepalives
+	Multipath bool          // ECMP across equal-cost paths (multipath-relax)
+	Networks  []netip.Prefix
+
+	// OnRoute receives Loc-RIB changes for FIB installation.
+	OnRoute func(RouteEvent)
+	// OnSessionUp fires when a session reaches Established.
+	OnSessionUp func(peer netip.Addr)
+	// OnSessionDown fires when an established session ends.
+	OnSessionDown func(peer netip.Addr)
+	// AdvertiseDelay batches outgoing UPDATEs (a light-weight MRAI);
+	// default 2ms.
+	AdvertiseDelay time.Duration
+	// Logf, when set, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts messages by type; all fields are atomically updated.
+type Stats struct {
+	OpensSent, OpensRecv                 atomic.Uint64
+	UpdatesSent, UpdatesRecv             atomic.Uint64
+	KeepalivesSent, KeepalivesRecv       atomic.Uint64
+	NotificationsSent, NotificationsRecv atomic.Uint64
+}
+
+// Speaker is one emulated BGP routing daemon.
+type Speaker struct {
+	cfg   Config
+	asn16 uint16
+	hold  uint16 // configured hold time, seconds
+
+	mu       sync.Mutex
+	rib      *RIB
+	sessions map[netip.Addr]*session
+	closed   bool
+	wg       sync.WaitGroup
+
+	Stats Stats
+}
+
+type session struct {
+	sp    *Speaker
+	cfg   PeerConfig
+	state SessionState
+
+	peerRouterID netip.Addr
+	negotiated   time.Duration // negotiated hold time
+
+	// Outbound messages are queued to a dedicated writer goroutine so
+	// that message handling never blocks on the transport (unbuffered
+	// pipes would otherwise deadlock two speakers writing to each
+	// other simultaneously).
+	sendMu   sync.Mutex
+	out      chan []byte
+	outClose bool
+
+	holdTimer *time.Timer
+	kaTimer   *time.Timer
+
+	// pending advertisement batch: prefix -> path (nil = withdraw).
+	pending  map[netip.Prefix]*Path
+	advTimer *time.Timer
+}
+
+// NewSpeaker creates a speaker; call AddPeer to open sessions.
+func NewSpeaker(cfg Config) (*Speaker, error) {
+	asn16, err := ASN16(cfg.ASN)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.RouterID.Is4() {
+		return nil, fmt.Errorf("bgp: router ID must be IPv4, got %v", cfg.RouterID)
+	}
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 90 * time.Second
+	}
+	if cfg.AdvertiseDelay == 0 {
+		cfg.AdvertiseDelay = 2 * time.Millisecond
+	}
+	s := &Speaker{
+		cfg:      cfg,
+		asn16:    asn16,
+		hold:     uint16(cfg.HoldTime / time.Second),
+		rib:      NewRIB(cfg.Multipath),
+		sessions: make(map[netip.Addr]*session),
+	}
+	for _, p := range cfg.Networks {
+		s.rib.SetLocal(p, PathAttrs{Origin: OriginIGP})
+	}
+	s.mu.Lock()
+	for _, p := range cfg.Networks {
+		s.rib.Decide(p)
+	}
+	s.mu.Unlock()
+	return s, nil
+}
+
+func (s *Speaker) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("[bgp %s] "+format, append([]any{s.cfg.Name}, args...)...)
+	}
+}
+
+// AddPeer opens a session over a pre-connected transport and immediately
+// sends OPEN (the FSM enters OpenSent).
+func (s *Speaker) AddPeer(pc PeerConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("bgp: speaker closed")
+	}
+	if _, dup := s.sessions[pc.RemoteAddr]; dup {
+		return fmt.Errorf("bgp: duplicate peer %v", pc.RemoteAddr)
+	}
+	sess := &session{
+		sp:      s,
+		cfg:     pc,
+		state:   StateIdle,
+		out:     make(chan []byte, 512),
+		pending: make(map[netip.Prefix]*Path),
+	}
+	s.sessions[pc.RemoteAddr] = sess
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		sess.writeLoop()
+	}()
+	sess.send(EncodeOpen(Open{
+		Version: bgpVersion, ASN: s.asn16, HoldTime: s.hold, RouterID: s.cfg.RouterID,
+	}))
+	s.Stats.OpensSent.Add(1)
+	sess.state = StateOpenSent
+	go func() {
+		defer s.wg.Done()
+		sess.readLoop()
+	}()
+	return nil
+}
+
+// Stop closes every session (sending CEASE) and waits for readers.
+func (s *Speaker) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.sendNotification(Notification{Code: NotifCease})
+		sess.close()
+	}
+	s.wg.Wait()
+}
+
+// SessionState reports the FSM state of the session to peer.
+func (s *Speaker) SessionState(peer netip.Addr) SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess := s.sessions[peer]; sess != nil {
+		return sess.state
+	}
+	return StateClosed
+}
+
+// LocRIB returns a snapshot of selected prefixes and their FIB-ready
+// next-hop groups (locally originated prefixes map to nil).
+func (s *Speaker) LocRIB() map[netip.Prefix][]fib.NextHop {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[netip.Prefix][]fib.NextHop)
+	for _, p := range s.rib.Prefixes() {
+		out[p] = fibHops(s.rib.Best(p))
+	}
+	return out
+}
+
+// fibHops converts a best-path set into FIB next hops; local paths yield
+// nothing (connected routes are not re-installed).
+func fibHops(paths []*Path) []fib.NextHop {
+	var out []fib.NextHop
+	for _, p := range paths {
+		if p.Local {
+			continue
+		}
+		out = append(out, fib.NextHop{Port: p.Port, Via: p.Attrs.NextHop})
+	}
+	return out
+}
+
+// ---- session internals ----
+
+// send enqueues a message for the writer goroutine. Messages enqueued
+// after close are dropped; a full queue drops the message too (the
+// transport is dead or pathologically slow — the hold timer will fire).
+func (x *session) send(b []byte) {
+	x.sendMu.Lock()
+	defer x.sendMu.Unlock()
+	if x.outClose {
+		return
+	}
+	select {
+	case x.out <- b:
+	default:
+	}
+}
+
+func (x *session) writeLoop() {
+	for b := range x.out {
+		if _, err := x.cfg.Conn.Write(b); err != nil {
+			// Reader will observe the failure; just drain.
+			continue
+		}
+	}
+}
+
+func (x *session) sendNotification(n Notification) {
+	x.send(EncodeNotification(n))
+	x.sp.Stats.NotificationsSent.Add(1)
+}
+
+func (x *session) close() {
+	x.sendMu.Lock()
+	if !x.outClose {
+		x.outClose = true
+		close(x.out)
+	}
+	ht, kt := x.holdTimer, x.kaTimer
+	x.sendMu.Unlock()
+	_ = x.cfg.Conn.Close()
+	if ht != nil {
+		ht.Stop()
+	}
+	if kt != nil {
+		kt.Stop()
+	}
+	x.sp.mu.Lock()
+	if x.advTimer != nil {
+		x.advTimer.Stop()
+	}
+	x.sp.mu.Unlock()
+}
+
+func (x *session) readLoop() {
+	for {
+		raw, err := ReadMessage(x.cfg.Conn)
+		if err != nil {
+			x.down(err)
+			return
+		}
+		msg, err := Decode(raw)
+		if err != nil {
+			if n, ok := err.(Notification); ok {
+				x.sendNotification(n)
+			}
+			x.down(err)
+			return
+		}
+		if err := x.handle(msg); err != nil {
+			x.down(err)
+			return
+		}
+	}
+}
+
+func (x *session) handle(m *Message) error {
+	s := x.sp
+	x.resetHold()
+	switch m.Type {
+	case MsgOpen:
+		s.Stats.OpensRecv.Add(1)
+		s.mu.Lock()
+		if x.state != StateOpenSent && x.state != StateIdle {
+			s.mu.Unlock()
+			x.sendNotification(Notification{Code: NotifFSMError})
+			return fmt.Errorf("bgp: OPEN in state %v", x.state)
+		}
+		if x.cfg.RemoteAS != 0 && uint32(m.Open.ASN) != x.cfg.RemoteAS {
+			s.mu.Unlock()
+			x.sendNotification(Notification{Code: NotifOpenError, Subcode: 2}) // bad peer AS
+			return fmt.Errorf("bgp: peer AS %d, expected %d", m.Open.ASN, x.cfg.RemoteAS)
+		}
+		x.peerRouterID = m.Open.RouterID
+		// Negotiated hold time: min of both, zero disables.
+		hold := time.Duration(m.Open.HoldTime) * time.Second
+		if mine := s.cfg.HoldTime; mine < hold {
+			hold = mine
+		}
+		x.negotiated = hold
+		x.state = StateOpenConfirm
+		s.mu.Unlock()
+		x.send(EncodeKeepalive())
+		s.Stats.KeepalivesSent.Add(1)
+		return nil
+
+	case MsgKeepalive:
+		s.Stats.KeepalivesRecv.Add(1)
+		s.mu.Lock()
+		if x.state == StateOpenConfirm {
+			x.state = StateEstablished
+			s.mu.Unlock()
+			x.established()
+			return nil
+		}
+		s.mu.Unlock()
+		return nil
+
+	case MsgUpdate:
+		s.Stats.UpdatesRecv.Add(1)
+		s.mu.Lock()
+		if x.state != StateEstablished {
+			s.mu.Unlock()
+			x.sendNotification(Notification{Code: NotifFSMError})
+			return fmt.Errorf("bgp: UPDATE in state %v", x.state)
+		}
+		s.processUpdateLocked(x, m.Upd)
+		s.mu.Unlock()
+		return nil
+
+	case MsgNotification:
+		s.Stats.NotificationsRecv.Add(1)
+		return *m.Notif
+
+	default:
+		return fmt.Errorf("bgp: unhandled message type %d", m.Type)
+	}
+}
+
+// established runs when the session reaches Established: start timers and
+// advertise the full Loc-RIB.
+func (x *session) established() {
+	s := x.sp
+	s.logf("session %v established", x.cfg.RemoteAddr)
+	if s.cfg.OnSessionUp != nil {
+		s.cfg.OnSessionUp(x.cfg.RemoteAddr)
+	}
+	x.startKeepalive()
+	s.mu.Lock()
+	for _, p := range s.rib.Prefixes() {
+		best := s.rib.Best(p)
+		if len(best) > 0 {
+			x.queueAdvLocked(p, best[0])
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (x *session) startKeepalive() {
+	if x.negotiated <= 0 {
+		return
+	}
+	interval := x.negotiated / 3
+	var tick func()
+	tick = func() {
+		x.sp.mu.Lock()
+		live := x.state == StateEstablished
+		x.sp.mu.Unlock()
+		if !live {
+			return
+		}
+		x.send(EncodeKeepalive())
+		x.sp.Stats.KeepalivesSent.Add(1)
+		x.sendMu.Lock()
+		if !x.outClose {
+			x.kaTimer = time.AfterFunc(interval, tick)
+		}
+		x.sendMu.Unlock()
+	}
+	x.sendMu.Lock()
+	x.kaTimer = time.AfterFunc(interval, tick)
+	x.sendMu.Unlock()
+}
+
+func (x *session) resetHold() {
+	if x.negotiated <= 0 {
+		return
+	}
+	x.sendMu.Lock()
+	if x.holdTimer != nil {
+		x.holdTimer.Stop()
+	}
+	if x.outClose {
+		x.sendMu.Unlock()
+		return
+	}
+	x.holdTimer = time.AfterFunc(x.negotiated, func() {
+		x.sendNotification(Notification{Code: NotifHoldTimerExpired})
+		x.down(fmt.Errorf("bgp: hold timer expired for %v", x.cfg.RemoteAddr))
+	})
+	x.sendMu.Unlock()
+}
+
+// down tears the session down and withdraws everything learned from it.
+func (x *session) down(cause error) {
+	s := x.sp
+	s.mu.Lock()
+	if x.state == StateClosed {
+		s.mu.Unlock()
+		return
+	}
+	was := x.state
+	x.state = StateClosed
+	delete(s.sessions, x.cfg.RemoteAddr)
+	affected := s.rib.DropPeer(x.cfg.RemoteAddr)
+	s.redecideLocked(affected)
+	s.mu.Unlock()
+	x.close()
+	if was == StateEstablished {
+		s.logf("session %v down: %v", x.cfg.RemoteAddr, cause)
+		if s.cfg.OnSessionDown != nil {
+			s.cfg.OnSessionDown(x.cfg.RemoteAddr)
+		}
+	}
+}
+
+// queueAdvLocked schedules an announcement (path != nil) or withdrawal
+// for the peer; the batch flushes after AdvertiseDelay. Caller holds s.mu.
+func (x *session) queueAdvLocked(p netip.Prefix, path *Path) {
+	// Sender-side loop check: do not announce a path already containing
+	// the peer's AS; send a withdraw instead so stale state clears.
+	if path != nil && x.cfg.RemoteAS != 0 && hasASN(path.Attrs.ASPath, uint16(x.cfg.RemoteAS)) {
+		path = nil
+	}
+	// Split horizon: never re-advertise toward the originating session.
+	if path != nil && !path.Local && path.PeerAddr == x.cfg.RemoteAddr {
+		path = nil
+	}
+	x.pending[p] = path
+	if x.advTimer == nil {
+		x.advTimer = time.AfterFunc(x.sp.cfg.AdvertiseDelay, x.flushAdv)
+	}
+}
+
+// flushAdv sends the batched UPDATEs: withdrawals plus announcements
+// grouped by identical outgoing attributes.
+func (x *session) flushAdv() {
+	s := x.sp
+	s.mu.Lock()
+	if x.state != StateEstablished && x.state != StateOpenConfirm && x.state != StateOpenSent {
+		x.advTimer = nil
+		s.mu.Unlock()
+		return
+	}
+	batch := x.pending
+	x.pending = make(map[netip.Prefix]*Path)
+	x.advTimer = nil
+
+	var withdrawn []netip.Prefix
+	groups := make(map[string][]netip.Prefix)
+	attrsOf := make(map[string]PathAttrs)
+	for p, path := range batch {
+		if path == nil {
+			withdrawn = append(withdrawn, p)
+			continue
+		}
+		out := PathAttrs{
+			Origin:  path.Attrs.Origin,
+			ASPath:  append([]uint16{s.asn16}, path.Attrs.ASPath...),
+			NextHop: x.cfg.LocalAddr,
+		}
+		key := attrsKey(out)
+		groups[key] = append(groups[key], p)
+		attrsOf[key] = out
+	}
+	s.mu.Unlock()
+
+	sortPrefixes(withdrawn)
+	var msgs [][]byte
+	if len(withdrawn) > 0 {
+		if b, err := EncodeUpdate(Update{Withdrawn: withdrawn}); err == nil {
+			msgs = append(msgs, b)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		nlri := groups[k]
+		sortPrefixes(nlri)
+		if b, err := EncodeUpdate(Update{Attrs: attrsOf[k], NLRI: nlri}); err == nil {
+			msgs = append(msgs, b)
+		}
+	}
+	for _, b := range msgs {
+		x.send(b)
+		s.Stats.UpdatesSent.Add(1)
+	}
+}
+
+func attrsKey(a PathAttrs) string {
+	b := make([]byte, 0, 8+2*len(a.ASPath))
+	b = append(b, a.Origin)
+	nh := a.NextHop.As4()
+	b = append(b, nh[:]...)
+	for _, asn := range a.ASPath {
+		b = append(b, byte(asn>>8), byte(asn))
+	}
+	return string(b)
+}
+
+// ---- speaker-side update processing (mu held) ----
+
+func (s *Speaker) processUpdateLocked(x *session, u *Update) {
+	var affected []netip.Prefix
+	for _, p := range u.Withdrawn {
+		if s.rib.UpdateAdjIn(x.cfg.RemoteAddr, p, nil) {
+			affected = append(affected, p)
+		}
+	}
+	if len(u.NLRI) > 0 {
+		// Receiver-side AS loop rejection.
+		if hasASN(u.Attrs.ASPath, s.asn16) {
+			s.logf("rejecting %d prefixes from %v: own AS in path", len(u.NLRI), x.cfg.RemoteAddr)
+		} else {
+			for _, p := range u.NLRI {
+				path := &Path{
+					Attrs:        u.Attrs,
+					PeerAddr:     x.cfg.RemoteAddr,
+					PeerRouterID: x.peerRouterID,
+					Port:         x.cfg.Port,
+				}
+				if s.rib.UpdateAdjIn(x.cfg.RemoteAddr, p, path) {
+					affected = append(affected, p)
+				}
+			}
+		}
+	}
+	s.redecideLocked(affected)
+}
+
+// redecideLocked re-runs the decision process for the given prefixes,
+// emits FIB events for Loc-RIB changes, and propagates new bests to all
+// established sessions. Caller holds s.mu.
+func (s *Speaker) redecideLocked(prefixes []netip.Prefix) {
+	type change struct {
+		prefix netip.Prefix
+		best   []*Path
+	}
+	var changes []change
+	for _, p := range prefixes {
+		if best, changed := s.rib.Decide(p); changed {
+			changes = append(changes, change{p, best})
+		}
+	}
+	if len(changes) == 0 {
+		return
+	}
+	for _, c := range changes {
+		// FIB install/withdraw.
+		if s.cfg.OnRoute != nil {
+			s.cfg.OnRoute(RouteEvent{Prefix: c.prefix, NextHops: fibHops(c.best)})
+		}
+		// Propagate the single best (not the ECMP set) to peers.
+		var adv *Path
+		if len(c.best) > 0 {
+			adv = c.best[0]
+		}
+		for _, sess := range s.sessions {
+			if sess.state == StateEstablished {
+				sess.queueAdvLocked(c.prefix, adv)
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package bgp
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// routeSink collects RouteEvents thread-safely.
+type routeSink struct {
+	mu     sync.Mutex
+	events []RouteEvent
+}
+
+func (rs *routeSink) add(ev RouteEvent) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.events = append(rs.events, ev)
+}
+
+// latest returns the last event per prefix.
+func (rs *routeSink) latest() map[netip.Prefix]RouteEvent {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[netip.Prefix]RouteEvent)
+	for _, ev := range rs.events {
+		out[ev.Prefix] = ev
+	}
+	return out
+}
+
+// pair wires two speakers over a net.Pipe (a -> b uses aPort on a's side).
+func pair(t *testing.T, a, b *Speaker, aAddr, bAddr string, aPort, bPort int) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	if err := a.AddPeer(PeerConfig{
+		Conn: ca, LocalAddr: addr(aAddr), RemoteAddr: addr(bAddr),
+		RemoteAS: b.cfg.ASN, Port: core.PortID(aPort),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(PeerConfig{
+		Conn: cb, LocalAddr: addr(bAddr), RemoteAddr: addr(aAddr),
+		RemoteAS: a.cfg.ASN, Port: core.PortID(bPort),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeakerConfigValidation(t *testing.T) {
+	if _, err := NewSpeaker(Config{ASN: 0, RouterID: addr("1.1.1.1")}); err == nil {
+		t.Fatal("ASN 0 accepted")
+	}
+	if _, err := NewSpeaker(Config{ASN: 1, RouterID: netip.MustParseAddr("::1")}); err == nil {
+		t.Fatal("IPv6 router ID accepted")
+	}
+}
+
+func TestTwoSpeakersEstablishAndExchange(t *testing.T) {
+	// The paper's Figure 1 scenario: two routers open a session,
+	// exchange updates, install routes and converge.
+	var sinkA, sinkB routeSink
+	a, err := NewSpeaker(Config{
+		Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1"),
+		Networks: []netip.Prefix{pfx("10.0.1.0/24")},
+		OnRoute:  sinkA.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSpeaker(Config{
+		Name: "r2", ASN: 65002, RouterID: addr("2.2.2.2"),
+		Networks: []netip.Prefix{pfx("10.0.2.0/24")},
+		OnRoute:  sinkB.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer b.Stop()
+	pair(t, a, b, "172.16.0.0", "172.16.0.1", 2, 2)
+
+	waitFor(t, "session established", func() bool {
+		return a.SessionState(addr("172.16.0.1")) == StateEstablished &&
+			b.SessionState(addr("172.16.0.0")) == StateEstablished
+	})
+	waitFor(t, "r1 learns r2's prefix", func() bool {
+		ev, ok := sinkA.latest()[pfx("10.0.2.0/24")]
+		return ok && len(ev.NextHops) == 1
+	})
+	waitFor(t, "r2 learns r1's prefix", func() bool {
+		ev, ok := sinkB.latest()[pfx("10.0.1.0/24")]
+		return ok && len(ev.NextHops) == 1
+	})
+	ev := sinkA.latest()[pfx("10.0.2.0/24")]
+	if ev.NextHops[0].Port != 2 || ev.NextHops[0].Via != addr("172.16.0.1") {
+		t.Fatalf("next hop = %+v", ev.NextHops[0])
+	}
+	// Message accounting: both sides sent an OPEN and at least one
+	// UPDATE and KEEPALIVE.
+	if a.Stats.OpensSent.Load() != 1 || a.Stats.UpdatesSent.Load() == 0 || a.Stats.KeepalivesSent.Load() == 0 {
+		t.Fatalf("stats: opens=%d updates=%d ka=%d",
+			a.Stats.OpensSent.Load(), a.Stats.UpdatesSent.Load(), a.Stats.KeepalivesSent.Load())
+	}
+	// Loc-RIB snapshot includes both prefixes.
+	rib := a.LocRIB()
+	if len(rib) != 2 {
+		t.Fatalf("LocRIB = %v", rib)
+	}
+	if rib[pfx("10.0.1.0/24")] != nil {
+		t.Fatal("locally originated prefix has FIB next hops")
+	}
+}
+
+func TestTransitPropagation(t *testing.T) {
+	// r1 - r2 - r3 in a line: r3 must learn r1's prefix through r2 with
+	// AS path [65002 65001] and install via its r2-facing port.
+	var sink3 routeSink
+	mk := func(name string, asn uint32, rid string, nets []netip.Prefix, sink *routeSink) *Speaker {
+		cfg := Config{Name: name, ASN: asn, RouterID: addr(rid), Networks: nets}
+		if sink != nil {
+			cfg.OnRoute = sink.add
+		}
+		s, err := NewSpeaker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	r1 := mk("r1", 65001, "1.1.1.1", []netip.Prefix{pfx("10.0.1.0/24")}, nil)
+	r2 := mk("r2", 65002, "2.2.2.2", nil, nil)
+	r3 := mk("r3", 65003, "3.3.3.3", nil, &sink3)
+	defer r1.Stop()
+	defer r2.Stop()
+	defer r3.Stop()
+
+	pair(t, r1, r2, "172.16.0.0", "172.16.0.1", 1, 1)
+	pair(t, r2, r3, "172.16.0.2", "172.16.0.3", 2, 1)
+
+	waitFor(t, "r3 learns r1's prefix via r2", func() bool {
+		ev, ok := sink3.latest()[pfx("10.0.1.0/24")]
+		return ok && len(ev.NextHops) == 1 && ev.NextHops[0].Via == addr("172.16.0.2")
+	})
+}
+
+func TestECMPMultipathInstall(t *testing.T) {
+	// Diamond: r1 peers with m1 and m2; both transit to r4 which
+	// originates a prefix. r1 (multipath) must install 2 next hops.
+	var sink1 routeSink
+	mk := func(name string, asn uint32, rid string, nets []netip.Prefix, mp bool, sink *routeSink) *Speaker {
+		cfg := Config{Name: name, ASN: asn, RouterID: addr(rid), Networks: nets, Multipath: mp}
+		if sink != nil {
+			cfg.OnRoute = sink.add
+		}
+		s, err := NewSpeaker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	r1 := mk("r1", 65001, "1.1.1.1", nil, true, &sink1)
+	m1 := mk("m1", 65002, "2.2.2.2", nil, false, nil)
+	m2 := mk("m2", 65003, "3.3.3.3", nil, false, nil)
+	r4 := mk("r4", 65004, "4.4.4.4", []netip.Prefix{pfx("10.0.4.0/24")}, false, nil)
+	defer r1.Stop()
+	defer m1.Stop()
+	defer m2.Stop()
+	defer r4.Stop()
+
+	pair(t, r1, m1, "172.16.0.0", "172.16.0.1", 1, 1)
+	pair(t, r1, m2, "172.16.0.2", "172.16.0.3", 2, 1)
+	pair(t, m1, r4, "172.16.0.4", "172.16.0.5", 2, 1)
+	pair(t, m2, r4, "172.16.0.6", "172.16.0.7", 2, 2)
+
+	waitFor(t, "r1 installs 2-way ECMP", func() bool {
+		ev, ok := sink1.latest()[pfx("10.0.4.0/24")]
+		return ok && len(ev.NextHops) == 2
+	})
+	ev := sink1.latest()[pfx("10.0.4.0/24")]
+	ports := map[core.PortID]bool{ev.NextHops[0].Port: true, ev.NextHops[1].Port: true}
+	if !ports[1] || !ports[2] {
+		t.Fatalf("ECMP ports = %v", ev.NextHops)
+	}
+}
+
+func TestSessionDownWithdraws(t *testing.T) {
+	var sinkA routeSink
+	downs := make(chan netip.Addr, 1)
+	a, err := NewSpeaker(Config{
+		Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1"),
+		OnRoute:       sinkA.add,
+		OnSessionDown: func(p netip.Addr) { downs <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSpeaker(Config{
+		Name: "r2", ASN: 65002, RouterID: addr("2.2.2.2"),
+		Networks: []netip.Prefix{pfx("10.0.2.0/24")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	pair(t, a, b, "172.16.0.0", "172.16.0.1", 2, 2)
+
+	waitFor(t, "r1 learns the prefix", func() bool {
+		ev, ok := sinkA.latest()[pfx("10.0.2.0/24")]
+		return ok && len(ev.NextHops) == 1
+	})
+	// Kill r2: r1 must emit a withdraw (empty next hops).
+	b.Stop()
+	waitFor(t, "r1 withdraws the prefix", func() bool {
+		ev, ok := sinkA.latest()[pfx("10.0.2.0/24")]
+		return ok && len(ev.NextHops) == 0
+	})
+	select {
+	case p := <-downs:
+		if p != addr("172.16.0.1") {
+			t.Fatalf("down peer = %v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnSessionDown not fired")
+	}
+}
+
+func TestWrongASRejected(t *testing.T) {
+	a, err := NewSpeaker(Config{Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSpeaker(Config{Name: "r2", ASN: 65002, RouterID: addr("2.2.2.2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer b.Stop()
+	ca, cb := net.Pipe()
+	// a expects AS 64999 but the peer is 65002.
+	if err := a.AddPeer(PeerConfig{Conn: ca, LocalAddr: addr("172.16.0.0"), RemoteAddr: addr("172.16.0.1"), RemoteAS: 64999, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(PeerConfig{Conn: cb, LocalAddr: addr("172.16.0.1"), RemoteAddr: addr("172.16.0.0"), RemoteAS: 65001, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session torn down", func() bool {
+		return a.SessionState(addr("172.16.0.1")) == StateClosed
+	})
+	if a.Stats.NotificationsSent.Load() == 0 {
+		t.Fatal("no NOTIFICATION sent for bad peer AS")
+	}
+}
+
+func TestDuplicatePeerRejected(t *testing.T) {
+	a, err := NewSpeaker(Config{Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	ca, _ := net.Pipe()
+	cfg := PeerConfig{Conn: ca, LocalAddr: addr("172.16.0.0"), RemoteAddr: addr("172.16.0.1"), Port: 1}
+	if err := a.AddPeer(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer(cfg); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+func TestAddPeerAfterStop(t *testing.T) {
+	a, err := NewSpeaker(Config{Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Stop()
+	ca, _ := net.Pipe()
+	if err := a.AddPeer(PeerConfig{Conn: ca, RemoteAddr: addr("172.16.0.1")}); err == nil {
+		t.Fatal("AddPeer after Stop accepted")
+	}
+	a.Stop() // double stop must be safe
+}
+
+func TestHoldTimerExpires(t *testing.T) {
+	// A peer that opens the session but then goes silent: the hold
+	// timer must tear the session down. Use a tiny hold time.
+	a, err := NewSpeaker(Config{
+		Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1"),
+		HoldTime: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	ca, cb := net.Pipe()
+	if err := a.AddPeer(PeerConfig{Conn: ca, LocalAddr: addr("172.16.0.0"), RemoteAddr: addr("172.16.0.1"), Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-roll the remote side: read the OPEN, send OPEN+KEEPALIVE,
+	// then fall silent (no keepalives).
+	go func() {
+		_, _ = ReadMessage(cb)
+		_, _ = cb.Write(EncodeOpen(Open{Version: 4, ASN: 65002, HoldTime: 3, RouterID: addr("2.2.2.2")}))
+		_, _ = cb.Write(EncodeKeepalive())
+		for { // keep reading so a's writes do not block
+			if _, err := ReadMessage(cb); err != nil {
+				return
+			}
+		}
+	}()
+	waitFor(t, "established", func() bool {
+		return a.SessionState(addr("172.16.0.1")) == StateEstablished
+	})
+	waitFor(t, "hold timer teardown", func() bool {
+		return a.SessionState(addr("172.16.0.1")) == StateClosed
+	})
+}
+
+func TestKeepalivesFlowOnShortHoldTime(t *testing.T) {
+	a, err := NewSpeaker(Config{Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1"), HoldTime: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSpeaker(Config{Name: "r2", ASN: 65002, RouterID: addr("2.2.2.2"), HoldTime: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer b.Stop()
+	pair(t, a, b, "172.16.0.0", "172.16.0.1", 1, 1)
+	waitFor(t, "established", func() bool {
+		return a.SessionState(addr("172.16.0.1")) == StateEstablished
+	})
+	// Session must survive well past the hold time thanks to keepalives.
+	time.Sleep(3500 * time.Millisecond)
+	if a.SessionState(addr("172.16.0.1")) != StateEstablished {
+		t.Fatal("session died despite keepalives")
+	}
+	if a.Stats.KeepalivesSent.Load() < 2 {
+		t.Fatalf("keepalives sent = %d, want >= 2", a.Stats.KeepalivesSent.Load())
+	}
+}

@@ -1,0 +1,473 @@
+// Package cm implements Horse's Connection Manager (CM), "the bridge
+// between the emulation and simulation" (paper, Figure 2). The CM:
+//
+//   - wires emulated control plane processes (BGP speakers, OpenFlow
+//     agents, the SDN controller) to each other over tapped channels;
+//   - observes every control plane byte and notifies the hybrid engine,
+//     which is what triggers DES->FTI transitions;
+//   - applies control plane decisions (BGP RIB changes, FLOW_MODs) to the
+//     simulated data plane on the engine goroutine;
+//   - answers data plane queries (port/flow statistics) for the emulated
+//     side; and
+//   - hands emulated apps a virtual-time clock for periodic work.
+package cm
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/fib"
+	"repro/internal/flowtable"
+	"repro/internal/netmodel"
+	"repro/internal/openflow"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// Stats counts what crossed the emulation boundary.
+type Stats struct {
+	ControlBytes    atomic.Uint64
+	ControlWrites   atomic.Uint64
+	RouteInstalls   atomic.Uint64
+	RouteWithdraws  atomic.Uint64
+	FlowModsApplied atomic.Uint64
+	PacketIns       atomic.Uint64
+	StatsQueries    atomic.Uint64
+}
+
+// Manager is the Connection Manager.
+type Manager struct {
+	Engine *sim.Engine
+	Net    *netmodel.Network
+	G      *topo.Graph
+	Logf   func(string, ...any)
+
+	Stats Stats
+
+	procs    emu.Group
+	speakers map[core.NodeID]*bgp.Speaker
+	agents   map[core.NodeID]*openflow.Agent
+	ctl      *controller.Controller
+
+	// flushArmed coalesces reroute flushes; engine goroutine only.
+	flushArmed bool
+}
+
+// New creates a Connection Manager bridging the given engine and
+// simulated network.
+func New(engine *sim.Engine, net *netmodel.Network, logf func(string, ...any)) *Manager {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m := &Manager{
+		Engine:   engine,
+		Net:      net,
+		G:        net.G,
+		Logf:     logf,
+		speakers: make(map[core.NodeID]*bgp.Speaker),
+		agents:   make(map[core.NodeID]*openflow.Agent),
+	}
+	net.OnPacketIn = m.handlePacketIn
+	// The CM coalesces reroutes: control plane bursts (a fat-tree BGP
+	// convergence installs tens of thousands of routes) mutate
+	// forwarding state immediately, and flows re-path once per flush
+	// interval rather than after every install.
+	net.AutoReroute = false
+	return m
+}
+
+// flushDelay is the reroute coalescing interval: one FTI step's worth of
+// virtual time, i.e. the data plane reflects control plane changes at
+// FTI resolution.
+const flushDelay = core.Millisecond
+
+// scheduleFlush arranges a coalesced reroute; engine goroutine only.
+func (m *Manager) scheduleFlush() {
+	if m.flushArmed {
+		return
+	}
+	m.flushArmed = true
+	m.Engine.After(flushDelay, func() {
+		m.flushArmed = false
+		m.Net.FlushReroutes(m.Engine.Now())
+	})
+}
+
+// Stop terminates every emulated process.
+func (m *Manager) Stop() {
+	m.procs.StopAll()
+	if m.ctl != nil {
+		m.ctl.Stop()
+	}
+}
+
+// Controller returns the SDN controller (nil in BGP scenarios).
+func (m *Manager) Controller() *controller.Controller { return m.ctl }
+
+// Speaker returns the BGP speaker of a router (nil in SDN scenarios).
+func (m *Manager) Speaker(n core.NodeID) *bgp.Speaker { return m.speakers[n] }
+
+// ---------------------------------------------------------------------------
+// Channel taps
+// ---------------------------------------------------------------------------
+
+// tap wraps one end of a control channel; every write is control plane
+// activity and wakes the hybrid clock into FTI mode.
+type tap struct {
+	io.ReadWriteCloser
+	m *Manager
+}
+
+func (t tap) Write(p []byte) (int, error) {
+	n, err := t.ReadWriteCloser.Write(p)
+	if n > 0 {
+		t.m.Stats.ControlBytes.Add(uint64(n))
+		t.m.Stats.ControlWrites.Add(1)
+		t.m.Engine.NotifyControl()
+	}
+	return n, err
+}
+
+// TappedPipe returns a duplex channel pair whose writes (either
+// direction) notify the engine of control activity.
+func (m *Manager) TappedPipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	a, b := emu.Pipe()
+	return tap{a, m}, tap{b, m}
+}
+
+// ---------------------------------------------------------------------------
+// Virtual clock for emulated apps
+// ---------------------------------------------------------------------------
+
+// clock implements controller.Clock on top of the engine.
+type clock struct{ m *Manager }
+
+func (c clock) Now() core.Time { return c.m.Engine.NowExternal() }
+
+func (c clock) After(d core.Time, fn func()) {
+	// The callback runs on its own goroutine so emulated code never
+	// executes on the engine goroutine. Firing the timer IS control
+	// plane activity: the woken app is about to send messages, so the
+	// clock must hold in FTI while it does (paper §2: the CM "sends
+	// events that trigger a change to the FTI mode").
+	c.m.Engine.PostData(func() {
+		c.m.Engine.After(d, func() {
+			c.m.Engine.MarkControl()
+			go fn()
+		})
+	})
+}
+
+// Clock exposes the virtual-time clock for emulated applications.
+func (m *Manager) Clock() controller.Clock { return clock{m} }
+
+// ---------------------------------------------------------------------------
+// BGP scenario wiring
+// ---------------------------------------------------------------------------
+
+// BGPConfig parameterizes WireBGP.
+type BGPConfig struct {
+	// ECMP enables multipath best path selection (the demo's BGP+ECMP).
+	ECMP bool
+	// HoldTime for all sessions (default 90s).
+	HoldTime time.Duration
+	// AdvertiseDelay batches updates (default 2ms).
+	AdvertiseDelay time.Duration
+}
+
+// WireBGP launches one BGP speaker per Router node, peers them across
+// every router-router link, originates each router's host subnets, and
+// installs connected host routes into the simulated FIBs (as Quagga's
+// "connected" routes would be).
+func (m *Manager) WireBGP(cfg BGPConfig) error {
+	routers := m.G.Routers()
+	if len(routers) == 0 {
+		return fmt.Errorf("cm: topology has no routers")
+	}
+	for _, r := range routers {
+		node := r.ID
+		speaker, err := bgp.NewSpeaker(bgp.Config{
+			Name:           r.Name,
+			ASN:            r.ASN,
+			RouterID:       r.IP,
+			Multipath:      cfg.ECMP,
+			HoldTime:       cfg.HoldTime,
+			AdvertiseDelay: cfg.AdvertiseDelay,
+			Networks:       m.originatedPrefixes(r),
+			OnRoute: func(ev bgp.RouteEvent) {
+				m.applyRoute(node, ev)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("cm: speaker for %s: %w", r.Name, err)
+		}
+		m.speakers[r.ID] = speaker
+		m.procs.Add(emu.ProcFunc{StopFn: speaker.Stop})
+		m.installConnectedRoutes(r)
+	}
+	// Peer across every router-router cable (one session per cable,
+	// from the lower-numbered directed link).
+	for _, l := range m.G.Links {
+		if l.ID > l.Reverse {
+			continue
+		}
+		from := m.G.Node(l.From)
+		to := m.G.Node(l.To)
+		if from.Kind != topo.Router || to.Kind != topo.Router {
+			continue
+		}
+		ca, cb := m.TappedPipe()
+		pa := m.G.Port(l.From, l.FromPort)
+		pb := m.G.Port(l.To, l.ToPort)
+		if err := m.speakers[from.ID].AddPeer(bgp.PeerConfig{
+			Conn: ca, LocalAddr: pa.IP, RemoteAddr: pb.IP,
+			RemoteAS: to.ASN, Port: pa.ID,
+		}); err != nil {
+			return err
+		}
+		if err := m.speakers[to.ID].AddPeer(bgp.PeerConfig{
+			Conn: cb, LocalAddr: pb.IP, RemoteAddr: pa.IP,
+			RemoteAS: from.ASN, Port: pb.ID,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// originatedPrefixes returns the prefixes a router announces: its
+// host-facing subnet(s).
+func (m *Manager) originatedPrefixes(r *topo.Node) []netip.Prefix {
+	var out []netip.Prefix
+	if r.Prefix.IsValid() {
+		out = append(out, r.Prefix)
+	}
+	return out
+}
+
+// installConnectedRoutes installs one /32 per attached host into the
+// router's simulated FIB (Quagga's "connected" routes).
+func (m *Manager) installConnectedRoutes(r *topo.Node) {
+	node := r.ID
+	for _, p := range r.Ports {
+		peer := m.G.Node(p.Peer)
+		if peer == nil || peer.Kind != topo.Host {
+			continue
+		}
+		route := fib.Route{
+			Prefix:   netip.PrefixFrom(peer.IP, 32),
+			NextHops: []fib.NextHop{{Port: p.ID, Via: peer.IP}},
+		}
+		m.Engine.PostData(func() {
+			_ = m.Net.InstallRoute(node, route, m.Engine.Now())
+			m.scheduleFlush()
+		})
+	}
+}
+
+// applyRoute applies a BGP Loc-RIB change to the simulated FIB. Runs on
+// the speaker's goroutine; marshals to the engine. Route installs are
+// control plane activity (they correspond to kernel route installs in the
+// original Horse).
+func (m *Manager) applyRoute(node core.NodeID, ev bgp.RouteEvent) {
+	if len(ev.NextHops) == 0 {
+		m.Stats.RouteWithdraws.Add(1)
+		m.Engine.Post(func() {
+			_ = m.Net.WithdrawRoute(node, fib.Route{Prefix: ev.Prefix}, m.Engine.Now())
+			m.scheduleFlush()
+		})
+		return
+	}
+	m.Stats.RouteInstalls.Add(1)
+	m.Engine.Post(func() {
+		_ = m.Net.InstallRoute(node, fib.Route{Prefix: ev.Prefix, NextHops: ev.NextHops}, m.Engine.Now())
+		m.scheduleFlush()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// SDN scenario wiring
+// ---------------------------------------------------------------------------
+
+// WireSDN launches the controller with the given app and one OpenFlow
+// agent per Switch node, wiring each over a tapped channel.
+func (m *Manager) WireSDN(app controller.App) error {
+	switches := m.G.Switches()
+	if len(switches) == 0 {
+		return fmt.Errorf("cm: topology has no switches")
+	}
+	m.ctl = controller.New(m.G, m.Clock(), app, m.Logf)
+	for _, sw := range switches {
+		node := sw.ID
+		swEnd, ctlEnd := m.TappedPipe()
+		var ports []openflow.PhyPort
+		for _, p := range sw.Ports {
+			ports = append(ports, openflow.PhyPort{
+				PortNo: uint16(p.ID),
+				HWAddr: p.MAC,
+				Name:   fmt.Sprintf("%s-p%d", sw.Name, p.ID),
+				Curr:   1 << 6, // 1GbE full duplex
+			})
+		}
+		agent := openflow.NewAgent(controller.DPIDOf(node), ports, swEnd, &dataPlane{m: m, node: node}, m.Logf)
+		m.agents[node] = agent
+		m.procs.Add(emu.ProcFunc{StartFn: agent.Start, StopFn: agent.Stop})
+		if err := m.ctl.Connect(node, controller.DPIDOf(node), ctlEnd); err != nil {
+			return err
+		}
+	}
+	// Flow entry expiry sweep, once per virtual second.
+	m.Engine.PostData(func() { m.expireLoop() })
+	return nil
+}
+
+func (m *Manager) expireLoop() {
+	m.Engine.After(core.Second, func() {
+		m.Net.ExpireFlowEntries(m.Engine.Now())
+		m.expireLoop()
+	})
+}
+
+// handlePacketIn runs on the engine goroutine when the simulated data
+// plane punts a table miss; it emits a real PACKET_IN through the
+// switch's agent.
+func (m *Manager) handlePacketIn(pi netmodel.PacketIn) {
+	agent := m.agents[pi.Node]
+	if agent == nil {
+		return
+	}
+	srcHost, ok := m.G.HostByIP(pi.Tuple.Src)
+	var srcMAC, dstMAC core.MAC
+	if ok {
+		srcMAC = srcHost.MAC
+	}
+	if dstHost, ok := m.G.HostByIP(pi.Tuple.Dst); ok {
+		dstMAC = dstHost.MAC
+	}
+	frame, err := wire.BuildFlowFrame(srcMAC, dstMAC, pi.Tuple, nil)
+	if err != nil {
+		m.Logf("cm: cannot build packet-in frame: %v", err)
+		return
+	}
+	m.Stats.PacketIns.Add(1)
+	// The punt is a control plane event: hold the clock in FTI while
+	// the controller reacts. Sending is a queue write on the tapped
+	// channel; safe from the engine goroutine.
+	m.Engine.MarkControl()
+	agent.SendPacketIn(uint16(pi.InPort), frame)
+}
+
+// dataPlane adapts one switch's simulated state to openflow.DataPlane.
+// Methods run on the agent's reader goroutine and marshal to the engine.
+type dataPlane struct {
+	m    *Manager
+	node core.NodeID
+}
+
+// ApplyFlowMod implements openflow.DataPlane.
+func (d *dataPlane) ApplyFlowMod(fm openflow.FlowMod) error {
+	mod, err := translateFlowMod(fm)
+	if err != nil {
+		return err
+	}
+	d.m.Stats.FlowModsApplied.Add(1)
+	d.m.Engine.Post(func() {
+		if err := d.m.Net.ApplyFlowMod(d.node, mod, d.m.Engine.Now()); err != nil {
+			d.m.Logf("cm: flow mod on %v: %v", d.node, err)
+		}
+		d.m.scheduleFlush()
+	})
+	return nil
+}
+
+// PortStats implements openflow.DataPlane.
+func (d *dataPlane) PortStats() []openflow.PortStatsEntry {
+	d.m.Stats.StatsQueries.Add(1)
+	entries, _ := sim.Call(d.m.Engine, true, func() []openflow.PortStatsEntry {
+		stats := d.m.Net.PortStatsOf(d.node, d.m.Engine.Now())
+		out := make([]openflow.PortStatsEntry, 0, len(stats))
+		for _, s := range stats {
+			out = append(out, openflow.PortStatsEntry{
+				PortNo:  uint16(s.Port),
+				TxBytes: s.TxBytes,
+				RxBytes: s.RxBytes,
+			})
+		}
+		return out
+	})
+	return entries
+}
+
+// FlowStats implements openflow.DataPlane.
+func (d *dataPlane) FlowStats() []openflow.FlowStatsEntry {
+	d.m.Stats.StatsQueries.Add(1)
+	entries, _ := sim.Call(d.m.Engine, true, func() []openflow.FlowStatsEntry {
+		now := d.m.Engine.Now()
+		stats := d.m.Net.FlowStatsOf(d.node, now)
+		out := make([]openflow.FlowStatsEntry, 0, len(stats))
+		for _, s := range stats {
+			out = append(out, openflow.FlowStatsEntry{
+				Match:     openflow.MatchFromTable(s.Match),
+				Priority:  s.Priority,
+				ByteCount: s.Bytes,
+				DurationS: uint32((now - s.Installed) / core.Second),
+			})
+		}
+		return out
+	})
+	return entries
+}
+
+// PacketOut implements openflow.DataPlane. The fluid model has no
+// individual packets to inject; PACKET_OUTs are acknowledged and counted
+// but produce no data plane traffic.
+func (d *dataPlane) PacketOut(po openflow.PacketOut) {
+	d.m.Logf("cm: packet-out on %v ignored (fluid data plane)", d.node)
+}
+
+// translateFlowMod converts a wire FLOW_MOD into the data plane form.
+func translateFlowMod(fm openflow.FlowMod) (netmodel.FlowMod, error) {
+	var kind netmodel.FlowModKind
+	switch fm.Command {
+	case openflow.FCAdd:
+		kind = netmodel.FlowModAdd
+	case openflow.FCModify, openflow.FCModifyStrict:
+		kind = netmodel.FlowModModify
+	case openflow.FCDelete:
+		kind = netmodel.FlowModDelete
+	case openflow.FCDeleteStrict:
+		kind = netmodel.FlowModDeleteStrict
+	default:
+		return netmodel.FlowMod{}, fmt.Errorf("cm: unknown flow mod command %d", fm.Command)
+	}
+	var actions []flowtable.Action
+	for _, a := range fm.Actions {
+		switch {
+		case len(a.Group) > 0:
+			actions = append(actions, flowtable.Action{Type: flowtable.ActionSelectGroup, Group: a.Group})
+		case a.ToCtrl:
+			actions = append(actions, flowtable.Action{Type: flowtable.ActionController})
+		default:
+			actions = append(actions, flowtable.Action{Type: flowtable.ActionOutput, Port: core.PortID(a.Output)})
+		}
+	}
+	return netmodel.FlowMod{
+		Kind: kind,
+		Entry: flowtable.Entry{
+			Priority:    fm.Priority,
+			Match:       fm.Match.ToTable(),
+			Actions:     actions,
+			Cookie:      fm.Cookie,
+			IdleTimeout: core.Time(fm.IdleTimeout) * core.Second,
+			HardTimeout: core.Time(fm.HardTimeout) * core.Second,
+		},
+	}, nil
+}

@@ -1,0 +1,455 @@
+package controller
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flowtable"
+	"repro/internal/hedera"
+	"repro/internal/openflow"
+	"repro/internal/topo"
+	"repro/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Proactive 5-tuple ECMP (the paper's TE approach iii)
+// ---------------------------------------------------------------------------
+
+// ECMPApp proactively installs destination routes on every switch: one
+// rule per host /32, whose action is either a single OUTPUT or Horse's
+// vendor select-group hashed over the full five-tuple when several
+// shortest paths exist. All control traffic happens right after the
+// handshakes — the paper notes control plane events for SDN ECMP are
+// "concentrated at the beginning" of the experiment.
+type ECMPApp struct {
+	ctx *Context
+}
+
+// Name implements App.
+func (a *ECMPApp) Name() string { return "ecmp5" }
+
+// Init implements App.
+func (a *ECMPApp) Init(ctx *Context) { a.ctx = ctx }
+
+// PacketIn implements App; proactive mode should never see punts.
+func (a *ECMPApp) PacketIn(sw *SwitchHandle, pi openflow.PacketIn) {
+	a.ctx.Logf("ecmp5: unexpected packet-in on dpid %d", sw.DPID)
+}
+
+// SwitchReady implements App: install the full destination table.
+func (a *ECMPApp) SwitchReady(sw *SwitchHandle) {
+	g := a.ctx.Topo
+	for _, host := range g.Hosts() {
+		ports := nextHopPorts(g, sw.Node, host.ID)
+		if len(ports) == 0 {
+			continue
+		}
+		var action openflow.Action
+		if len(ports) == 1 {
+			action = openflow.Action{Output: uint16(ports[0])}
+		} else {
+			action = openflow.Action{Group: ports}
+		}
+		m := openflow.MatchFromTable(flowtable.Match{
+			DstBits: 32, Dst: host.IP,
+		})
+		sw.SendFlowMod(openflow.FlowMod{
+			Match:    m,
+			Command:  openflow.FCAdd,
+			Priority: 100,
+			Actions:  []openflow.Action{action},
+		})
+	}
+}
+
+// nextHopPorts returns the egress ports of all shortest paths from a
+// switch to a host, sorted for determinism.
+func nextHopPorts(g *topo.Graph, from core.NodeID, to core.NodeID) []core.PortID {
+	paths := g.AllShortestPaths(from, to)
+	seen := map[core.PortID]bool{}
+	var ports []core.PortID
+	for _, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		l := g.Link(p[0])
+		if l == nil || seen[l.FromPort] {
+			continue
+		}
+		seen[l.FromPort] = true
+		ports = append(ports, l.FromPort)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return ports
+}
+
+// ---------------------------------------------------------------------------
+// Hedera (the paper's TE approach ii)
+// ---------------------------------------------------------------------------
+
+// HederaApp reproduces the demo's Hedera implementation: reactive path
+// setup (each new flow is pinned to one shortest path chosen by hash),
+// plus a scheduler that polls edge switch flow statistics every
+// PollInterval (the paper: "queries for network statistics every 5
+// seconds"), estimates natural demands, and re-places big flows with
+// Global First Fit.
+type HederaApp struct {
+	ctx *Context
+
+	// PollInterval is the statistics polling period in virtual time
+	// (default 5s, the paper's value).
+	PollInterval core.Time
+
+	mu sync.Mutex
+	// installed tracks the current path of every pinned flow.
+	installed map[core.FiveTuple][]core.LinkID
+	// liveBytes holds the last byte count per flow, to detect idleness.
+	lastBytes map[core.FiveTuple]uint64
+	// outstanding stats replies for the current poll round.
+	statsWait int
+	rounds    int
+
+	// Schedules counts scheduler rounds that moved at least one flow.
+	Schedules int
+}
+
+// Name implements App.
+func (a *HederaApp) Name() string { return "hedera" }
+
+// Init implements App.
+func (a *HederaApp) Init(ctx *Context) {
+	a.ctx = ctx
+	if a.PollInterval <= 0 {
+		a.PollInterval = 5 * core.Second
+	}
+	a.installed = make(map[core.FiveTuple][]core.LinkID)
+	a.lastBytes = make(map[core.FiveTuple]uint64)
+	ctx.Clock.After(a.PollInterval, a.poll)
+}
+
+// SwitchReady implements App; Hedera is reactive, nothing to preinstall.
+func (a *HederaApp) SwitchReady(sw *SwitchHandle) {}
+
+// PacketIn implements App: pin the new flow to a hash-chosen shortest
+// path by installing exact-match rules on every switch along it.
+func (a *HederaApp) PacketIn(sw *SwitchHandle, pi openflow.PacketIn) {
+	ft, err := wire.ParseFlowFrame(pi.Data)
+	if err != nil {
+		a.ctx.Logf("hedera: undecodable packet-in: %v", err)
+		return
+	}
+	g := a.ctx.Topo
+	src, ok := g.HostByIP(ft.Src)
+	if !ok {
+		return
+	}
+	dst, ok := g.HostByIP(ft.Dst)
+	if !ok {
+		return
+	}
+	paths := g.AllShortestPaths(src.ID, dst.ID)
+	if len(paths) == 0 {
+		return
+	}
+	path := paths[int(ft.Hash()%uint32(len(paths)))]
+	a.installPath(ft, path)
+	a.mu.Lock()
+	a.installed[ft] = path
+	a.mu.Unlock()
+}
+
+// installPath installs exact-match rules for ft on every switch hop.
+func (a *HederaApp) installPath(ft core.FiveTuple, path []core.LinkID) {
+	g := a.ctx.Topo
+	for _, lid := range path {
+		l := g.Link(lid)
+		if l == nil {
+			continue
+		}
+		from := g.Node(l.From)
+		if from == nil || from.Kind != topo.Switch {
+			continue
+		}
+		sw, ok := a.ctx.Ctl.Switch(dpidOf(l.From))
+		if !ok {
+			continue
+		}
+		sw.SendFlowMod(openflow.FlowMod{
+			Match:    openflow.TupleToExactMatch(ft),
+			Command:  openflow.FCAdd,
+			Priority: 200,
+			Actions:  []openflow.Action{{Output: uint16(l.FromPort)}},
+		})
+	}
+}
+
+// poll is one scheduler round: query flow stats from all edge switches,
+// then (when all replies are in) estimate and re-place.
+func (a *HederaApp) poll() {
+	g := a.ctx.Topo
+	var edges []*SwitchHandle
+	for _, n := range g.Switches() {
+		if n.Layer == topo.LayerEdge {
+			if sw, ok := a.ctx.Ctl.Switch(dpidOf(n.ID)); ok && sw.Ready() {
+				edges = append(edges, sw)
+			}
+		}
+	}
+	a.mu.Lock()
+	a.rounds++
+	a.statsWait = len(edges)
+	a.mu.Unlock()
+	if len(edges) == 0 {
+		a.ctx.Clock.After(a.PollInterval, a.poll)
+		return
+	}
+	type sample struct {
+		ft    core.FiveTuple
+		bytes uint64
+	}
+	var (
+		samplesMu sync.Mutex
+		samples   []sample
+	)
+	for _, sw := range edges {
+		sw.RequestFlowStats(func(entries []openflow.FlowStatsEntry) {
+			samplesMu.Lock()
+			for _, e := range entries {
+				if ft, err := openflow.MatchToTuple(e.Match); err == nil {
+					samples = append(samples, sample{ft: ft, bytes: e.ByteCount})
+				}
+			}
+			samplesMu.Unlock()
+			a.mu.Lock()
+			a.statsWait--
+			done := a.statsWait == 0
+			a.mu.Unlock()
+			if done {
+				samplesMu.Lock()
+				snapshot := append([]sample(nil), samples...)
+				samplesMu.Unlock()
+				flows := make(map[core.FiveTuple]uint64, len(snapshot))
+				for _, s := range snapshot {
+					if b, ok := flows[s.ft]; !ok || s.bytes > b {
+						flows[s.ft] = s.bytes
+					}
+				}
+				a.schedule(flows)
+				a.ctx.Clock.After(a.PollInterval, a.poll)
+			}
+		})
+	}
+}
+
+// schedule estimates demands and re-places big flows.
+func (a *HederaApp) schedule(byteCounts map[core.FiveTuple]uint64) {
+	g := a.ctx.Topo
+	hosts := g.Hosts()
+	hostIdx := make(map[core.NodeID]int, len(hosts))
+	for i, h := range hosts {
+		hostIdx[h.ID] = i
+	}
+
+	// Collect live flows (those whose byte counters moved since the
+	// last round, or newly seen).
+	var flows []*hedera.Flow
+	tuples := make(map[int]core.FiveTuple)
+	a.mu.Lock()
+	id := 0
+	// Deterministic iteration: sort the tuples.
+	ordered := make([]core.FiveTuple, 0, len(byteCounts))
+	for ft := range byteCounts {
+		ordered = append(ordered, ft)
+	}
+	sortTuples(ordered)
+	for _, ft := range ordered {
+		bytes := byteCounts[ft]
+		last, seen := a.lastBytes[ft]
+		a.lastBytes[ft] = bytes
+		if seen && bytes == last {
+			continue // idle flow
+		}
+		srcHost, ok1 := g.HostByIP(ft.Src)
+		dstHost, ok2 := g.HostByIP(ft.Dst)
+		if !ok1 || !ok2 {
+			continue
+		}
+		f := &hedera.Flow{ID: id, Src: hostIdx[srcHost.ID], Dst: hostIdx[dstHost.ID]}
+		tuples[id] = ft
+		id++
+		flows = append(flows, f)
+	}
+	a.mu.Unlock()
+	if len(flows) == 0 {
+		return
+	}
+
+	hedera.EstimateDemands(flows)
+
+	// NIC rate: every host port runs at the same rate in the demo.
+	nic := core.Rate(core.Gbps)
+	if h := hosts[0]; len(h.Ports) > 0 {
+		if l := g.Link(h.Ports[0].Link); l != nil {
+			nic = l.Rate
+		}
+	}
+
+	var big []*hedera.Flow
+	for _, f := range flows {
+		if f.Demand >= hedera.BigFlowThreshold {
+			big = append(big, f)
+		}
+	}
+	if len(big) == 0 {
+		return
+	}
+	reserved := map[core.LinkID]core.Rate{}
+	placements := hedera.GlobalFirstFit(
+		big,
+		func(f *hedera.Flow) core.Rate { return core.Rate(f.Demand) * nic },
+		func(f *hedera.Flow) [][]core.LinkID {
+			ft := tuples[f.ID]
+			src, _ := g.HostByIP(ft.Src)
+			dst, _ := g.HostByIP(ft.Dst)
+			return g.AllShortestPaths(src.ID, dst.ID)
+		},
+		func(l core.LinkID) core.Rate {
+			if link := g.Link(l); link != nil {
+				return link.Rate
+			}
+			return 0
+		},
+		reserved,
+	)
+	moved := 0
+	for _, pl := range placements {
+		ft := tuples[pl.FlowID]
+		a.mu.Lock()
+		cur := a.installed[ft]
+		same := linkSeqEqual(cur, pl.Path)
+		if !same {
+			a.installed[ft] = pl.Path
+		}
+		a.mu.Unlock()
+		if !same {
+			a.installPath(ft, pl.Path)
+			moved++
+		}
+	}
+	if moved > 0 {
+		a.mu.Lock()
+		a.Schedules++
+		a.mu.Unlock()
+		a.ctx.Logf("hedera: moved %d flows", moved)
+	}
+}
+
+// Rounds reports completed poll rounds.
+func (a *HederaApp) Rounds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rounds
+}
+
+func linkSeqEqual(a, b []core.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortTuples(ts []core.FiveTuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if c := ts[i].Src.Compare(ts[j].Src); c != 0 {
+			return c < 0
+		}
+		if c := ts[i].Dst.Compare(ts[j].Dst); c != 0 {
+			return c < 0
+		}
+		if ts[i].SrcPort != ts[j].SrcPort {
+			return ts[i].SrcPort < ts[j].SrcPort
+		}
+		return ts[i].DstPort < ts[j].DstPort
+	})
+}
+
+// dpidOf maps a topology node to its datapath id; the Connection Manager
+// uses the same mapping when wiring agents.
+func dpidOf(n core.NodeID) uint64 { return uint64(n) + 1 }
+
+// DPIDOf is the exported form for the harness.
+func DPIDOf(n core.NodeID) uint64 { return dpidOf(n) }
+
+// ---------------------------------------------------------------------------
+// Reactive shortest-path app (used by examples and as a Hedera baseline
+// without the scheduler)
+// ---------------------------------------------------------------------------
+
+// ReactiveApp pins each new flow to a hash-chosen shortest path, with no
+// periodic scheduling. It is Hedera's "baseline ECMP" behaviour.
+type ReactiveApp struct {
+	ctx *Context
+	// HashSrcDst selects the (src,dst)-only hash (the paper's BGP-style
+	// ECMP collision behaviour); default is the full 5-tuple hash.
+	HashSrcDst bool
+}
+
+// Name implements App.
+func (a *ReactiveApp) Name() string { return "reactive" }
+
+// Init implements App.
+func (a *ReactiveApp) Init(ctx *Context) { a.ctx = ctx }
+
+// SwitchReady implements App.
+func (a *ReactiveApp) SwitchReady(sw *SwitchHandle) {}
+
+// PacketIn implements App.
+func (a *ReactiveApp) PacketIn(sw *SwitchHandle, pi openflow.PacketIn) {
+	ft, err := wire.ParseFlowFrame(pi.Data)
+	if err != nil {
+		return
+	}
+	g := a.ctx.Topo
+	src, ok := g.HostByIP(ft.Src)
+	if !ok {
+		return
+	}
+	dst, ok := g.HostByIP(ft.Dst)
+	if !ok {
+		return
+	}
+	paths := g.AllShortestPaths(src.ID, dst.ID)
+	if len(paths) == 0 {
+		return
+	}
+	h := ft.Hash()
+	if a.HashSrcDst {
+		h = ft.HashSrcDst()
+	}
+	path := paths[int(h%uint32(len(paths)))]
+	for _, lid := range path {
+		l := g.Link(lid)
+		if l == nil {
+			continue
+		}
+		if from := g.Node(l.From); from == nil || from.Kind != topo.Switch {
+			continue
+		}
+		swh, ok := a.ctx.Ctl.Switch(dpidOf(l.From))
+		if !ok {
+			continue
+		}
+		swh.SendFlowMod(openflow.FlowMod{
+			Match:    openflow.TupleToExactMatch(ft),
+			Command:  openflow.FCAdd,
+			Priority: 200,
+			Actions:  []openflow.Action{{Output: uint16(l.FromPort)}},
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromDuration(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Fatalf("FromDuration = %d, want %d", got, 1500*Millisecond)
+	}
+	if got := (2 * Second).Duration(); got != 2*time.Second {
+		t.Fatalf("Duration = %v, want 2s", got)
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v, want 2.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := MaxTime.String(); s != "∞" {
+		t.Fatalf("MaxTime.String() = %q", s)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.5s" {
+		t.Fatalf("String = %q, want 1.5s", s)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{1 * Gbps, "1Gbps"},
+		{250 * Mbps, "250Mbps"},
+		{5 * Kbps, "5Kbps"},
+		{12 * BitPerSecond, "12bps"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Rate(%v).String() = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestRateBytesIn(t *testing.T) {
+	// 1 Gbps for one second is 125 MB.
+	if got := (1 * Gbps).BytesIn(1 * Second); got != 125_000_000 {
+		t.Fatalf("BytesIn = %d, want 125000000", got)
+	}
+	if got := (1 * Gbps).BytesIn(-Second); got != 0 {
+		t.Fatalf("negative interval BytesIn = %d, want 0", got)
+	}
+	if got := Rate(-5).BytesIn(Second); got != 0 {
+		t.Fatalf("negative rate BytesIn = %d, want 0", got)
+	}
+}
+
+func TestMACFromUint64(t *testing.T) {
+	m := MACFromUint64(0x0000_0a0b_0c0d_0e0f)
+	// Low byte of the first octet must have the local bit set and the
+	// multicast bit clear.
+	if m[0]&0x02 == 0 {
+		t.Error("locally administered bit not set")
+	}
+	if m[0]&0x01 != 0 {
+		t.Error("multicast bit set on unicast MAC")
+	}
+	if m.String()[0:2] == "" {
+		t.Error("empty MAC string")
+	}
+	// Distinct inputs give distinct MACs in the low 40 bits.
+	if MACFromUint64(1) == MACFromUint64(2) {
+		t.Error("MACs collide")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return IPv4ToUint32(IPv4FromUint32(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4ToUint32PanicsOnV6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on IPv6 address")
+		}
+	}()
+	IPv4ToUint32(netip.MustParseAddr("2001:db8::1"))
+}
+
+func TestFiveTupleHashDeterminism(t *testing.T) {
+	ft := FiveTuple{
+		Src:   netip.MustParseAddr("10.0.0.1"),
+		Dst:   netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoUDP, SrcPort: 1234, DstPort: 53,
+	}
+	if ft.Hash() != ft.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	if ft.HashSrcDst() != ft.HashSrcDst() {
+		t.Fatal("src-dst hash not deterministic")
+	}
+}
+
+func TestFiveTupleHashSensitivity(t *testing.T) {
+	base := FiveTuple{
+		Src:   netip.MustParseAddr("10.0.0.1"),
+		Dst:   netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoUDP, SrcPort: 1234, DstPort: 53,
+	}
+	alt := base
+	alt.SrcPort = 1235
+	if base.Hash() == alt.Hash() {
+		t.Error("5-tuple hash ignores source port")
+	}
+	// HashSrcDst must NOT be sensitive to ports: that is exactly the
+	// collision behaviour the paper's BGP ECMP demo exhibits.
+	if base.HashSrcDst() != alt.HashSrcDst() {
+		t.Error("src-dst hash unexpectedly sensitive to ports")
+	}
+	altDst := base
+	altDst.Dst = netip.MustParseAddr("10.0.0.3")
+	if base.HashSrcDst() == altDst.HashSrcDst() {
+		t.Error("src-dst hash ignores destination")
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	ft := FiveTuple{
+		Src:   netip.MustParseAddr("10.0.0.1"),
+		Dst:   netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoTCP, SrcPort: 80, DstPort: 555,
+	}
+	r := ft.Reverse()
+	if r.Src != ft.Dst || r.Dst != ft.Src || r.SrcPort != ft.DstPort || r.DstPort != ft.SrcPort {
+		t.Fatalf("Reverse = %v", r)
+	}
+	if r.Reverse() != ft {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoUDP.String() != "udp" || ProtoTCP.String() != "tcp" || ProtoICMP.String() != "icmp" {
+		t.Fatal("well-known protocol names wrong")
+	}
+	if Proto(99).String() != "proto99" {
+		t.Fatalf("unknown proto = %q", Proto(99).String())
+	}
+}
+
+func TestFiveTupleString(t *testing.T) {
+	ft := FiveTuple{
+		Src:   netip.MustParseAddr("10.0.0.1"),
+		Dst:   netip.MustParseAddr("10.0.0.2"),
+		Proto: ProtoUDP, SrcPort: 7, DstPort: 9,
+	}
+	want := "10.0.0.1:7->10.0.0.2:9/udp"
+	if got := ft.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,146 @@
+// Package emu provides the emulation harness plumbing: buffered in-memory
+// duplex connections for control plane channels, and the Proc abstraction
+// for emulated control plane processes (BGP daemons, OpenFlow agents, the
+// SDN controller).
+//
+// In the original Horse these are OS processes wired through virtual
+// interfaces; here they are goroutines wired through in-memory streams —
+// the Connection Manager still sees every byte (see internal/cm).
+package emu
+
+import (
+	"io"
+	"sync"
+)
+
+// Pipe returns a connected pair of buffered duplex streams. Unlike
+// net.Pipe, writes never block (the buffer grows as needed), which
+// matches the behaviour of a kernel socket pair with ample buffers and
+// avoids artificial lockstep between emulated processes.
+func Pipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	ab := newHalf()
+	ba := newHalf()
+	return &pipeEnd{r: ab, w: ba}, &pipeEnd{r: ba, w: ab}
+}
+
+// half is one direction of a pipe: an unbounded FIFO byte buffer.
+type half struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newHalf() *half {
+	h := &half{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *half) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	h.buf = append(h.buf, p...)
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+func (h *half) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 && !h.closed {
+		h.cond.Wait()
+	}
+	if len(h.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	return n, nil
+}
+
+func (h *half) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+type pipeEnd struct {
+	r *half // we read what the peer wrote
+	w *half // we write what the peer reads
+}
+
+func (p *pipeEnd) Read(b []byte) (int, error)  { return p.r.read(b) }
+func (p *pipeEnd) Write(b []byte) (int, error) { return p.w.write(b) }
+
+// Close shuts both directions down; pending reads return EOF, writes
+// fail with io.ErrClosedPipe on either end.
+func (p *pipeEnd) Close() error {
+	p.r.close()
+	p.w.close()
+	return nil
+}
+
+// Proc is an emulated control plane process.
+type Proc interface {
+	// Start launches the process (non-blocking).
+	Start()
+	// Stop terminates it and releases its channels.
+	Stop()
+}
+
+// Group manages the lifecycle of a set of processes.
+type Group struct {
+	mu    sync.Mutex
+	procs []Proc
+}
+
+// Add registers (and starts) a process.
+func (g *Group) Add(p Proc) {
+	g.mu.Lock()
+	g.procs = append(g.procs, p)
+	g.mu.Unlock()
+	p.Start()
+}
+
+// StopAll stops every process in reverse start order.
+func (g *Group) StopAll() {
+	g.mu.Lock()
+	procs := g.procs
+	g.procs = nil
+	g.mu.Unlock()
+	for i := len(procs) - 1; i >= 0; i-- {
+		procs[i].Stop()
+	}
+}
+
+// Len reports how many processes are managed.
+func (g *Group) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.procs)
+}
+
+// ProcFunc adapts start/stop function pairs to Proc.
+type ProcFunc struct {
+	StartFn func()
+	StopFn  func()
+}
+
+// Start implements Proc.
+func (p ProcFunc) Start() {
+	if p.StartFn != nil {
+		p.StartFn()
+	}
+}
+
+// Stop implements Proc.
+func (p ProcFunc) Stop() {
+	if p.StopFn != nil {
+		p.StopFn()
+	}
+}

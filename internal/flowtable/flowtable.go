@@ -1,0 +1,364 @@
+// Package flowtable implements the match/action table of simulated
+// OpenFlow switches: priority-ordered wildcard matching over the IPv4
+// five-tuple plus ingress port, with OpenFlow 1.0 add/modify/delete
+// semantics, idle/hard timeouts and per-entry byte/packet counters.
+//
+// The emulated SDN controller programs these tables with real FLOW_MOD
+// messages decoded by the switch agent (internal/openflow) and applied via
+// the Connection Manager, mirroring the original Horse architecture.
+package flowtable
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Match is a wildcardable predicate over ingress port and five-tuple.
+// Source and destination addresses match by prefix length (0 = fully
+// wildcarded, 32 = exact), mirroring OpenFlow 1.0's NW_SRC/NW_DST
+// wildcard counts.
+type Match struct {
+	HasInPort bool
+	InPort    core.PortID
+
+	HasProto bool
+	Proto    core.Proto
+
+	SrcBits int // 0..32 significant bits of Src
+	Src     netip.Addr
+
+	DstBits int
+	Dst     netip.Addr
+
+	HasTpSrc bool
+	TpSrc    uint16
+
+	HasTpDst bool
+	TpDst    uint16
+}
+
+// MatchAll is the fully wildcarded match.
+func MatchAll() Match { return Match{} }
+
+// ExactMatch matches exactly the given five-tuple arriving on inPort.
+func ExactMatch(inPort core.PortID, ft core.FiveTuple) Match {
+	return Match{
+		HasInPort: true, InPort: inPort,
+		HasProto: true, Proto: ft.Proto,
+		SrcBits: 32, Src: ft.Src,
+		DstBits: 32, Dst: ft.Dst,
+		HasTpSrc: true, TpSrc: ft.SrcPort,
+		HasTpDst: true, TpDst: ft.DstPort,
+	}
+}
+
+// ExactFlowMatch matches the five-tuple on any ingress port.
+func ExactFlowMatch(ft core.FiveTuple) Match {
+	m := ExactMatch(core.PortNone, ft)
+	m.HasInPort = false
+	m.InPort = core.PortNone
+	return m
+}
+
+// DstPrefixMatch matches by destination prefix only (routing-style rule).
+func DstPrefixMatch(p netip.Prefix) Match {
+	return Match{DstBits: p.Bits(), Dst: p.Masked().Addr()}
+}
+
+func prefixEq(a netip.Addr, b netip.Addr, bits int) bool {
+	if bits == 0 {
+		return true
+	}
+	if !a.Is4() || !b.Is4() {
+		return false
+	}
+	av := core.IPv4ToUint32(a)
+	bv := core.IPv4ToUint32(b)
+	shift := 32 - bits
+	return av>>shift == bv>>shift
+}
+
+// Matches reports whether the five-tuple arriving on inPort satisfies m.
+func (m Match) Matches(inPort core.PortID, ft core.FiveTuple) bool {
+	if m.HasInPort && m.InPort != inPort {
+		return false
+	}
+	if m.HasProto && m.Proto != ft.Proto {
+		return false
+	}
+	if !prefixEq(m.Src, ft.Src, m.SrcBits) {
+		return false
+	}
+	if !prefixEq(m.Dst, ft.Dst, m.DstBits) {
+		return false
+	}
+	if m.HasTpSrc && m.TpSrc != ft.SrcPort {
+		return false
+	}
+	if m.HasTpDst && m.TpDst != ft.DstPort {
+		return false
+	}
+	return true
+}
+
+// Covers reports whether m's match set is a superset of o's: every packet
+// o matches, m matches too. Used for OpenFlow non-strict delete.
+func (m Match) Covers(o Match) bool {
+	if m.HasInPort && (!o.HasInPort || m.InPort != o.InPort) {
+		return false
+	}
+	if m.HasProto && (!o.HasProto || m.Proto != o.Proto) {
+		return false
+	}
+	if m.SrcBits > o.SrcBits || (m.SrcBits > 0 && !prefixEq(m.Src, o.Src, m.SrcBits)) {
+		return false
+	}
+	if m.DstBits > o.DstBits || (m.DstBits > 0 && !prefixEq(m.Dst, o.Dst, m.DstBits)) {
+		return false
+	}
+	if m.HasTpSrc && (!o.HasTpSrc || m.TpSrc != o.TpSrc) {
+		return false
+	}
+	if m.HasTpDst && (!o.HasTpDst || m.TpDst != o.TpDst) {
+		return false
+	}
+	return true
+}
+
+// Equal reports field-wise equality (strict OpenFlow semantics).
+func (m Match) Equal(o Match) bool { return m == o }
+
+func (m Match) String() string {
+	var parts []string
+	if m.HasInPort {
+		parts = append(parts, fmt.Sprintf("in=%v", m.InPort))
+	}
+	if m.HasProto {
+		parts = append(parts, m.Proto.String())
+	}
+	if m.SrcBits > 0 {
+		parts = append(parts, fmt.Sprintf("src=%v/%d", m.Src, m.SrcBits))
+	}
+	if m.DstBits > 0 {
+		parts = append(parts, fmt.Sprintf("dst=%v/%d", m.Dst, m.DstBits))
+	}
+	if m.HasTpSrc {
+		parts = append(parts, fmt.Sprintf("sport=%d", m.TpSrc))
+	}
+	if m.HasTpDst {
+		parts = append(parts, fmt.Sprintf("dport=%d", m.TpDst))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ActionType enumerates forwarding actions.
+type ActionType int
+
+const (
+	// ActionOutput forwards out a specific port.
+	ActionOutput ActionType = iota
+	// ActionController punts the flow to the controller (PACKET_IN).
+	ActionController
+	// ActionDrop discards the flow.
+	ActionDrop
+	// ActionSelectGroup hashes the five-tuple over a port group
+	// (OpenFlow 1.3-style select group; Horse's SDN ECMP uses this for
+	// proactive 5-tuple hashing).
+	ActionSelectGroup
+)
+
+// Action is one forwarding action.
+type Action struct {
+	Type  ActionType
+	Port  core.PortID   // ActionOutput
+	Group []core.PortID // ActionSelectGroup members, sorted by caller
+}
+
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		return fmt.Sprintf("output:%v", a.Port)
+	case ActionController:
+		return "controller"
+	case ActionDrop:
+		return "drop"
+	case ActionSelectGroup:
+		return fmt.Sprintf("group:%v", a.Group)
+	default:
+		return fmt.Sprintf("action%d", int(a.Type))
+	}
+}
+
+// Entry is one flow table entry.
+type Entry struct {
+	Priority uint16
+	Match    Match
+	Actions  []Action
+	Cookie   uint64
+
+	IdleTimeout core.Time // 0 = no idle expiry
+	HardTimeout core.Time // 0 = no hard expiry
+	InstalledAt core.Time
+	LastUsed    core.Time
+
+	Packets uint64
+	Bytes   uint64
+
+	seq uint64 // insertion order tiebreak
+}
+
+// Expired reports whether the entry has timed out at virtual time now.
+func (e *Entry) Expired(now core.Time) bool {
+	if e.HardTimeout > 0 && now-e.InstalledAt >= e.HardTimeout {
+		return true
+	}
+	if e.IdleTimeout > 0 && now-e.LastUsed >= e.IdleTimeout {
+		return true
+	}
+	return false
+}
+
+// Table is a single OpenFlow-style flow table. Not safe for concurrent
+// use; all access happens on the simulation engine goroutine.
+type Table struct {
+	entries []*Entry
+	seq     uint64
+
+	// MissToController selects table-miss behaviour: true (default, as
+	// in OpenFlow 1.0) punts unmatched flows to the controller; false
+	// drops them.
+	MissToController bool
+}
+
+// New returns an empty table with OpenFlow 1.0 miss behaviour.
+func New() *Table { return &Table{MissToController: true} }
+
+// Len reports the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Add installs e at virtual time now. Per OpenFlow ADD semantics an entry
+// with identical match and priority is replaced (counters reset).
+func (t *Table) Add(e Entry, now core.Time) {
+	e.InstalledAt = now
+	e.LastUsed = now
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match.Equal(e.Match) {
+			e.seq = old.seq
+			t.entries[i] = &e
+			return
+		}
+	}
+	t.seq++
+	e.seq = t.seq
+	t.entries = append(t.entries, &e)
+	t.sort()
+}
+
+// Modify updates the actions of all entries covered by match (non-strict
+// OpenFlow MODIFY), preserving counters. It reports how many entries were
+// changed; if none and addIfAbsent is set, the entry is added.
+func (t *Table) Modify(e Entry, now core.Time, addIfAbsent bool) int {
+	n := 0
+	for _, old := range t.entries {
+		if e.Match.Covers(old.Match) {
+			old.Actions = e.Actions
+			old.Cookie = e.Cookie
+			n++
+		}
+	}
+	if n == 0 && addIfAbsent {
+		t.Add(e, now)
+	}
+	return n
+}
+
+// DeleteStrict removes the entry with exactly this match and priority.
+func (t *Table) DeleteStrict(m Match, priority uint16) []*Entry {
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.Priority == priority && e.Match.Equal(m) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// Delete removes all entries covered by m (non-strict semantics).
+func (t *Table) Delete(m Match) []*Entry {
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if m.Covers(e.Match) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// Lookup returns the highest-priority entry matching the five-tuple on
+// inPort. Ties are broken by insertion order (older first), which is
+// deterministic.
+func (t *Table) Lookup(inPort core.PortID, ft core.FiveTuple) (*Entry, bool) {
+	for _, e := range t.entries {
+		if e.Match.Matches(inPort, ft) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// ExpireDue removes and returns all entries expired at now.
+func (t *Table) ExpireDue(now core.Time) []*Entry {
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.Expired(now) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// Entries returns the entries in match order (priority desc, then
+// insertion order). The returned slice is the table's own; callers must
+// not mutate it.
+func (t *Table) Entries() []*Entry { return t.entries }
+
+func (t *Table) sort() {
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+}
+
+// String dumps the table for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	for _, e := range t.entries {
+		fmt.Fprintf(&b, "prio=%d %v ->", e.Priority, e.Match)
+		for _, a := range e.Actions {
+			fmt.Fprintf(&b, " %v", a)
+		}
+		fmt.Fprintf(&b, " (bytes=%d)\n", e.Bytes)
+	}
+	return b.String()
+}

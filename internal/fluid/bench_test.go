@@ -1,0 +1,62 @@
+package fluid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkSolve measures the progressive-filling solver — the cost paid
+// on every flow or route change — across flow counts covering the demo's
+// sizes (k=4: 16 flows, k=8: 128 flows) and beyond.
+func BenchmarkSolve(b *testing.B) {
+	for _, nFlows := range []int{16, 128, 512} {
+		b.Run(fmt.Sprintf("flows=%d", nFlows), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			nLinks := nFlows / 2
+			if nLinks < 8 {
+				nLinks = 8
+			}
+			s := NewSet(func(core.LinkID) core.Rate { return core.Gbps })
+			for i := 0; i < nFlows; i++ {
+				plen := rng.Intn(5) + 2
+				path := make([]core.LinkID, 0, plen)
+				seen := map[int]bool{}
+				for len(path) < plen {
+					l := rng.Intn(nLinks)
+					if !seen[l] {
+						seen[l] = true
+						path = append(path, core.LinkID(l))
+					}
+				}
+				s.Add(&Flow{
+					ID: FlowID(i + 1), Demand: core.Gbps,
+					Path: path, State: Active, Dst: core.NodeID(i % 64),
+				}, 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.MarkDirty()
+				s.Solve(0)
+			}
+		})
+	}
+}
+
+// BenchmarkIntegrate measures byte accounting, paid at every sampling
+// tick and stats query.
+func BenchmarkIntegrate(b *testing.B) {
+	s := NewSet(func(core.LinkID) core.Rate { return core.Gbps })
+	for i := 0; i < 256; i++ {
+		s.Add(&Flow{
+			ID: FlowID(i + 1), Demand: core.Gbps,
+			Path: []core.LinkID{core.LinkID(i % 64), core.LinkID(64 + i%64)}, State: Active,
+		}, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Integrate(core.Time(i+1) * core.Millisecond)
+	}
+}

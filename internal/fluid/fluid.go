@@ -1,0 +1,359 @@
+// Package fluid implements Horse's simulated data plane: a fluid traffic
+// model in which flows are continuous rates rather than packets. Link
+// bandwidth is shared by progressive filling (max–min fairness), which is
+// the behaviour the paper's constant-rate UDP demo workload induces.
+//
+// The model is purely event-driven: rates only change when the flow set or
+// the routing changes, so between control plane events the simulator can
+// fast-forward (DES mode) at almost zero cost — this is precisely where
+// Horse's speedup over packet-level emulation comes from.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// FlowID identifies a flow within one experiment.
+type FlowID uint64
+
+// State is the lifecycle of a flow.
+type State int
+
+const (
+	// Pending flows have been requested but are not yet forwarded
+	// (e.g. waiting for a reactive controller to install rules).
+	Pending State = iota
+	// Active flows are routed and receive a rate allocation.
+	Active
+	// Done flows have finished.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Active:
+		return "active"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state%d", int(s))
+}
+
+// Flow is one fluid flow.
+type Flow struct {
+	ID    FlowID
+	Tuple core.FiveTuple
+	Src   core.NodeID // source host
+	Dst   core.NodeID // destination host
+
+	// Demand is the offered rate (the demo: 1 Gbps UDP per host).
+	Demand core.Rate
+
+	// Path is the current route as directed link IDs; nil/empty means
+	// the flow is blackholed (no route) and receives rate 0.
+	Path []core.LinkID
+
+	// Rate is the current max–min fair allocation.
+	Rate core.Rate
+
+	// Bytes accumulates delivered bytes (rate integrated over time).
+	Bytes uint64
+
+	State State
+}
+
+// Set is the collection of flows sharing a network, responsible for rate
+// allocation and byte accounting. Not safe for concurrent use; all access
+// happens on the simulation engine goroutine.
+type Set struct {
+	caps    func(core.LinkID) core.Rate
+	flows   map[FlowID]*Flow
+	order   []FlowID // deterministic iteration
+	lastAt  core.Time
+	linkB   map[core.LinkID]uint64 // delivered bytes per link
+	solves  int
+	dirty   bool
+	epsilon core.Rate
+}
+
+// NewSet creates a flow set over a network whose link capacities are
+// reported by caps.
+func NewSet(caps func(core.LinkID) core.Rate) *Set {
+	return &Set{
+		caps:    caps,
+		flows:   make(map[FlowID]*Flow),
+		linkB:   make(map[core.LinkID]uint64),
+		epsilon: 1, // 1 bps resolution
+	}
+}
+
+// Add inserts a flow and recomputes allocations. The flow's Path and
+// State must already be set by the caller (the routing layer).
+func (s *Set) Add(f *Flow, now core.Time) {
+	if _, dup := s.flows[f.ID]; dup {
+		panic(fmt.Sprintf("fluid: duplicate flow id %d", f.ID))
+	}
+	s.Integrate(now)
+	s.flows[f.ID] = f
+	s.order = append(s.order, f.ID)
+	s.dirty = true
+	s.Solve(now)
+}
+
+// Remove finishes a flow and recomputes allocations.
+func (s *Set) Remove(id FlowID, now core.Time) {
+	f, ok := s.flows[id]
+	if !ok {
+		return
+	}
+	s.Integrate(now)
+	f.State = Done
+	f.Rate = 0
+	delete(s.flows, id)
+	for i, fid := range s.order {
+		if fid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.dirty = true
+	s.Solve(now)
+}
+
+// Flow returns the flow with the given id.
+func (s *Set) Flow(id FlowID) (*Flow, bool) {
+	f, ok := s.flows[id]
+	return f, ok
+}
+
+// Len reports the number of live flows (pending or active).
+func (s *Set) Len() int { return len(s.flows) }
+
+// Solves reports how many times the rate solver has run; ablation
+// benchmarks use it to cost rate recomputation policies.
+func (s *Set) Solves() int { return s.solves }
+
+// SetPath reroutes a flow (or blackholes it with nil) and recomputes.
+func (s *Set) SetPath(id FlowID, path []core.LinkID, now core.Time) {
+	f, ok := s.flows[id]
+	if !ok {
+		return
+	}
+	s.Integrate(now)
+	f.Path = path
+	if len(path) == 0 {
+		f.State = Pending
+	} else {
+		f.State = Active
+	}
+	s.dirty = true
+	s.Solve(now)
+}
+
+// Integrate accrues delivered bytes at the current rates up to now.
+// It must be called before any rate-affecting mutation.
+func (s *Set) Integrate(now core.Time) {
+	dt := now - s.lastAt
+	if dt <= 0 {
+		s.lastAt = now
+		return
+	}
+	for _, id := range s.order {
+		f := s.flows[id]
+		if f.State != Active || f.Rate <= 0 {
+			continue
+		}
+		b := f.Rate.BytesIn(dt)
+		f.Bytes += b
+		for _, l := range f.Path {
+			s.linkB[l] += b
+		}
+	}
+	s.lastAt = now
+}
+
+// Solve recomputes max–min fair allocations by progressive filling. It is
+// a no-op when nothing changed since the last solve.
+func (s *Set) Solve(now core.Time) {
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	s.solves++
+
+	// Gather active flows and the links they use.
+	type linkState struct {
+		cap    core.Rate
+		load   core.Rate // allocation already granted on this link
+		active int       // flows still being filled
+	}
+	links := make(map[core.LinkID]*linkState)
+	var active []*Flow
+	for _, id := range s.order {
+		f := s.flows[id]
+		if f.State != Active || len(f.Path) == 0 {
+			f.Rate = 0
+			continue
+		}
+		f.Rate = 0
+		active = append(active, f)
+		for _, l := range f.Path {
+			ls := links[l]
+			if ls == nil {
+				ls = &linkState{cap: s.caps(l)}
+				links[l] = ls
+			}
+			ls.active++
+		}
+	}
+
+	// Progressive filling: raise all active flows together until a link
+	// saturates or a flow reaches its demand; freeze and repeat.
+	for len(active) > 0 {
+		// The largest uniform increment every active flow can take.
+		inc := core.Rate(math.Inf(1))
+		for _, f := range active {
+			if room := f.Demand - f.Rate; room < inc {
+				inc = room
+			}
+		}
+		for _, ls := range links {
+			if ls.active == 0 {
+				continue
+			}
+			if share := (ls.cap - ls.load) / core.Rate(ls.active); share < inc {
+				inc = share
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Apply the increment.
+		for _, f := range active {
+			f.Rate += inc
+			for _, l := range f.Path {
+				links[l].load += inc
+			}
+		}
+		// Freeze flows that hit their demand or cross a saturated link.
+		var rest []*Flow
+		for _, f := range active {
+			frozen := f.Demand-f.Rate <= s.epsilon
+			if !frozen {
+				for _, l := range f.Path {
+					ls := links[l]
+					if ls.cap-ls.load <= s.epsilon {
+						frozen = true
+						break
+					}
+				}
+			}
+			if frozen {
+				for _, l := range f.Path {
+					links[l].active--
+				}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		if len(rest) == len(active) {
+			// No progress is possible (can only happen from numeric
+			// dust); freeze everything to guarantee termination.
+			for _, f := range active {
+				for _, l := range f.Path {
+					links[l].active--
+				}
+			}
+			rest = nil
+		}
+		active = rest
+	}
+}
+
+// AggregateRx reports the total rate currently arriving at all
+// destination hosts — the quantity the paper's demo graphs plot
+// ("aggregated rate of all flows arriving at the hosts").
+func (s *Set) AggregateRx() core.Rate {
+	var sum core.Rate
+	for _, f := range s.flows {
+		if f.State == Active {
+			sum += f.Rate
+		}
+	}
+	return sum
+}
+
+// RxRateByDst reports the current receive rate per destination host.
+func (s *Set) RxRateByDst() map[core.NodeID]core.Rate {
+	out := make(map[core.NodeID]core.Rate)
+	for _, f := range s.flows {
+		if f.State == Active {
+			out[f.Dst] += f.Rate
+		}
+	}
+	return out
+}
+
+// LinkRate reports the instantaneous load on a directed link.
+func (s *Set) LinkRate(l core.LinkID) core.Rate {
+	var sum core.Rate
+	for _, f := range s.flows {
+		if f.State != Active {
+			continue
+		}
+		for _, fl := range f.Path {
+			if fl == l {
+				sum += f.Rate
+				break
+			}
+		}
+	}
+	return sum
+}
+
+// LinkBytes reports the bytes delivered over a directed link so far
+// (integrate first to bring the figure up to now).
+func (s *Set) LinkBytes(l core.LinkID) uint64 { return s.linkB[l] }
+
+// Flows returns live flows in insertion order.
+func (s *Set) Flows() []*Flow {
+	out := make([]*Flow, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.flows[id])
+	}
+	return out
+}
+
+// FlowsByDst returns active flows grouped by destination, each group in
+// insertion order; Hedera's demand estimator consumes this shape.
+func (s *Set) FlowsByDst() map[core.NodeID][]*Flow {
+	out := make(map[core.NodeID][]*Flow)
+	for _, id := range s.order {
+		f := s.flows[id]
+		if f.State == Active {
+			out[f.Dst] = append(out[f.Dst], f)
+		}
+	}
+	return out
+}
+
+// MarkDirty forces the next Solve to recompute, used when link capacities
+// change underneath the set (e.g. link failure injection).
+func (s *Set) MarkDirty() { s.dirty = true }
+
+// SortedLinkIDs returns the ids of links that carried traffic, sorted;
+// handy for deterministic test assertions and dumps.
+func (s *Set) SortedLinkIDs() []core.LinkID {
+	ids := make([]core.LinkID, 0, len(s.linkB))
+	for l := range s.linkB {
+		ids = append(ids, l)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

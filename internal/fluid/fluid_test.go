@@ -1,0 +1,358 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func capsConst(c core.Rate) func(core.LinkID) core.Rate {
+	return func(core.LinkID) core.Rate { return c }
+}
+
+func mkFlow(id int, demand core.Rate, path ...int) *Flow {
+	links := make([]core.LinkID, len(path))
+	for i, p := range path {
+		links[i] = core.LinkID(p)
+	}
+	return &Flow{
+		ID:     FlowID(id),
+		Tuple:  core.FiveTuple{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), Proto: core.ProtoUDP, SrcPort: uint16(id), DstPort: 1},
+		Demand: demand,
+		Path:   links,
+		State:  Active,
+		Dst:    core.NodeID(id % 4),
+	}
+}
+
+func approxEq(a, b core.Rate) bool { return math.Abs(float64(a-b)) < 1e3 } // 1 Kbps slack
+
+func TestSingleFlowGetsDemand(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f := mkFlow(1, 400*core.Mbps, 0, 1)
+	s.Add(f, 0)
+	if !approxEq(f.Rate, 400*core.Mbps) {
+		t.Fatalf("rate = %v, want 400Mbps", f.Rate)
+	}
+}
+
+func TestBottleneckShared(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f1 := mkFlow(1, 1*core.Gbps, 0)
+	f2 := mkFlow(2, 1*core.Gbps, 0)
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	if !approxEq(f1.Rate, 500*core.Mbps) || !approxEq(f2.Rate, 500*core.Mbps) {
+		t.Fatalf("rates = %v, %v, want 500Mbps each", f1.Rate, f2.Rate)
+	}
+}
+
+func TestMaxMinClassicTriangle(t *testing.T) {
+	// Classic example: link A shared by f1,f2; link B shared by f2,f3.
+	// cap(A)=1, cap(B)=2 (Gbps). Max–min: f1=f2=0.5 on A; f3 gets
+	// 2-0.5=1.5 but demand-capped at 1.
+	s := NewSet(func(l core.LinkID) core.Rate {
+		if l == 0 {
+			return 1 * core.Gbps
+		}
+		return 2 * core.Gbps
+	})
+	f1 := mkFlow(1, 1*core.Gbps, 0)
+	f2 := mkFlow(2, 1*core.Gbps, 0, 1)
+	f3 := mkFlow(3, 1*core.Gbps, 1)
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	s.Add(f3, 0)
+	if !approxEq(f1.Rate, 500*core.Mbps) {
+		t.Errorf("f1 = %v, want 500Mbps", f1.Rate)
+	}
+	if !approxEq(f2.Rate, 500*core.Mbps) {
+		t.Errorf("f2 = %v, want 500Mbps", f2.Rate)
+	}
+	if !approxEq(f3.Rate, 1*core.Gbps) {
+		t.Errorf("f3 = %v, want 1Gbps (demand-capped)", f3.Rate)
+	}
+}
+
+func TestUnequalDemands(t *testing.T) {
+	// Two flows on one 1G link, demands 200M and 2G: max-min gives the
+	// small flow its demand and the rest to the big one.
+	s := NewSet(capsConst(1 * core.Gbps))
+	small := mkFlow(1, 200*core.Mbps, 0)
+	big := mkFlow(2, 2*core.Gbps, 0)
+	s.Add(small, 0)
+	s.Add(big, 0)
+	if !approxEq(small.Rate, 200*core.Mbps) {
+		t.Errorf("small = %v, want 200Mbps", small.Rate)
+	}
+	if !approxEq(big.Rate, 800*core.Mbps) {
+		t.Errorf("big = %v, want 800Mbps", big.Rate)
+	}
+}
+
+func TestBlackholedFlowGetsZero(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f := mkFlow(1, 1*core.Gbps)
+	f.Path = nil
+	f.State = Pending
+	s.Add(f, 0)
+	if f.Rate != 0 {
+		t.Fatalf("pending flow rate = %v, want 0", f.Rate)
+	}
+	// Install a route: flow comes alive.
+	s.SetPath(1, []core.LinkID{0}, core.Second)
+	if !approxEq(f.Rate, 1*core.Gbps) {
+		t.Fatalf("routed flow rate = %v", f.Rate)
+	}
+	// Blackhole again.
+	s.SetPath(1, nil, 2*core.Second)
+	if f.Rate != 0 || f.State != Pending {
+		t.Fatalf("blackholed flow rate = %v state=%v", f.Rate, f.State)
+	}
+}
+
+func TestRemoveRedistributes(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f1 := mkFlow(1, 1*core.Gbps, 0)
+	f2 := mkFlow(2, 1*core.Gbps, 0)
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	s.Remove(1, core.Second)
+	if !approxEq(f2.Rate, 1*core.Gbps) {
+		t.Fatalf("survivor rate = %v, want 1Gbps", f2.Rate)
+	}
+	if f1.State != Done {
+		t.Fatalf("removed flow state = %v", f1.State)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Remove(99, core.Second) // absent: no-op
+}
+
+func TestByteIntegration(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f := mkFlow(1, 1*core.Gbps, 0, 1)
+	s.Add(f, 0)
+	s.Integrate(2 * core.Second)
+	// 1 Gbps for 2s = 250 MB.
+	if f.Bytes != 250_000_000 {
+		t.Fatalf("bytes = %d, want 250000000", f.Bytes)
+	}
+	if s.LinkBytes(0) != 250_000_000 || s.LinkBytes(1) != 250_000_000 {
+		t.Fatalf("link bytes = %d/%d", s.LinkBytes(0), s.LinkBytes(1))
+	}
+	// Integration is idempotent at the same timestamp.
+	s.Integrate(2 * core.Second)
+	if f.Bytes != 250_000_000 {
+		t.Fatalf("double integrate changed bytes: %d", f.Bytes)
+	}
+}
+
+func TestByteIntegrationAcrossRateChange(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f1 := mkFlow(1, 1*core.Gbps, 0)
+	s.Add(f1, 0)
+	// After 1s a second flow joins; f1 drops to 500 Mbps.
+	f2 := mkFlow(2, 1*core.Gbps, 0)
+	s.Add(f2, 1*core.Second)
+	s.Integrate(3 * core.Second)
+	// f1: 1s @ 1G + 2s @ 0.5G = 125MB + 125MB = 250MB.
+	if f1.Bytes != 250_000_000 {
+		t.Fatalf("f1 bytes = %d, want 250000000", f1.Bytes)
+	}
+	// f2: 2s @ 0.5G = 125MB.
+	if f2.Bytes != 125_000_000 {
+		t.Fatalf("f2 bytes = %d, want 125000000", f2.Bytes)
+	}
+}
+
+func TestAggregateAndPerDstRates(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f1 := mkFlow(1, 300*core.Mbps, 0)
+	f1.Dst = 7
+	f2 := mkFlow(2, 400*core.Mbps, 1)
+	f2.Dst = 8
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	if !approxEq(s.AggregateRx(), 700*core.Mbps) {
+		t.Fatalf("aggregate = %v", s.AggregateRx())
+	}
+	per := s.RxRateByDst()
+	if !approxEq(per[7], 300*core.Mbps) || !approxEq(per[8], 400*core.Mbps) {
+		t.Fatalf("per-dst = %v", per)
+	}
+	if !approxEq(s.LinkRate(0), 300*core.Mbps) {
+		t.Fatalf("link rate = %v", s.LinkRate(0))
+	}
+	if s.LinkRate(99) != 0 {
+		t.Fatalf("unused link rate = %v", s.LinkRate(99))
+	}
+}
+
+func TestDuplicateFlowIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSet(capsConst(core.Gbps))
+	s.Add(mkFlow(1, core.Gbps, 0), 0)
+	s.Add(mkFlow(1, core.Gbps, 0), 0)
+}
+
+func TestSolveIsLazy(t *testing.T) {
+	s := NewSet(capsConst(core.Gbps))
+	s.Add(mkFlow(1, core.Gbps, 0), 0)
+	before := s.Solves()
+	s.Solve(0)
+	s.Solve(0)
+	if s.Solves() != before {
+		t.Fatal("Solve recomputed without changes")
+	}
+	s.MarkDirty()
+	s.Solve(0)
+	if s.Solves() != before+1 {
+		t.Fatal("MarkDirty did not force recompute")
+	}
+}
+
+// Max–min fairness invariants, property-checked on random instances:
+//  1. No link is oversubscribed.
+//  2. No flow exceeds its demand.
+//  3. Every flow is bottlenecked: it either meets its demand or crosses a
+//     saturated link where it has a maximal rate among that link's flows.
+func TestMaxMinInvariants(t *testing.T) {
+	const nLinks = 12
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet(capsConst(1 * core.Gbps))
+		nf := rng.Intn(20) + 2
+		var flows []*Flow
+		for i := 0; i < nf; i++ {
+			plen := rng.Intn(4) + 1
+			seen := map[int]bool{}
+			var path []int
+			for len(path) < plen {
+				l := rng.Intn(nLinks)
+				if !seen[l] {
+					seen[l] = true
+					path = append(path, l)
+				}
+			}
+			demand := core.Rate(rng.Intn(1900)+100) * core.Mbps / 100
+			f := mkFlow(i+1, demand, path...)
+			flows = append(flows, f)
+			s.Add(f, 0)
+		}
+		// Invariant 1: link loads within capacity (+1Kbps slack).
+		loads := map[core.LinkID]core.Rate{}
+		for _, f := range flows {
+			for _, l := range f.Path {
+				loads[l] += f.Rate
+			}
+		}
+		for l, load := range loads {
+			if load > core.Gbps+1e3 {
+				t.Logf("seed %d: link %v oversubscribed: %v", seed, l, load)
+				return false
+			}
+		}
+		for _, f := range flows {
+			// Invariant 2.
+			if f.Rate > f.Demand+1e3 {
+				t.Logf("seed %d: flow %d above demand", seed, f.ID)
+				return false
+			}
+			// Invariant 3.
+			if f.Demand-f.Rate <= 1e3 {
+				continue // satisfied
+			}
+			bottled := false
+			for _, l := range f.Path {
+				if core.Gbps-loads[l] > 1e3 {
+					continue // link has headroom
+				}
+				// Saturated link: f must have a maximal share here.
+				maxOther := core.Rate(0)
+				for _, g := range flows {
+					for _, gl := range g.Path {
+						if gl == l && g.Rate > maxOther {
+							maxOther = g.Rate
+						}
+					}
+				}
+				if f.Rate >= maxOther-1e3 {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				t.Logf("seed %d: flow %d (rate %v, demand %v) not bottlenecked", seed, f.ID, f.Rate, f.Demand)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowsAccessors(t *testing.T) {
+	s := NewSet(capsConst(core.Gbps))
+	f1 := mkFlow(1, core.Gbps, 0)
+	f1.Dst = 5
+	f2 := mkFlow(2, core.Gbps, 1)
+	f2.Dst = 5
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	if got := s.Flows(); len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Flows order = %v", got)
+	}
+	byDst := s.FlowsByDst()
+	if len(byDst[5]) != 2 {
+		t.Fatalf("FlowsByDst = %v", byDst)
+	}
+	if _, ok := s.Flow(1); !ok {
+		t.Fatal("Flow(1) missing")
+	}
+	if _, ok := s.Flow(9); ok {
+		t.Fatal("Flow(9) present")
+	}
+	s.Integrate(core.Second)
+	ids := s.SortedLinkIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("SortedLinkIDs = %v", ids)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Pending.String() != "pending" || Active.String() != "active" || Done.String() != "done" {
+		t.Fatal("state strings wrong")
+	}
+	if State(9).String() != "state9" {
+		t.Fatal("unknown state string wrong")
+	}
+}
+
+func TestPermutationOnSharedCoreConverges(t *testing.T) {
+	// 8 flows all crossing one shared 1G core link: each gets 125 Mbps;
+	// this is the "no congestion avoidance" worst case of the demo.
+	s := NewSet(capsConst(1 * core.Gbps))
+	var flows []*Flow
+	for i := 0; i < 8; i++ {
+		f := mkFlow(i+1, 1*core.Gbps, 50, 100+i)
+		flows = append(flows, f)
+		s.Add(f, 0)
+	}
+	for _, f := range flows {
+		if !approxEq(f.Rate, 125*core.Mbps) {
+			t.Fatalf("rate = %v, want 125Mbps", f.Rate)
+		}
+	}
+}

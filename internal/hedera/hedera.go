@@ -1,0 +1,198 @@
+// Package hedera implements the two algorithms of Hedera (Al-Fares et
+// al., NSDI 2010) that the paper's second TE demo uses: host-limited
+// demand estimation and Global First Fit placement of large flows.
+//
+// Both are pure functions over abstract flow/link descriptions; the
+// controller app (internal/controller) feeds them with measurements taken
+// from the emulated OpenFlow channel and installs the results as real
+// FLOW_MODs.
+package hedera
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Flow is one transport flow in the demand matrix. Demands are expressed
+// as a fraction of host NIC capacity (0..1].
+type Flow struct {
+	ID  int
+	Src int // source host index
+	Dst int // destination host index
+
+	// Demand is the estimated natural demand, output of EstimateDemands.
+	Demand float64
+
+	converged   bool
+	recvLimited bool
+}
+
+// EstimateDemands runs the NSDI'10 fixpoint: senders distribute their NIC
+// capacity equally among their unconverged flows, receivers cap their
+// inbound total at capacity, repeating until no demand changes. It
+// modifies the flows in place and returns the number of iterations.
+//
+// The estimation converges in O(|flows|) iterations; a safety bound stops
+// runaway loops on degenerate inputs.
+func EstimateDemands(flows []*Flow) int {
+	bySrc := make(map[int][]*Flow)
+	byDst := make(map[int][]*Flow)
+	for _, f := range flows {
+		f.Demand = 0
+		f.converged = false
+		f.recvLimited = false
+		bySrc[f.Src] = append(bySrc[f.Src], f)
+		byDst[f.Dst] = append(byDst[f.Dst], f)
+	}
+	const eps = 1e-9
+	maxIter := 2*len(flows) + 4
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		// Sender phase.
+		for _, fs := range bySrc {
+			var converged float64
+			n := 0
+			for _, f := range fs {
+				if f.converged {
+					converged += f.Demand
+				} else {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			share := (1.0 - converged) / float64(n)
+			if share < 0 {
+				share = 0
+			}
+			for _, f := range fs {
+				if !f.converged && abs(f.Demand-share) > eps {
+					f.Demand = share
+					changed = true
+				}
+			}
+		}
+		// Receiver phase.
+		for _, fs := range byDst {
+			total := 0.0
+			for _, f := range fs {
+				f.recvLimited = true
+				total += f.Demand
+			}
+			if total <= 1.0+eps {
+				for _, f := range fs {
+					f.recvLimited = false
+				}
+				continue
+			}
+			share := 1.0 / float64(len(fs))
+			for {
+				stable := true
+				sumSmall := 0.0
+				nLimited := 0
+				for _, f := range fs {
+					if !f.recvLimited {
+						sumSmall += f.Demand
+						continue
+					}
+					if f.Demand < share-eps {
+						f.recvLimited = false
+						sumSmall += f.Demand
+						stable = false
+					} else {
+						nLimited++
+					}
+				}
+				if nLimited > 0 {
+					share = (1.0 - sumSmall) / float64(nLimited)
+				}
+				if stable {
+					break
+				}
+			}
+			for _, f := range fs {
+				if f.recvLimited {
+					if abs(f.Demand-share) > eps || !f.converged {
+						changed = true
+					}
+					f.Demand = share
+					f.converged = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return iter + 1
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Placement assigns one flow to one path.
+type Placement struct {
+	FlowID int
+	Path   []core.LinkID
+}
+
+// GlobalFirstFit places each large flow on the first of its candidate
+// paths with enough unreserved capacity for its estimated demand,
+// reserving it there. Flows are considered in descending demand order
+// (deterministically tie-broken by flow ID); unplaceable flows are left
+// out of the result and keep their default (ECMP) path.
+//
+//   - demandOf: estimated demand in absolute rate terms
+//   - pathsOf: candidate equal-cost paths per flow
+//   - capacity: per-link capacity
+//   - reserved: existing reservations (mutated with the new placements)
+func GlobalFirstFit(
+	flows []*Flow,
+	demandOf func(*Flow) core.Rate,
+	pathsOf func(*Flow) [][]core.LinkID,
+	capacity func(core.LinkID) core.Rate,
+	reserved map[core.LinkID]core.Rate,
+) []Placement {
+	ordered := append([]*Flow(nil), flows...)
+	sort.Slice(ordered, func(i, j int) bool {
+		di, dj := demandOf(ordered[i]), demandOf(ordered[j])
+		if di != dj {
+			return di > dj
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	var out []Placement
+	for _, f := range ordered {
+		d := demandOf(f)
+		for _, path := range pathsOf(f) {
+			fits := true
+			for _, l := range path {
+				if reserved[l]+d > capacity(l) {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			for _, l := range path {
+				reserved[l] += d
+			}
+			out = append(out, Placement{FlowID: f.ID, Path: path})
+			break
+		}
+	}
+	return out
+}
+
+// BigFlowThreshold is Hedera's elephant cutoff: flows whose estimated
+// demand exceeds this fraction of NIC capacity are scheduled; the rest
+// stay on default ECMP. The NSDI paper uses 10%.
+const BigFlowThreshold = 0.10

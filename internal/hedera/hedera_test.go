@@ -1,0 +1,223 @@
+package hedera
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func close1(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestEstimateSingleFlow(t *testing.T) {
+	f := &Flow{ID: 1, Src: 0, Dst: 1}
+	EstimateDemands([]*Flow{f})
+	if !close1(f.Demand, 1.0) {
+		t.Fatalf("single flow demand = %v, want 1.0", f.Demand)
+	}
+}
+
+func TestEstimateSenderLimited(t *testing.T) {
+	// One sender, two flows to different receivers: each gets 1/2.
+	f1 := &Flow{ID: 1, Src: 0, Dst: 1}
+	f2 := &Flow{ID: 2, Src: 0, Dst: 2}
+	EstimateDemands([]*Flow{f1, f2})
+	if !close1(f1.Demand, 0.5) || !close1(f2.Demand, 0.5) {
+		t.Fatalf("demands = %v, %v, want 0.5 each", f1.Demand, f2.Demand)
+	}
+}
+
+func TestEstimateReceiverLimited(t *testing.T) {
+	// Two senders, both to one receiver: each capped at 1/2.
+	f1 := &Flow{ID: 1, Src: 0, Dst: 2}
+	f2 := &Flow{ID: 2, Src: 1, Dst: 2}
+	EstimateDemands([]*Flow{f1, f2})
+	if !close1(f1.Demand, 0.5) || !close1(f2.Demand, 0.5) {
+		t.Fatalf("demands = %v, %v, want 0.5 each", f1.Demand, f2.Demand)
+	}
+}
+
+func TestEstimateNSDIExample(t *testing.T) {
+	// The worked example from the Hedera paper (Fig. 4, NSDI'10):
+	// hosts A,B,C,D=0,1,2,3. Flows: A->B, A->C, B->C(x2? )...
+	// We use the canonical 3-sender case: A sends to B and C; B sends
+	// to C; C sends to A.
+	// Sender phase: A's flows 0.5 each; B->C 1.0; C->A 1.0.
+	// Receiver C: inbound 0.5+1.0=1.5>1 -> equal share 0.75 ->
+	// A->C (0.5) is below share, not limited; B->C capped at... the
+	// fixpoint: A->C=0.5, B->C=0.5, C->A=1.0, A->B=0.5.
+	ab := &Flow{ID: 1, Src: 0, Dst: 1}
+	ac := &Flow{ID: 2, Src: 0, Dst: 2}
+	bc := &Flow{ID: 3, Src: 1, Dst: 2}
+	ca := &Flow{ID: 4, Src: 2, Dst: 0}
+	EstimateDemands([]*Flow{ab, ac, bc, ca})
+	if !close1(ab.Demand, 0.5) || !close1(ac.Demand, 0.5) {
+		t.Fatalf("A's flows = %v, %v", ab.Demand, ac.Demand)
+	}
+	if !close1(bc.Demand, 0.5) {
+		t.Fatalf("B->C = %v, want 0.5", bc.Demand)
+	}
+	if !close1(ca.Demand, 1.0) {
+		t.Fatalf("C->A = %v, want 1.0", ca.Demand)
+	}
+}
+
+func TestEstimatePermutationAllFull(t *testing.T) {
+	// A permutation: every host sends exactly one flow and receives
+	// exactly one; all demands converge to 1.0 (the paper's demo
+	// traffic pattern).
+	var flows []*Flow
+	for i := 0; i < 16; i++ {
+		flows = append(flows, &Flow{ID: i, Src: i, Dst: (i + 5) % 16})
+	}
+	iters := EstimateDemands(flows)
+	for _, f := range flows {
+		if !close1(f.Demand, 1.0) {
+			t.Fatalf("flow %d demand = %v, want 1.0", f.ID, f.Demand)
+		}
+	}
+	if iters <= 0 {
+		t.Fatal("no iterations reported")
+	}
+}
+
+func TestEstimateInvariantsProperty(t *testing.T) {
+	// For random flow sets: per-sender and per-receiver sums never
+	// exceed capacity, and demands are non-negative.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		var flows []*Flow
+		for i := 0; i < rng.Intn(30)+1; i++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			if src == dst {
+				dst = (dst + 1) % n
+			}
+			flows = append(flows, &Flow{ID: i, Src: src, Dst: dst})
+		}
+		EstimateDemands(flows)
+		bySrc := map[int]float64{}
+		byDst := map[int]float64{}
+		for _, f := range flows {
+			if f.Demand < -1e-9 || f.Demand > 1.0+1e-6 {
+				return false
+			}
+			bySrc[f.Src] += f.Demand
+			byDst[f.Dst] += f.Demand
+		}
+		for _, s := range bySrc {
+			if s > 1.0+1e-6 {
+				return false
+			}
+		}
+		for _, s := range byDst {
+			if s > 1.0+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalFirstFitPrefersFirstFit(t *testing.T) {
+	cap1 := func(core.LinkID) core.Rate { return core.Gbps }
+	f1 := &Flow{ID: 1, Src: 0, Dst: 1}
+	f2 := &Flow{ID: 2, Src: 0, Dst: 1}
+	paths := [][]core.LinkID{{1, 2}, {3, 4}}
+	demand := func(*Flow) core.Rate { return 600 * core.Mbps }
+	reserved := map[core.LinkID]core.Rate{}
+	placements := GlobalFirstFit(
+		[]*Flow{f1, f2},
+		demand,
+		func(*Flow) [][]core.LinkID { return paths },
+		cap1,
+		reserved,
+	)
+	if len(placements) != 2 {
+		t.Fatalf("placed %d flows, want 2", len(placements))
+	}
+	// First flow takes path 0; second cannot fit there (0.6+0.6 > 1.0)
+	// and goes to path 1.
+	if placements[0].Path[0] != 1 || placements[1].Path[0] != 3 {
+		t.Fatalf("placements = %+v", placements)
+	}
+	if reserved[1] != 600*core.Mbps || reserved[3] != 600*core.Mbps {
+		t.Fatalf("reservations = %v", reserved)
+	}
+}
+
+func TestGlobalFirstFitBigFlowsFirst(t *testing.T) {
+	big := &Flow{ID: 2, Demand: 0.9}
+	small := &Flow{ID: 1, Demand: 0.3}
+	demand := func(f *Flow) core.Rate { return core.Rate(f.Demand) * core.Gbps }
+	paths := [][]core.LinkID{{1}}
+	reserved := map[core.LinkID]core.Rate{}
+	placements := GlobalFirstFit(
+		[]*Flow{small, big},
+		demand,
+		func(*Flow) [][]core.LinkID { return paths },
+		func(core.LinkID) core.Rate { return core.Gbps },
+		reserved,
+	)
+	// The big flow is placed first and fills the path; the small flow
+	// does not fit and is left unplaced.
+	if len(placements) != 1 || placements[0].FlowID != 2 {
+		t.Fatalf("placements = %+v", placements)
+	}
+}
+
+func TestGlobalFirstFitUnplaceable(t *testing.T) {
+	f := &Flow{ID: 1, Demand: 1.0}
+	reserved := map[core.LinkID]core.Rate{1: core.Gbps}
+	placements := GlobalFirstFit(
+		[]*Flow{f},
+		func(*Flow) core.Rate { return core.Gbps },
+		func(*Flow) [][]core.LinkID { return [][]core.LinkID{{1}} },
+		func(core.LinkID) core.Rate { return core.Gbps },
+		reserved,
+	)
+	if len(placements) != 0 {
+		t.Fatalf("unplaceable flow placed: %+v", placements)
+	}
+}
+
+func TestGlobalFirstFitDeterministicTiebreak(t *testing.T) {
+	// Equal demands: placement order must follow flow ID.
+	mk := func() []*Flow {
+		return []*Flow{{ID: 3, Demand: 0.5}, {ID: 1, Demand: 0.5}, {ID: 2, Demand: 0.5}}
+	}
+	run := func() []Placement {
+		return GlobalFirstFit(
+			mk(),
+			func(f *Flow) core.Rate { return core.Rate(f.Demand) * core.Gbps },
+			func(*Flow) [][]core.LinkID { return [][]core.LinkID{{1}, {2}, {3}} },
+			func(core.LinkID) core.Rate { return core.Gbps },
+			map[core.LinkID]core.Rate{},
+		)
+	}
+	a := run()
+	b := run()
+	if len(a) != 3 {
+		t.Fatalf("placed %d", len(a))
+	}
+	for i := range a {
+		if a[i].FlowID != b[i].FlowID || a[i].Path[0] != b[i].Path[0] {
+			t.Fatalf("nondeterministic placement: %+v vs %+v", a, b)
+		}
+	}
+	if a[0].FlowID != 1 || a[1].FlowID != 2 || a[2].FlowID != 3 {
+		t.Fatalf("tiebreak order: %+v", a)
+	}
+}
+
+func TestBigFlowThreshold(t *testing.T) {
+	if BigFlowThreshold != 0.10 {
+		t.Fatalf("threshold = %v, want the NSDI value 0.10", BigFlowThreshold)
+	}
+}

@@ -1,0 +1,485 @@
+// Package netmodel glues the simulated data plane together: it owns the
+// per-node forwarding state (router FIBs, OpenFlow tables), routes fluid
+// flows across the topology, maintains port counters, and punts
+// table-misses to the emulated controller as PACKET_IN events.
+//
+// It corresponds to the "Simulated Data Plane" box of the paper's Figure 2
+// (topology, per-node models, network statistics and state).
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fib"
+	"repro/internal/flowtable"
+	"repro/internal/fluid"
+	"repro/internal/topo"
+)
+
+// maxHops bounds path walks; anything longer is a forwarding loop.
+const maxHops = 64
+
+// PacketIn describes a table-miss punted to the controller.
+type PacketIn struct {
+	Node   core.NodeID
+	InPort core.PortID
+	Tuple  core.FiveTuple
+}
+
+// Network is the simulated data plane. Not safe for concurrent use; all
+// access happens on the simulation engine goroutine.
+type Network struct {
+	G      *topo.Graph
+	Flows  *fluid.Set
+	fibs   map[core.NodeID]*fib.Table
+	tables map[core.NodeID]*flowtable.Table
+
+	// OnPacketIn, when set, receives table-miss punts (the Connection
+	// Manager forwards them to the emulated controller as real
+	// PACKET_IN messages). If nil, misses blackhole the flow.
+	OnPacketIn func(PacketIn)
+
+	// OnFlowRemoved, when set, observes flow table entries that expired
+	// (idle or hard timeout).
+	OnFlowRemoved func(node core.NodeID, e *flowtable.Entry)
+
+	// punted deduplicates outstanding PACKET_INs per (node, tuple) so a
+	// pending flow does not re-punt on every reroute.
+	punted map[puntKey]bool
+
+	// rxDrop counts flows blackholed for lack of forwarding state.
+	rxDrop uint64
+
+	// AutoReroute controls whether forwarding-state mutations reroute
+	// flows immediately (default). The Connection Manager disables it
+	// during control plane storms and coalesces reroutes with
+	// FlushReroutes — a BGP convergence burst at fat-tree k=8 installs
+	// tens of thousands of routes, and rerouting every flow after each
+	// one is quadratic.
+	AutoReroute bool
+
+	rerouteNeeded bool
+	reroutes      uint64
+}
+
+type puntKey struct {
+	node  core.NodeID
+	tuple core.FiveTuple
+}
+
+// New builds the data plane for a topology: a FIB per router, a flow
+// table per switch, and a fluid flow set sized by the links' rates.
+func New(g *topo.Graph) *Network {
+	n := &Network{
+		G:           g,
+		fibs:        make(map[core.NodeID]*fib.Table),
+		tables:      make(map[core.NodeID]*flowtable.Table),
+		punted:      make(map[puntKey]bool),
+		AutoReroute: true,
+	}
+	for _, node := range g.Nodes {
+		switch node.Kind {
+		case topo.Router:
+			n.fibs[node.ID] = fib.New()
+		case topo.Switch:
+			n.tables[node.ID] = flowtable.New()
+		}
+	}
+	n.Flows = fluid.NewSet(func(l core.LinkID) core.Rate {
+		link := g.Link(l)
+		if link == nil {
+			return 0
+		}
+		return link.Rate
+	})
+	return n
+}
+
+// FIB returns the router's forwarding table (nil for non-routers).
+func (n *Network) FIB(id core.NodeID) *fib.Table { return n.fibs[id] }
+
+// Table returns the switch's flow table (nil for non-switches).
+func (n *Network) Table(id core.NodeID) *flowtable.Table { return n.tables[id] }
+
+// StartFlow routes and activates a flow at virtual time now. If the first
+// hop switch punts to the controller, the flow is added in Pending state
+// and will come alive on the next successful reroute.
+func (n *Network) StartFlow(f *fluid.Flow, now core.Time) {
+	path, status := n.route(f.Src, f.Tuple, now, true)
+	f.Path = path
+	switch status {
+	case routeOK:
+		f.State = fluid.Active
+	default:
+		f.State = fluid.Pending
+		f.Path = nil
+	}
+	n.Flows.Add(f, now)
+}
+
+// StopFlow removes a flow.
+func (n *Network) StopFlow(id fluid.FlowID, now core.Time) {
+	if f, ok := n.Flows.Flow(id); ok {
+		n.clearPunts(f.Tuple)
+	}
+	n.Flows.Remove(id, now)
+}
+
+type routeStatus int
+
+const (
+	routeOK routeStatus = iota
+	routePunted
+	routeDropped
+)
+
+// route walks the topology from src following FIBs and flow tables.
+// punt controls whether table-misses may generate PACKET_INs.
+func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt bool) ([]core.LinkID, routeStatus) {
+	cur := n.G.Node(src)
+	if cur == nil {
+		return nil, routeDropped
+	}
+	var path []core.LinkID
+	inPort := core.PortNone
+	for hops := 0; hops < maxHops; hops++ {
+		if cur.Kind == topo.Host {
+			if cur.IP == ft.Dst {
+				return path, routeOK // delivered
+			}
+			if hops > 0 {
+				// Arrived at the wrong host: drop.
+				n.rxDrop++
+				return nil, routeDropped
+			}
+			// Source host: single homed, forward up its only link.
+			if len(cur.Ports) == 0 {
+				return nil, routeDropped
+			}
+			p := cur.Ports[0]
+			path = append(path, p.Link)
+			inPort = p.PeerPort
+			cur = n.G.Node(p.Peer)
+			continue
+		}
+		egress, status := n.forwardAt(cur, inPort, ft, now, punt)
+		if status != routeOK {
+			return nil, status
+		}
+		p := n.G.Port(cur.ID, egress)
+		if p == nil {
+			return nil, routeDropped
+		}
+		path = append(path, p.Link)
+		inPort = p.PeerPort
+		cur = n.G.Node(p.Peer)
+	}
+	// Forwarding loop.
+	n.rxDrop++
+	return nil, routeDropped
+}
+
+// forwardAt decides the egress port of ft at a forwarding node.
+func (n *Network) forwardAt(node *topo.Node, inPort core.PortID, ft core.FiveTuple, now core.Time, punt bool) (core.PortID, routeStatus) {
+	switch node.Kind {
+	case topo.Router:
+		t := n.fibs[node.ID]
+		// BGP ECMP hashes source and destination IP, per the demo.
+		nh, ok := t.LookupHash(ft.Dst, ft.HashSrcDst())
+		if !ok {
+			n.rxDrop++
+			return core.PortNone, routeDropped
+		}
+		return nh.Port, routeOK
+	case topo.Switch:
+		t := n.tables[node.ID]
+		e, ok := t.Lookup(inPort, ft)
+		if !ok {
+			if t.MissToController && punt {
+				n.punt(node.ID, inPort, ft)
+				return core.PortNone, routePunted
+			}
+			n.rxDrop++
+			return core.PortNone, routeDropped
+		}
+		e.LastUsed = now
+		for _, a := range e.Actions {
+			switch a.Type {
+			case flowtable.ActionOutput:
+				return a.Port, routeOK
+			case flowtable.ActionSelectGroup:
+				if len(a.Group) == 0 {
+					return core.PortNone, routeDropped
+				}
+				// 5-tuple hash select, salted per node so that
+				// consecutive hops make independent choices.
+				h := ft.Hash() ^ uint32(node.ID)*0x9E3779B9
+				return a.Group[int(h%uint32(len(a.Group)))], routeOK
+			case flowtable.ActionController:
+				if punt {
+					n.punt(node.ID, inPort, ft)
+					return core.PortNone, routePunted
+				}
+				return core.PortNone, routeDropped
+			case flowtable.ActionDrop:
+				return core.PortNone, routeDropped
+			}
+		}
+		return core.PortNone, routeDropped
+	default:
+		return core.PortNone, routeDropped
+	}
+}
+
+func (n *Network) punt(node core.NodeID, inPort core.PortID, ft core.FiveTuple) {
+	key := puntKey{node: node, tuple: ft}
+	if n.punted[key] {
+		return
+	}
+	n.punted[key] = true
+	if n.OnPacketIn != nil {
+		n.OnPacketIn(PacketIn{Node: node, InPort: inPort, Tuple: ft})
+	}
+}
+
+func (n *Network) clearPunts(ft core.FiveTuple) {
+	for k := range n.punted {
+		if k.tuple == ft {
+			delete(n.punted, k)
+		}
+	}
+}
+
+// ReRouteAll recomputes the path of every live flow after forwarding
+// state changed (FIB install, FLOW_MOD, expiry). Pending flows whose
+// forwarding state is now complete become active; active flows whose
+// state disappeared become pending again.
+func (n *Network) ReRouteAll(now core.Time) {
+	n.reroutes++
+	for _, f := range n.Flows.Flows() {
+		path, status := n.route(f.Src, f.Tuple, now, true)
+		switch status {
+		case routeOK:
+			n.clearPunts(f.Tuple)
+			if !linksEqual(f.Path, path) || f.State != fluid.Active {
+				n.Flows.SetPath(f.ID, path, now)
+			}
+		default:
+			if f.State == fluid.Active {
+				n.Flows.SetPath(f.ID, nil, now)
+			}
+		}
+	}
+}
+
+// maybeReroute reroutes immediately in AutoReroute mode, otherwise marks
+// the network dirty for the next FlushReroutes.
+func (n *Network) maybeReroute(now core.Time) {
+	if n.AutoReroute {
+		n.ReRouteAll(now)
+		return
+	}
+	n.rerouteNeeded = true
+}
+
+// FlushReroutes recomputes flow paths if any forwarding state changed
+// since the last flush. It reports whether a reroute ran.
+func (n *Network) FlushReroutes(now core.Time) bool {
+	if !n.rerouteNeeded {
+		return false
+	}
+	n.rerouteNeeded = false
+	n.ReRouteAll(now)
+	return true
+}
+
+// Reroutes reports how many full reroute passes have run.
+func (n *Network) Reroutes() uint64 { return n.reroutes }
+
+func linksEqual(a, b []core.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InstallRoute installs (or replaces) a route in a router's FIB and
+// reroutes. Called by the Connection Manager when the emulated BGP daemon
+// updates its RIB.
+func (n *Network) InstallRoute(node core.NodeID, r fib.Route, now core.Time) error {
+	t := n.fibs[node]
+	if t == nil {
+		return fmt.Errorf("netmodel: %v is not a router", node)
+	}
+	if err := t.Insert(r.Prefix, r.NextHops); err != nil {
+		return err
+	}
+	n.maybeReroute(now)
+	return nil
+}
+
+// WithdrawRoute removes a route from a router's FIB and reroutes.
+func (n *Network) WithdrawRoute(node core.NodeID, r fib.Route, now core.Time) error {
+	t := n.fibs[node]
+	if t == nil {
+		return fmt.Errorf("netmodel: %v is not a router", node)
+	}
+	t.Remove(r.Prefix)
+	n.maybeReroute(now)
+	return nil
+}
+
+// ApplyFlowMod applies an OpenFlow table change to a switch and reroutes.
+type FlowModKind int
+
+const (
+	FlowModAdd FlowModKind = iota
+	FlowModModify
+	FlowModDelete
+	FlowModDeleteStrict
+)
+
+// FlowMod is the data-plane-facing form of an OpenFlow FLOW_MOD.
+type FlowMod struct {
+	Kind  FlowModKind
+	Entry flowtable.Entry
+}
+
+// ApplyFlowMod mutates a switch's table per the mod and reroutes.
+func (n *Network) ApplyFlowMod(node core.NodeID, mod FlowMod, now core.Time) error {
+	t := n.tables[node]
+	if t == nil {
+		return fmt.Errorf("netmodel: %v is not a switch", node)
+	}
+	switch mod.Kind {
+	case FlowModAdd:
+		t.Add(mod.Entry, now)
+	case FlowModModify:
+		t.Modify(mod.Entry, now, true)
+	case FlowModDelete:
+		t.Delete(mod.Entry.Match)
+	case FlowModDeleteStrict:
+		t.DeleteStrict(mod.Entry.Match, mod.Entry.Priority)
+	}
+	n.maybeReroute(now)
+	return nil
+}
+
+// ExpireFlowEntries removes timed-out entries on every switch, fires
+// OnFlowRemoved, and reroutes if anything expired. Returns the count.
+func (n *Network) ExpireFlowEntries(now core.Time) int {
+	total := 0
+	for id, t := range n.tables {
+		for _, e := range t.ExpireDue(now) {
+			total++
+			if n.OnFlowRemoved != nil {
+				n.OnFlowRemoved(id, e)
+			}
+		}
+	}
+	if total > 0 {
+		n.ReRouteAll(now)
+	}
+	return total
+}
+
+// PortStats are the OpenFlow-style counters of one port.
+type PortStats struct {
+	Port    core.PortID
+	TxBytes uint64
+	RxBytes uint64
+	TxRate  core.Rate // instantaneous
+	RxRate  core.Rate
+}
+
+// PortStatsOf reports counters for every port of a node at virtual time
+// now. The emulated OpenFlow agent answers PORT_STATS requests with this.
+func (n *Network) PortStatsOf(node core.NodeID, now core.Time) []PortStats {
+	nd := n.G.Node(node)
+	if nd == nil {
+		return nil
+	}
+	n.Flows.Integrate(now)
+	out := make([]PortStats, 0, len(nd.Ports))
+	for _, p := range nd.Ports {
+		l := n.G.Link(p.Link)
+		st := PortStats{Port: p.ID}
+		if l != nil {
+			st.TxBytes = n.Flows.LinkBytes(l.ID)
+			st.TxRate = n.Flows.LinkRate(l.ID)
+			st.RxBytes = n.Flows.LinkBytes(l.Reverse)
+			st.RxRate = n.Flows.LinkRate(l.Reverse)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// FlowStat is an OpenFlow-style flow entry statistic.
+type FlowStat struct {
+	Priority  uint16
+	Match     flowtable.Match
+	Bytes     uint64
+	Installed core.Time
+}
+
+// FlowStatsOf reports per-entry byte counts for a switch: for each entry,
+// the delivered bytes of the live flows it currently matches (first-match
+// semantics). Hedera's demand estimation polls this every 5 seconds.
+func (n *Network) FlowStatsOf(node core.NodeID, now core.Time) []FlowStat {
+	t := n.tables[node]
+	if t == nil {
+		return nil
+	}
+	n.Flows.Integrate(now)
+	out := make([]FlowStat, 0, t.Len())
+	for _, e := range t.Entries() {
+		st := FlowStat{Priority: e.Priority, Match: e.Match, Installed: e.InstalledAt, Bytes: e.Bytes}
+		for _, f := range n.Flows.Flows() {
+			if f.State != fluid.Active {
+				continue
+			}
+			// Does this flow traverse the node and win on this entry?
+			inPort, crosses := n.ingressAt(node, f)
+			if !crosses {
+				continue
+			}
+			if winner, ok := t.Lookup(inPort, f.Tuple); ok && winner == e {
+				st.Bytes += f.Bytes
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ingressAt reports the port through which flow f enters node, if its
+// current path crosses it.
+func (n *Network) ingressAt(node core.NodeID, f *fluid.Flow) (core.PortID, bool) {
+	for _, lid := range f.Path {
+		l := n.G.Link(lid)
+		if l != nil && l.To == node {
+			return l.ToPort, true
+		}
+	}
+	return core.PortNone, false
+}
+
+// Drops reports how many route walks ended in a blackhole so far.
+func (n *Network) Drops() uint64 { return n.rxDrop }
+
+// HostIDs returns the NodeIDs of all hosts in ID order.
+func (n *Network) HostIDs() []core.NodeID {
+	hosts := n.G.Hosts()
+	out := make([]core.NodeID, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.ID
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package openflow
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Conn frames OpenFlow messages over a duplex byte stream. Writes are
+// queued to a dedicated writer goroutine so protocol handlers never block
+// on the transport (unbuffered in-memory pipes would otherwise deadlock
+// two endpoints writing simultaneously).
+type Conn struct {
+	rw io.ReadWriteCloser
+
+	mu     sync.Mutex
+	out    chan []byte
+	closed bool
+	done   chan struct{}
+}
+
+// NewConn wraps a duplex stream.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	c := &Conn{
+		rw:   rw,
+		out:  make(chan []byte, 512),
+		done: make(chan struct{}),
+	}
+	go c.writeLoop()
+	return c
+}
+
+func (c *Conn) writeLoop() {
+	defer close(c.done)
+	for b := range c.out {
+		if _, err := c.rw.Write(b); err != nil {
+			// The reader observes the broken transport; keep draining
+			// so senders never block.
+			continue
+		}
+	}
+}
+
+// Send queues one already-encoded message. Messages sent after Close (or
+// into a full queue on a dead transport) are dropped.
+func (c *Conn) Send(msg []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.out <- msg:
+	default:
+	}
+}
+
+// Recv blocks until one complete message arrives and returns its raw
+// bytes (header included).
+func (c *Conn) Recv() ([]byte, error) {
+	hdr := make([]byte, headerLen)
+	if err := readFull(c.rw, hdr); err != nil {
+		return nil, err
+	}
+	h, err := DecodeHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, h.Length)
+	copy(msg, hdr)
+	if err := readFull(c.rw, msg[headerLen:]); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close shuts the connection down; safe to call multiple times.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.out)
+	}
+	c.mu.Unlock()
+	err := c.rw.Close()
+	<-c.done
+	return err
+}
+
+func readFull(r io.Reader, b []byte) error {
+	for off := 0; off < len(b); {
+		n, err := r.Read(b[off:])
+		off += n
+		if err != nil {
+			if off == len(b) {
+				return nil
+			}
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("openflow: zero-length read")
+		}
+	}
+	return nil
+}
+
+// xidGen hands out transaction IDs.
+type xidGen struct {
+	mu  sync.Mutex
+	nxt uint32
+}
+
+func (g *xidGen) next() uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nxt++
+	return g.nxt
+}

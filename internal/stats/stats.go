@@ -1,0 +1,89 @@
+// Package stats collects virtual-time series during experiments — the raw
+// material of the demo's "aggregated rate of all flows arriving at the
+// hosts" graphs.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Sample is one (virtual time, value) point.
+type Sample struct {
+	At    core.Time
+	Value float64
+}
+
+// Series is an append-only time series. Not safe for concurrent use; all
+// sampling happens on the simulation engine goroutine.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(at core.Time, v float64) {
+	s.Samples = append(s.Samples, Sample{At: at, Value: v})
+}
+
+// Len reports the sample count.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Last returns the most recent sample (zero value when empty).
+func (s *Series) Last() Sample {
+	if len(s.Samples) == 0 {
+		return Sample{}
+	}
+	return s.Samples[len(s.Samples)-1]
+}
+
+// Max returns the largest value seen.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, x := range s.Samples {
+		if x.Value > m {
+			m = x.Value
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the sampled values.
+func (s *Series) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.Samples {
+		sum += x.Value
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// MeanAfter returns the mean of samples at or after t (useful for
+// steady-state averages that skip convergence).
+func (s *Series) MeanAfter(t core.Time) float64 {
+	sum, n := 0.0, 0
+	for _, x := range s.Samples {
+		if x.At >= t {
+			sum += x.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TSV renders the series as "time<TAB>value" lines, with times in
+// seconds — directly gnuplot-able, as the demo's live graphs were.
+func (s *Series) TSV() string {
+	var b strings.Builder
+	for _, x := range s.Samples {
+		fmt.Fprintf(&b, "%.3f\t%g\n", x.At.Seconds(), x.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Last() != (Sample{}) {
+		t.Fatal("empty Last not zero")
+	}
+	if s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty aggregates not zero")
+	}
+	s.Add(0, 1)
+	s.Add(core.Second, 3)
+	s.Add(2*core.Second, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Last().Value != 2 || s.Last().At != 2*core.Second {
+		t.Fatalf("Last = %+v", s.Last())
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 3 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+}
+
+func TestMeanAfter(t *testing.T) {
+	var s Series
+	s.Add(0, 100)
+	s.Add(core.Second, 10)
+	s.Add(2*core.Second, 20)
+	if got := s.MeanAfter(core.Second); got != 15 {
+		t.Fatalf("MeanAfter = %v, want 15", got)
+	}
+	if got := s.MeanAfter(5 * core.Second); got != 0 {
+		t.Fatalf("MeanAfter beyond end = %v", got)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	var s Series
+	s.Add(1500*core.Millisecond, 42)
+	out := s.TSV()
+	if !strings.Contains(out, "1.500\t42") {
+		t.Fatalf("TSV = %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("TSV missing trailing newline")
+	}
+}

@@ -1,0 +1,380 @@
+// Package topo models experiment topologies: nodes (hosts, OpenFlow
+// switches, BGP routers), ports, and directed links, plus generators for
+// the topologies used in the paper's demonstration (fat-trees) and in
+// examples (linear, star, WAN rings).
+//
+// The graph is plane-agnostic: the simulated data plane walks it to route
+// fluid flows, and the emulation harness walks it to wire up control plane
+// sessions (one BGP session per router-router link, one OpenFlow session
+// per switch).
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/core"
+)
+
+// Kind classifies a node by which plane drives its forwarding state.
+type Kind int
+
+const (
+	// Host originates and sinks traffic; it does not forward.
+	Host Kind = iota
+	// Switch forwards according to an OpenFlow table programmed by an
+	// emulated controller.
+	Switch
+	// Router forwards according to a FIB programmed by an emulated
+	// routing daemon (BGP).
+	Router
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Switch:
+		return "switch"
+	case Router:
+		return "router"
+	default:
+		return fmt.Sprintf("kind%d", int(k))
+	}
+}
+
+// Layer labels for fat-tree roles; stored on Node.Layer.
+const (
+	LayerHost = "host"
+	LayerEdge = "edge"
+	LayerAgg  = "agg"
+	LayerCore = "core"
+)
+
+// Port is one attachment point of a node. Ports are numbered from 1, as in
+// OpenFlow; index i of Node.Ports holds PortID i+1.
+type Port struct {
+	ID       core.PortID
+	Link     core.LinkID // outgoing directed link
+	Peer     core.NodeID
+	PeerPort core.PortID
+	MAC      core.MAC
+	// IP is the interface address used by routing protocols on
+	// point-to-point links (a /31 per link) or the gateway address on
+	// host-facing subnets.
+	IP     netip.Addr
+	Prefix netip.Prefix
+}
+
+// Node is a vertex of the topology.
+type Node struct {
+	ID    core.NodeID
+	Name  string
+	Kind  Kind
+	Ports []Port
+
+	// IP is the host address (hosts) or the router ID (routers).
+	IP  netip.Addr
+	MAC core.MAC
+
+	// Prefix is the subnet this node originates (hosts: their /32;
+	// edge routers: their host-facing /24s are on the port instead).
+	Prefix netip.Prefix
+
+	// Layer, Pod and Idx carry generator-specific placement used by
+	// traffic-engineering apps (e.g. Hedera path enumeration).
+	Layer string
+	Pod   int
+	Idx   int
+
+	// ASN is the autonomous system number for Router nodes in BGP
+	// scenarios (assigned by the scenario builder; 0 if unset).
+	ASN uint32
+}
+
+// Link is a directed edge; every physical cable is two Links, one per
+// direction, cross-referenced via Reverse.
+type Link struct {
+	ID       core.LinkID
+	From     core.NodeID
+	FromPort core.PortID
+	To       core.NodeID
+	ToPort   core.PortID
+	Rate     core.Rate
+	Delay    core.Time
+	Reverse  core.LinkID
+}
+
+// Graph is a built topology. Node and link IDs are dense indexes into the
+// respective slices.
+type Graph struct {
+	Nodes  []*Node
+	Links  []*Link
+	byName map[string]core.NodeID
+
+	macSeq uint64
+	p2pSeq uint32 // allocator for point-to-point /31 subnets
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]core.NodeID)}
+}
+
+// AddNode appends a node of the given kind and returns it. Names must be
+// unique; AddNode panics on duplicates (topology construction is
+// programmer-driven, so this is a programming error, not runtime input).
+func (g *Graph) AddNode(name string, kind Kind) *Node {
+	if _, dup := g.byName[name]; dup {
+		panic("topo: duplicate node name " + name)
+	}
+	g.macSeq++
+	n := &Node{
+		ID:   core.NodeID(len(g.Nodes)),
+		Name: name,
+		Kind: kind,
+		MAC:  core.MACFromUint64(g.macSeq),
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.byName[name] = n.ID
+	return n
+}
+
+// AddHost, AddSwitch and AddRouter are convenience wrappers.
+func (g *Graph) AddHost(name string) *Node   { return g.AddNode(name, Host) }
+func (g *Graph) AddSwitch(name string) *Node { return g.AddNode(name, Switch) }
+func (g *Graph) AddRouter(name string) *Node { return g.AddNode(name, Router) }
+
+// Node returns the node with the given ID, or nil if out of range.
+func (g *Graph) Node(id core.NodeID) *Node {
+	if int(id) >= len(g.Nodes) {
+		return nil
+	}
+	return g.Nodes[id]
+}
+
+// NodeByName looks a node up by name.
+func (g *Graph) NodeByName(name string) (*Node, bool) {
+	id, ok := g.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return g.Nodes[id], true
+}
+
+// Link returns the directed link with the given ID, or nil.
+func (g *Graph) Link(id core.LinkID) *Link {
+	if int(id) >= len(g.Links) {
+		return nil
+	}
+	return g.Links[id]
+}
+
+// addPort appends a port to n and returns a pointer to it.
+func (g *Graph) addPort(n *Node) *Port {
+	g.macSeq++
+	n.Ports = append(n.Ports, Port{
+		ID:  core.PortID(len(n.Ports) + 1),
+		MAC: core.MACFromUint64(g.macSeq),
+	})
+	return &n.Ports[len(n.Ports)-1]
+}
+
+// Port returns node n's port p, or nil.
+func (g *Graph) Port(n core.NodeID, p core.PortID) *Port {
+	node := g.Node(n)
+	if node == nil || p == core.PortNone || int(p) > len(node.Ports) {
+		return nil
+	}
+	return &node.Ports[p-1]
+}
+
+// Connect joins a and b with a bidirectional cable of the given rate and
+// per-direction propagation delay, allocating a port on each end and a /31
+// point-to-point subnet (from 172.16.0.0/12) for router adjacencies. It
+// returns the two directed links (a->b, b->a).
+func (g *Graph) Connect(a, b *Node, rate core.Rate, delay core.Time) (*Link, *Link) {
+	pa := g.addPort(a)
+	pb := g.addPort(b)
+
+	// Allocate the /31: even address to the lower node ID for determinism.
+	base := uint32(0xAC10_0000) + g.p2pSeq*2 // 172.16.0.0 onward
+	g.p2pSeq++
+	ipa := core.IPv4FromUint32(base)
+	ipb := core.IPv4FromUint32(base + 1)
+	pa.IP, pb.IP = ipa, ipb
+	pa.Prefix = netip.PrefixFrom(ipa, 31)
+	pb.Prefix = netip.PrefixFrom(ipb, 31)
+
+	ab := &Link{
+		ID:   core.LinkID(len(g.Links)),
+		From: a.ID, FromPort: pa.ID,
+		To: b.ID, ToPort: pb.ID,
+		Rate: rate, Delay: delay,
+	}
+	ba := &Link{
+		ID:   ab.ID + 1,
+		From: b.ID, FromPort: pb.ID,
+		To: a.ID, ToPort: pa.ID,
+		Rate: rate, Delay: delay,
+	}
+	ab.Reverse, ba.Reverse = ba.ID, ab.ID
+	g.Links = append(g.Links, ab, ba)
+
+	pa.Link, pa.Peer, pa.PeerPort = ab.ID, b.ID, pb.ID
+	pb.Link, pb.Peer, pb.PeerPort = ba.ID, a.ID, pa.ID
+	return ab, ba
+}
+
+// Hosts returns all Host nodes in ID order.
+func (g *Graph) Hosts() []*Node { return g.byKind(Host) }
+
+// Switches returns all Switch nodes in ID order.
+func (g *Graph) Switches() []*Node { return g.byKind(Switch) }
+
+// Routers returns all Router nodes in ID order.
+func (g *Graph) Routers() []*Node { return g.byKind(Router) }
+
+func (g *Graph) byKind(k Kind) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the node IDs adjacent to n.
+func (g *Graph) Neighbors(n core.NodeID) []core.NodeID {
+	node := g.Node(n)
+	if node == nil {
+		return nil
+	}
+	out := make([]core.NodeID, 0, len(node.Ports))
+	for _, p := range node.Ports {
+		out = append(out, p.Peer)
+	}
+	return out
+}
+
+// HostByIP finds the host owning addr.
+func (g *Graph) HostByIP(addr netip.Addr) (*Node, bool) {
+	for _, n := range g.Nodes {
+		if n.Kind == Host && n.IP == addr {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Validate performs structural sanity checks: ports reference existing
+// links, links reference existing nodes/ports, reverse pointers pair up.
+func (g *Graph) Validate() error {
+	for _, l := range g.Links {
+		if g.Node(l.From) == nil || g.Node(l.To) == nil {
+			return fmt.Errorf("link %v references missing node", l.ID)
+		}
+		rev := g.Link(l.Reverse)
+		if rev == nil || rev.Reverse != l.ID {
+			return fmt.Errorf("link %v reverse pointer broken", l.ID)
+		}
+		if rev.From != l.To || rev.To != l.From {
+			return fmt.Errorf("link %v reverse endpoints mismatch", l.ID)
+		}
+		p := g.Port(l.From, l.FromPort)
+		if p == nil || p.Link != l.ID {
+			return fmt.Errorf("link %v not referenced by its source port", l.ID)
+		}
+	}
+	for _, n := range g.Nodes {
+		for i := range n.Ports {
+			p := &n.Ports[i]
+			l := g.Link(p.Link)
+			if l == nil {
+				return fmt.Errorf("node %s port %v dangling", n.Name, p.ID)
+			}
+			if l.From != n.ID || l.FromPort != p.ID {
+				return fmt.Errorf("node %s port %v link back-reference broken", n.Name, p.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// AllShortestPaths returns every shortest path from src to dst as port
+// sequences... each path is the list of directed LinkIDs to traverse.
+// Hosts never appear as intermediate nodes: traffic is not switched
+// through end hosts.
+func (g *Graph) AllShortestPaths(src, dst core.NodeID) [][]core.LinkID {
+	if src == dst {
+		return [][]core.LinkID{{}}
+	}
+	// BFS computing distance from src, forbidding host transit.
+	const unseen = -1
+	dist := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = unseen
+	}
+	dist[src] = 0
+	queue := []core.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != src && g.Nodes[cur].Kind == Host {
+			continue // do not expand through hosts
+		}
+		for _, p := range g.Nodes[cur].Ports {
+			nxt := p.Peer
+			if dist[nxt] == unseen {
+				dist[nxt] = dist[cur] + 1
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	if dist[dst] == unseen {
+		return nil
+	}
+	// DFS backward-free enumeration along strictly increasing distance.
+	var paths [][]core.LinkID
+	var walk func(cur core.NodeID, acc []core.LinkID)
+	walk = func(cur core.NodeID, acc []core.LinkID) {
+		if cur == dst {
+			paths = append(paths, append([]core.LinkID(nil), acc...))
+			return
+		}
+		if cur != src && g.Nodes[cur].Kind == Host {
+			return
+		}
+		for _, p := range g.Nodes[cur].Ports {
+			if dist[p.Peer] == dist[cur]+1 {
+				walk(p.Peer, append(acc, p.Link))
+			}
+		}
+	}
+	walk(src, nil)
+	return paths
+}
+
+// Stats summarises graph size.
+type Stats struct {
+	Hosts, Switches, Routers int
+	Cables                   int // undirected link count
+}
+
+// Size reports the graph's composition.
+func (g *Graph) Size() Stats {
+	var s Stats
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Host:
+			s.Hosts++
+		case Switch:
+			s.Switches++
+		case Router:
+			s.Routers++
+		}
+	}
+	s.Cables = len(g.Links) / 2
+	return s
+}
