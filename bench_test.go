@@ -21,11 +21,13 @@ package horse
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/fluid"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -348,6 +350,111 @@ func BenchmarkAblationECMPHash(b *testing.B) {
 				reportDemoMetrics(b, 4, res)
 			}
 		})
+	}
+}
+
+// BenchmarkSolveScale measures the rate solver at production scale: a
+// fat-tree k=16 (1024 hosts, 6144 directed links) carrying 100k
+// concurrent flows under churn — every operation retires one flow and
+// admits a rerouted replacement, each triggering a re-solve. The
+// "incremental" mode is the persistent-state sorted water-filling solver;
+// "naive" is the from-scratch progressive-filling baseline kept behind
+// fluid.Set.SetNaive for exactly this comparison. Two workload shapes:
+//
+//   - crosscore: random host pairs, so ECMP spreads flows over the whole
+//     core and the dirty component spans the entire network;
+//   - podlocal: src and dst share a pod, so the network decomposes into
+//     k independent components and the dirty-region cut re-solves ~1/k of
+//     the flows per change.
+func BenchmarkSolveScale(b *testing.B) {
+	const k = 16
+	const nFlows = 100_000
+	g, err := topo.FatTree(topo.FatTreeOpts{K: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp, err := topo.NewFatTreePaths(g, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := g.Hosts()
+	hostsPerPod := k * k / 4
+	caps := func(l core.LinkID) core.Rate {
+		link := g.Link(l)
+		if link == nil {
+			return 0
+		}
+		return link.Rate
+	}
+	pair := func(rng *rand.Rand, podLocal bool) (src, dst *topo.Node) {
+		si := rng.Intn(len(hosts))
+		var di int
+		if podLocal {
+			pod := si / hostsPerPod
+			di = pod*hostsPerPod + rng.Intn(hostsPerPod)
+			for di == si {
+				di = pod*hostsPerPod + rng.Intn(hostsPerPod)
+			}
+		} else {
+			di = rng.Intn(len(hosts))
+			for di == si {
+				di = rng.Intn(len(hosts))
+			}
+		}
+		return hosts[si], hosts[di]
+	}
+	for _, workload := range []struct {
+		name     string
+		podLocal bool
+	}{{"crosscore", false}, {"podlocal", true}} {
+		for _, mode := range []struct {
+			name  string
+			naive bool
+		}{{"incremental", false}, {"naive", true}} {
+			b.Run(fmt.Sprintf("%s/%s/flows=%d", workload.name, mode.name, nFlows), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				s := fluid.NewSet(caps)
+				s.SetNaive(mode.naive)
+				flows := make([]*fluid.Flow, nFlows)
+				s.Defer()
+				for i := range flows {
+					src, dst := pair(rng, workload.podLocal)
+					path, err := fp.Path(src.ID, dst.ID, rng.Uint64())
+					if err != nil {
+						b.Fatal(err)
+					}
+					flows[i] = &fluid.Flow{
+						ID: fluid.FlowID(i + 1), Src: src.ID, Dst: dst.ID,
+						Demand: core.Gbps, Path: path, State: fluid.Active,
+					}
+					s.Add(flows[i], 0)
+				}
+				s.Resume(0)
+				if s.AggregateRx() <= 0 {
+					b.Fatal("scale scenario delivered no traffic")
+				}
+				var compFlows int
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f := flows[i%nFlows]
+					s.Remove(f.ID, 0)
+					compFlows += s.LastSolve().Flows
+					f.Path, err = fp.AppendPath(f.Path[:0], f.Src, f.Dst, rng.Uint64())
+					if err != nil {
+						b.Fatal(err)
+					}
+					f.State = fluid.Active
+					s.Add(f, 0)
+					compFlows += s.LastSolve().Flows
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(compFlows)/float64(b.N), "compflows/op")
+				if s.Len() != nFlows {
+					b.Fatalf("flow count drifted to %d", s.Len())
+				}
+			})
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		pacing       = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = paper-faithful real time)")
 		skipBaseline = flag.Bool("skip-baseline", false, "run only Horse")
 		seed         = flag.Int64("seed", 42, "traffic permutation seed")
+		naive        = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad k %q: %v\n", ks, err)
 			os.Exit(1)
 		}
-		horseSetup, horseExec := runHorseSuite(k, *dur, *pacing, *seed)
+		horseSetup, horseExec := runHorseSuite(k, *dur, *pacing, *seed, *naive)
 		line := fmt.Sprintf("%-4d %-14v %-14v", k, horseSetup.Round(time.Millisecond), horseExec.Round(time.Millisecond))
 		if *skipBaseline {
 			fmt.Println(line)
@@ -60,10 +61,10 @@ func main() {
 
 // runHorseSuite executes the three TE experiments on Horse and returns
 // (topology setup, execution) wall times.
-func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64) (setup, exec time.Duration) {
+func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive bool) (setup, exec time.Duration) {
 	until := core.FromDuration(dur)
 	for _, te := range []string{"bgp-ecmp", "hedera", "ecmp5"} {
-		cfg := horse.Config{Pacing: pacing}
+		cfg := horse.Config{Pacing: pacing, NaiveSolver: naive}
 		exp := horse.NewExperiment(cfg)
 		var (
 			g   *horse.Topology

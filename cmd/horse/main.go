@@ -32,6 +32,7 @@ func main() {
 		pacing      = flag.Float64("pacing", 1.0, "FTI pacing")
 		verbose     = flag.Bool("v", false, "log subsystem activity")
 		tsv         = flag.Bool("tsv", false, "dump aggregate rx series as TSV")
+		naive       = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := horse.Config{Pacing: *pacing}
+	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive}
 	if *verbose {
 		cfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
@@ -100,6 +101,7 @@ func main() {
 		fmt.Print(res.AggregateRx.TSV())
 	}
 	fmt.Println(res)
+	fmt.Printf("rate solver: %d solves (naive=%v)\n", res.Solves, *naive)
 }
 
 func buildTopo(spec string, routers bool) (*horse.Topology, error) {

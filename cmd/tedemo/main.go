@@ -26,10 +26,11 @@ func main() {
 		pacing = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = real time)")
 		seed   = flag.Int64("seed", 42, "permutation seed")
 		tsv    = flag.Bool("tsv", false, "print the full time series as TSV")
+		naive  = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
 	)
 	flag.Parse()
 
-	exp := horse.NewExperiment(horse.Config{Pacing: *pacing})
+	exp := horse.NewExperiment(horse.Config{Pacing: *pacing, NaiveSolver: *naive})
 	var (
 		g   *horse.Topology
 		err error
@@ -86,4 +87,5 @@ func main() {
 	fmt.Printf("control plane       : %d bytes, %d writes, %d flowmods, %d routes, %d packet-ins, %d stats\n",
 		res.ControlBytes, res.ControlWrites, res.FlowModsApplied,
 		res.RouteInstalls, res.PacketIns, res.StatsQueries)
+	fmt.Printf("rate solver         : %d solves (naive=%v)\n", res.Solves, *naive)
 }

@@ -52,4 +52,5 @@ func main() {
 		res.Sim.VirtualFTI, res.Sim.VirtualDES, res.Sim.Transitions)
 	fmt.Printf("control plane   : %d OpenFlow flow-mods over %d bytes\n",
 		res.FlowModsApplied, res.ControlBytes)
+	fmt.Printf("rate solver     : %d incremental solves\n", res.Solves)
 }

@@ -141,6 +141,9 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 		StartInFTI: true,
 	})
 	e.net = netmodel.New(e.g)
+	if e.cfg.NaiveSolver {
+		e.net.Flows.SetNaive(true)
+	}
 	e.mgr = cm.New(e.engine, e.net, e.cfg.Logf)
 	defer e.mgr.Stop()
 
@@ -236,6 +239,7 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 		result.Flows = append(result.Flows, fr)
 	}
 	result.Sim = simStats
+	result.Solves = e.net.Flows.Solves()
 	result.ControlBytes = e.mgr.Stats.ControlBytes.Load()
 	result.ControlWrites = e.mgr.Stats.ControlWrites.Load()
 	result.RouteInstalls = e.mgr.Stats.RouteInstalls.Load()
@@ -269,6 +273,11 @@ type Result struct {
 	PerHostRxBytes map[string]uint64
 
 	Flows []FlowResult
+
+	// Solves counts rate-solver runs over the whole experiment; reroute
+	// storms are batched, so this tracks control plane event granularity
+	// rather than per-flow mutations.
+	Solves int
 
 	ControlBytes    uint64
 	ControlWrites   uint64

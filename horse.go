@@ -72,6 +72,12 @@ type Config struct {
 	// MaxIdleWall bounds the wait for control plane activity when the
 	// event queue is empty (default 2s).
 	MaxIdleWall time.Duration
+	// NaiveSolver selects the from-scratch progressive-filling rate
+	// solver instead of the incremental water-filling one. The naive
+	// solver re-derives every allocation on each flow or route change;
+	// it exists as an ablation/benchmark baseline (BenchmarkSolveScale)
+	// and should stay off in normal experiments.
+	NaiveSolver bool
 	// Logf, when set, receives debug logging from every subsystem.
 	Logf func(format string, args ...any)
 }

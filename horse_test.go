@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fluid"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 // testConfig accelerates FTI pacing so integration tests finish quickly.
@@ -369,5 +370,79 @@ func TestPerHostRxBytes(t *testing.T) {
 	}
 	if res.PerHostRxBytes["h1"] != sum {
 		t.Fatalf("per-host %d != flow sum %d", res.PerHostRxBytes["h1"], sum)
+	}
+}
+
+// TestNaiveSolverParity runs the same proactive-ECMP demo with the
+// incremental water-filling solver and the naive full-recompute baseline:
+// max–min allocations are unique, so both must deliver the same steady
+// aggregate rate.
+func TestNaiveSolverParity(t *testing.T) {
+	run := func(naive bool) *Result {
+		t.Helper()
+		topo, err := FatTree(4, SDN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig()
+		cfg.NaiveSolver = naive
+		exp := NewExperiment(cfg)
+		exp.SetTopology(topo)
+		exp.UseSDN(AppECMP5())
+		if err := exp.SendPermutation(1, 1*Gbps, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run(10 * Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solves == 0 {
+			t.Fatal("solver never ran")
+		}
+		return res
+	}
+	inc := run(false)
+	naive := run(true)
+	got, want := inc.SteadyAggregateRx(), naive.SteadyAggregateRx()
+	if diff := got - want; diff < -10*Mbps || diff > 10*Mbps {
+		t.Errorf("steady rx differs: incremental %v vs naive %v", got, want)
+	}
+}
+
+// TestChurnWorkload drives an arrival/departure workload through the full
+// stack: flows start and finish throughout the run, exercising the
+// solver's incremental bookkeeping (mid-interval removals, reroutes of a
+// mutating flow set) behind the public traffic API.
+func TestChurnWorkload(t *testing.T) {
+	topo, err := FatTree(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseSDN(AppECMP5())
+	if err := exp.AddTraffic(traffic.Churn(3, 64, 500*Mbps, 8*Second, 2*Second)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(12 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyAggregateRx() <= 0 {
+		t.Error("churn workload delivered no traffic")
+	}
+	done := 0
+	var bytes uint64
+	for _, f := range res.Flows {
+		if f.State == fluid.Done.String() {
+			done++
+		}
+		bytes += f.Bytes
+	}
+	if done < 32 {
+		t.Errorf("only %d of 64 churn flows finished", done)
+	}
+	if bytes == 0 {
+		t.Error("churn flows delivered no bytes")
 	}
 }

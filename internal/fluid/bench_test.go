@@ -8,40 +8,90 @@ import (
 	"repro/internal/core"
 )
 
-// BenchmarkSolve measures the progressive-filling solver — the cost paid
-// on every flow or route change — across flow counts covering the demo's
-// sizes (k=4: 16 flows, k=8: 128 flows) and beyond.
+// randPath draws plen distinct links out of nLinks.
+func randPath(rng *rand.Rand, nLinks, plen int) []core.LinkID {
+	path := make([]core.LinkID, 0, plen)
+	seen := map[int]bool{}
+	for len(path) < plen {
+		l := rng.Intn(nLinks)
+		if !seen[l] {
+			seen[l] = true
+			path = append(path, core.LinkID(l))
+		}
+	}
+	return path
+}
+
+// BenchmarkSolve measures a full rate recomputation — the cost the naive
+// baseline pays on every flow or route change — across flow counts
+// covering the demo's sizes (k=4: 16 flows, k=8: 128 flows) and beyond,
+// for both solver implementations.
 func BenchmarkSolve(b *testing.B) {
-	for _, nFlows := range []int{16, 128, 512} {
-		b.Run(fmt.Sprintf("flows=%d", nFlows), func(b *testing.B) {
-			rng := rand.New(rand.NewSource(1))
-			nLinks := nFlows / 2
-			if nLinks < 8 {
-				nLinks = 8
-			}
-			s := NewSet(func(core.LinkID) core.Rate { return core.Gbps })
-			for i := 0; i < nFlows; i++ {
-				plen := rng.Intn(5) + 2
-				path := make([]core.LinkID, 0, plen)
-				seen := map[int]bool{}
-				for len(path) < plen {
-					l := rng.Intn(nLinks)
-					if !seen[l] {
-						seen[l] = true
-						path = append(path, core.LinkID(l))
-					}
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"incremental", false}, {"naive", true}} {
+		for _, nFlows := range []int{16, 128, 512} {
+			b.Run(fmt.Sprintf("%s/flows=%d", mode.name, nFlows), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				nLinks := nFlows / 2
+				if nLinks < 8 {
+					nLinks = 8
 				}
-				s.Add(&Flow{
-					ID: FlowID(i + 1), Demand: core.Gbps,
-					Path: path, State: Active, Dst: core.NodeID(i % 64),
-				}, 0)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s.MarkDirty()
-				s.Solve(0)
-			}
-		})
+				s := NewSet(func(core.LinkID) core.Rate { return core.Gbps })
+				s.SetNaive(mode.naive)
+				for i := 0; i < nFlows; i++ {
+					s.Add(&Flow{
+						ID: FlowID(i + 1), Demand: core.Gbps,
+						Path: randPath(rng, nLinks, rng.Intn(5)+2), State: Active, Dst: core.NodeID(i % 64),
+					}, 0)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.MarkDirty()
+					s.Solve(0)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkChurn measures the event-driven hot path: one flow leaves and
+// a rerouted replacement joins, re-solving after each mutation. This is
+// the per-control-plane-event cost that separates the incremental solver
+// (dirty region only, no allocation) from the naive full recompute.
+func BenchmarkChurn(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"incremental", false}, {"naive", true}} {
+		for _, nFlows := range []int{128, 4096} {
+			b.Run(fmt.Sprintf("%s/flows=%d", mode.name, nFlows), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				nLinks := nFlows / 2
+				s := NewSet(func(core.LinkID) core.Rate { return core.Gbps })
+				s.SetNaive(mode.naive)
+				flows := make([]*Flow, nFlows)
+				s.Defer()
+				for i := range flows {
+					flows[i] = &Flow{
+						ID: FlowID(i + 1), Demand: core.Gbps,
+						Path: randPath(rng, nLinks, 4), State: Active, Dst: core.NodeID(i % 64),
+					}
+					s.Add(flows[i], 0)
+				}
+				s.Resume(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f := flows[i%nFlows]
+					s.Remove(f.ID, 0)
+					f.State = Active
+					s.Add(f, 0)
+				}
+			})
+		}
 	}
 }
 

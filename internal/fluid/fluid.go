@@ -1,17 +1,38 @@
 // Package fluid implements Horse's simulated data plane: a fluid traffic
 // model in which flows are continuous rates rather than packets. Link
-// bandwidth is shared by progressive filling (max–min fairness), which is
-// the behaviour the paper's constant-rate UDP demo workload induces.
+// bandwidth is shared by max–min fairness (water-filling), which is the
+// behaviour the paper's constant-rate UDP demo workload induces.
 //
 // The model is purely event-driven: rates only change when the flow set or
 // the routing changes, so between control plane events the simulator can
 // fast-forward (DES mode) at almost zero cost — this is precisely where
 // Horse's speedup over packet-level emulation comes from.
+//
+// # Solver architecture
+//
+// The set keeps persistent per-link state — capacity, the list of active
+// flows crossing the link, and the granted load — updated incrementally on
+// Add, Remove and SetPath rather than rebuilt inside Solve. A mutation
+// seeds its links into a dirty set; Solve expands the seeds into the
+// connected component of links and flows reachable through shared links
+// and re-solves only that region, leaving every other allocation (and
+// link load) untouched. Within a region, rates are computed by sorted
+// water-filling: links sit in a min-heap keyed by the fill level at which
+// they saturate, and each round freezes a whole saturated link (all its
+// unfrozen flows at the current level) or a batch of demand-limited flows
+// — never one epsilon increment at a time. The re-solve path performs no
+// heap allocations in steady state; all scratch storage is reused.
+//
+// Complexity per solve, for a dirty component with F flows, L links and
+// total path length P: O(P + F log F + (L + P) log L). A full naive
+// recompute (kept behind SetNaive for benchmarking) is
+// O(rounds · (F + L) + P) with fresh map and slice allocations per solve.
 package fluid
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/core"
@@ -19,6 +40,10 @@ import (
 
 // FlowID identifies a flow within one experiment.
 type FlowID uint64
+
+// flowTombstone marks a removed flow's slot in the insertion-order list;
+// the id is reserved and rejected by Add.
+const flowTombstone = ^FlowID(0)
 
 // State is the lifecycle of a flow.
 type State int
@@ -56,7 +81,9 @@ type Flow struct {
 	Demand core.Rate
 
 	// Path is the current route as directed link IDs; nil/empty means
-	// the flow is blackholed (no route) and receives rate 0.
+	// the flow is blackholed (no route) and receives rate 0. Once the
+	// flow has been added to a Set, Path must only be changed through
+	// Set.SetPath so link membership stays consistent.
 	Path []core.LinkID
 
 	// Rate is the current max–min fair allocation.
@@ -66,31 +93,221 @@ type Flow struct {
 	Bytes uint64
 
 	State State
+
+	// linkPos[i] is this flow's index in the member list of links[Path[i]],
+	// enabling O(1) detach. Maintained by attach/detach.
+	linkPos []int
+	// orderIdx is this flow's position in Set.order, enabling O(1)
+	// tombstoning on Remove.
+	orderIdx int
+	// attached reports whether the flow currently holds link memberships.
+	attached bool
+	// visit is the solver's component-walk epoch marker.
+	visit uint64
+}
+
+// member is one entry of a link's flow-membership list. pathPos is the
+// index of the link within f.Path, so a swap-remove can fix the moved
+// flow's linkPos back-reference in O(1).
+type member struct {
+	f       *Flow
+	pathPos int
+}
+
+// linkState is the persistent per-link solver state.
+type linkState struct {
+	id      core.LinkID
+	cap     core.Rate
+	members []member  // active flows crossing this link
+	load    core.Rate // sum of granted rates of member flows
+
+	visit  uint64 // component-walk epoch
+	seeded uint64 // dirty-seed epoch
+
+	// Water-filling transients, valid only during one solve. residual is
+	// the unallocated capacity as of fill level lastLevel; the level at
+	// which the link saturates (lastLevel + residual/nactive) is invariant
+	// under lazy sync while nactive is unchanged.
+	residual  core.Rate
+	lastLevel core.Rate
+	nactive   int
+	key       core.Rate // heap key: saturation level when pushed
+}
+
+// satLevel is the fill level at which the link saturates given its current
+// unfrozen membership.
+func (ls *linkState) satLevel() core.Rate {
+	if ls.nactive == 0 {
+		return core.Rate(math.Inf(1))
+	}
+	return ls.lastLevel + ls.residual/core.Rate(ls.nactive)
+}
+
+// sync brings residual forward to the given fill level.
+func (ls *linkState) sync(level core.Rate) {
+	if ls.nactive > 0 && level > ls.lastLevel {
+		ls.residual -= (level - ls.lastLevel) * core.Rate(ls.nactive)
+		if ls.residual < 0 {
+			ls.residual = 0 // numeric dust
+		}
+	}
+	ls.lastLevel = level
+}
+
+// SolveStats describes the work done by the most recent Solve.
+type SolveStats struct {
+	// Flows and Links are the sizes of the re-solved dirty component.
+	Flows, Links int
+	// Rounds is the number of water-filling freeze rounds.
+	Rounds int
+	// Full reports whether the solve covered the whole set (MarkDirty or
+	// naive mode) rather than a dirty region.
+	Full bool
 }
 
 // Set is the collection of flows sharing a network, responsible for rate
 // allocation and byte accounting. Not safe for concurrent use; all access
 // happens on the simulation engine goroutine.
 type Set struct {
-	caps    func(core.LinkID) core.Rate
-	flows   map[FlowID]*Flow
-	order   []FlowID // deterministic iteration
-	lastAt  core.Time
-	linkB   map[core.LinkID]uint64 // delivered bytes per link
-	solves  int
-	dirty   bool
-	epsilon core.Rate
+	caps  func(core.LinkID) core.Rate
+	flows map[FlowID]*Flow
+	// order preserves insertion order for deterministic iteration.
+	// Removed flows leave flowTombstone entries that are compacted once
+	// they outnumber live ones, so Remove is O(1) amortized instead of
+	// an O(n) shift per removal.
+	order     []FlowID
+	orderDead int
+	lastAt    core.Time
+	linkB     map[core.LinkID]uint64 // delivered bytes per link
+	solves    int
+	epsilon   core.Rate
+
+	links    map[core.LinkID]*linkState
+	seeds    []*linkState // links touched since the last solve
+	dirtyAll bool         // full re-solve needed (capacities changed)
+	epoch    uint64       // component-walk epoch counter
+	seedGen  uint64       // seed-dedup epoch counter
+
+	deferDepth int  // >0 suspends solving (batched mutations)
+	naive      bool // full-recompute baseline for benchmarks
+	last       SolveStats
+
+	// Scratch reused across solves; the steady-state re-solve path
+	// allocates nothing.
+	compFlows []*Flow
+	compLinks []*linkState
+	heap      []*linkState
 }
 
 // NewSet creates a flow set over a network whose link capacities are
-// reported by caps.
+// reported by caps. Capacities are read when a link first carries a flow
+// and re-read on MarkDirty.
 func NewSet(caps func(core.LinkID) core.Rate) *Set {
 	return &Set{
 		caps:    caps,
 		flows:   make(map[FlowID]*Flow),
 		linkB:   make(map[core.LinkID]uint64),
+		links:   make(map[core.LinkID]*linkState),
 		epsilon: 1, // 1 bps resolution
+		seedGen: 1,
 	}
+}
+
+// SetNaive toggles the naive full-recompute solver, the pre-incremental
+// baseline kept for benchmarking (BenchmarkSolveScale) and differential
+// testing. Allocations and solve cost match the from-scratch progressive
+// filling of the original implementation.
+func (s *Set) SetNaive(v bool) {
+	s.naive = v
+	s.dirtyAll = true
+}
+
+// Naive reports whether the naive baseline solver is active.
+func (s *Set) Naive() bool { return s.naive }
+
+// LastSolve reports statistics about the most recent solver run; ablation
+// benchmarks and tests use it to observe the dirty-region cut.
+func (s *Set) LastSolve() SolveStats { return s.last }
+
+// Defer suspends rate recomputation so a batch of mutations (e.g. a
+// reroute storm after control plane convergence) pays for one solve
+// instead of one per mutation. Nestable; each Defer must be matched by a
+// Resume.
+func (s *Set) Defer() { s.deferDepth++ }
+
+// Resume re-enables solving and, when the outermost deferred batch ends,
+// runs the solver over everything the batch dirtied.
+func (s *Set) Resume(now core.Time) {
+	if s.deferDepth > 0 {
+		s.deferDepth--
+	}
+	if s.deferDepth == 0 {
+		s.Solve(now)
+	}
+}
+
+// link returns (creating if needed) the persistent state of link id.
+func (s *Set) link(id core.LinkID) *linkState {
+	ls := s.links[id]
+	if ls == nil {
+		c := s.caps(id)
+		if c < 0 {
+			c = 0
+		}
+		ls = &linkState{id: id, cap: c}
+		s.links[id] = ls
+	}
+	return ls
+}
+
+// seed marks a link as a dirty-region seed for the next solve.
+func (s *Set) seed(ls *linkState) {
+	if ls.seeded == s.seedGen {
+		return
+	}
+	ls.seeded = s.seedGen
+	s.seeds = append(s.seeds, ls)
+}
+
+// attach inserts an active routed flow into the member list of every link
+// on its path and seeds those links.
+func (s *Set) attach(f *Flow) {
+	if f.State != Active || len(f.Path) == 0 {
+		return
+	}
+	if cap(f.linkPos) < len(f.Path) {
+		f.linkPos = make([]int, len(f.Path))
+	} else {
+		f.linkPos = f.linkPos[:len(f.Path)]
+	}
+	for i, lid := range f.Path {
+		ls := s.link(lid)
+		f.linkPos[i] = len(ls.members)
+		ls.members = append(ls.members, member{f: f, pathPos: i})
+		s.seed(ls)
+	}
+	f.attached = true
+}
+
+// detach removes the flow from its links' member lists (O(path length))
+// and seeds them so the freed bandwidth is redistributed.
+func (s *Set) detach(f *Flow) {
+	if !f.attached {
+		return
+	}
+	for i, lid := range f.Path {
+		ls := s.links[lid]
+		idx := f.linkPos[i]
+		last := len(ls.members) - 1
+		moved := ls.members[last]
+		ls.members[idx] = moved
+		moved.f.linkPos[moved.pathPos] = idx
+		ls.members[last] = member{}
+		ls.members = ls.members[:last]
+		s.seed(ls)
+	}
+	f.linkPos = f.linkPos[:0]
+	f.attached = false
 }
 
 // Add inserts a flow and recomputes allocations. The flow's Path and
@@ -99,10 +316,17 @@ func (s *Set) Add(f *Flow, now core.Time) {
 	if _, dup := s.flows[f.ID]; dup {
 		panic(fmt.Sprintf("fluid: duplicate flow id %d", f.ID))
 	}
+	if f.ID == flowTombstone {
+		panic("fluid: flow id ^uint64(0) is reserved")
+	}
 	s.Integrate(now)
 	s.flows[f.ID] = f
+	f.orderIdx = len(s.order)
 	s.order = append(s.order, f.ID)
-	s.dirty = true
+	f.visit = 0
+	f.attached = false
+	f.Rate = 0
+	s.attach(f)
 	s.Solve(now)
 }
 
@@ -113,16 +337,24 @@ func (s *Set) Remove(id FlowID, now core.Time) {
 		return
 	}
 	s.Integrate(now)
+	s.detach(f)
 	f.State = Done
 	f.Rate = 0
 	delete(s.flows, id)
-	for i, fid := range s.order {
-		if fid == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
+	s.order[f.orderIdx] = flowTombstone
+	s.orderDead++
+	if s.orderDead*2 > len(s.order) {
+		live := s.order[:0]
+		for _, fid := range s.order {
+			if fid == flowTombstone {
+				continue
+			}
+			s.flows[fid].orderIdx = len(live)
+			live = append(live, fid)
 		}
+		s.order = live
+		s.orderDead = 0
 	}
-	s.dirty = true
 	s.Solve(now)
 }
 
@@ -146,13 +378,15 @@ func (s *Set) SetPath(id FlowID, path []core.LinkID, now core.Time) {
 		return
 	}
 	s.Integrate(now)
+	s.detach(f)
 	f.Path = path
+	f.Rate = 0
 	if len(path) == 0 {
 		f.State = Pending
 	} else {
 		f.State = Active
 	}
-	s.dirty = true
+	s.attach(f)
 	s.Solve(now)
 }
 
@@ -166,7 +400,7 @@ func (s *Set) Integrate(now core.Time) {
 	}
 	for _, id := range s.order {
 		f := s.flows[id]
-		if f.State != Active || f.Rate <= 0 {
+		if f == nil || f.State != Active || f.Rate <= 0 {
 			continue
 		}
 		b := f.Rate.BytesIn(dt)
@@ -178,102 +412,271 @@ func (s *Set) Integrate(now core.Time) {
 	s.lastAt = now
 }
 
-// Solve recomputes max–min fair allocations by progressive filling. It is
-// a no-op when nothing changed since the last solve.
+// Solve recomputes max–min fair allocations over the dirty region. It is
+// a no-op when nothing changed since the last solve or while a Defer
+// batch is open.
 func (s *Set) Solve(now core.Time) {
-	if !s.dirty {
+	if s.deferDepth > 0 {
 		return
 	}
-	s.dirty = false
+	if !s.dirtyAll && len(s.seeds) == 0 {
+		return
+	}
 	s.solves++
-
-	// Gather active flows and the links they use.
-	type linkState struct {
-		cap    core.Rate
-		load   core.Rate // allocation already granted on this link
-		active int       // flows still being filled
+	if s.naive {
+		s.solveNaive()
+	} else {
+		if s.dirtyAll {
+			s.seedAll()
+		}
+		s.solveRegion()
 	}
-	links := make(map[core.LinkID]*linkState)
-	var active []*Flow
-	for _, id := range s.order {
-		f := s.flows[id]
-		if f.State != Active || len(f.Path) == 0 {
-			f.Rate = 0
-			continue
+	s.dirtyAll = false
+	s.seeds = s.seeds[:0]
+	s.seedGen++
+}
+
+// seedAll refreshes every cached capacity from caps and seeds every known
+// link, turning the next region solve into a full one.
+func (s *Set) seedAll() {
+	for _, ls := range s.links {
+		c := s.caps(ls.id)
+		if c < 0 {
+			c = 0
 		}
-		f.Rate = 0
-		active = append(active, f)
-		for _, l := range f.Path {
-			ls := links[l]
-			if ls == nil {
-				ls = &linkState{cap: s.caps(l)}
-				links[l] = ls
-			}
-			ls.active++
+		ls.cap = c
+		s.seed(ls)
+	}
+	// Flows whose whole path vanished from link state cannot exist:
+	// attach creates state for every active path link. Pending and
+	// blackholed flows already hold rate 0.
+}
+
+// solveRegion expands the dirty seeds into a connected component of links
+// and flows and water-fills it, leaving all other allocations untouched.
+func (s *Set) solveRegion() {
+	s.epoch++
+	compLinks := s.compLinks[:0]
+	compFlows := s.compFlows[:0]
+	for _, ls := range s.seeds {
+		if ls.visit != s.epoch {
+			ls.visit = s.epoch
+			compLinks = append(compLinks, ls)
 		}
 	}
-
-	// Progressive filling: raise all active flows together until a link
-	// saturates or a flow reaches its demand; freeze and repeat.
-	for len(active) > 0 {
-		// The largest uniform increment every active flow can take.
-		inc := core.Rate(math.Inf(1))
-		for _, f := range active {
-			if room := f.Demand - f.Rate; room < inc {
-				inc = room
-			}
-		}
-		for _, ls := range links {
-			if ls.active == 0 {
+	// Closure: every flow on a component link joins, and drags all links
+	// of its path in. Consequently every member of a component link is a
+	// component flow, so loads outside the region are undisturbed.
+	for i := 0; i < len(compLinks); i++ {
+		for _, m := range compLinks[i].members {
+			f := m.f
+			if f.visit == s.epoch {
 				continue
 			}
-			if share := (ls.cap - ls.load) / core.Rate(ls.active); share < inc {
-				inc = share
+			f.visit = s.epoch
+			compFlows = append(compFlows, f)
+			for _, lid := range f.Path {
+				nl := s.links[lid]
+				if nl.visit != s.epoch {
+					nl.visit = s.epoch
+					compLinks = append(compLinks, nl)
+				}
 			}
 		}
-		if inc < 0 {
-			inc = 0
+	}
+	s.last = SolveStats{Flows: len(compFlows), Links: len(compLinks), Full: s.dirtyAll}
+	s.waterfill(compFlows, compLinks)
+	s.compFlows = compFlows[:0]
+	s.compLinks = compLinks[:0]
+}
+
+// waterfill computes max–min rates for one component by sorted
+// water-filling: a min-heap orders links by the fill level at which they
+// saturate; each round raises the water level to the next event — a link
+// saturating (all its unfrozen flows freeze at the level) or the smallest
+// unmet demand (those flows freeze at their demand) — so whole links
+// freeze per round rather than epsilon steps.
+func (s *Set) waterfill(flows []*Flow, links []*linkState) {
+	inf := core.Rate(math.Inf(1))
+	for _, ls := range links {
+		ls.residual = ls.cap
+		ls.lastLevel = 0
+		ls.nactive = len(ls.members)
+		ls.load = 0
+	}
+	remaining := len(flows)
+	uniform := true
+	var d0 core.Rate
+	for i, f := range flows {
+		if i == 0 {
+			d0 = f.Demand
+		} else if f.Demand != d0 {
+			uniform = false
 		}
-		// Apply the increment.
-		for _, f := range active {
-			f.Rate += inc
-			for _, l := range f.Path {
-				links[l].load += inc
+		f.Rate = -1 // unfrozen marker
+	}
+	// Flows with no positive demand freeze at zero before filling starts.
+	for _, f := range flows {
+		if f.Demand <= 0 {
+			s.freeze(f, 0, 0)
+			remaining--
+		}
+	}
+	// Demand-sorted order makes the smallest unmet demand a cursor scan;
+	// uniform demands (the demo workload) skip the sort entirely.
+	if !uniform {
+		slices.SortFunc(flows, func(a, b *Flow) int {
+			switch {
+			case a.Demand < b.Demand:
+				return -1
+			case a.Demand > b.Demand:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	heap := s.heap[:0]
+	for _, ls := range links {
+		if ls.nactive > 0 {
+			ls.key = ls.satLevel()
+			heap = heapPush(heap, ls)
+		}
+	}
+
+	level := core.Rate(0)
+	di := 0
+	rounds := 0
+	for remaining > 0 {
+		rounds++
+		for di < len(flows) && flows[di].Rate >= 0 {
+			di++
+		}
+		lambdaD := inf
+		if di < len(flows) {
+			lambdaD = flows[di].Demand
+		}
+		// Pop stale heap entries: keys only grow as flows freeze, so a
+		// link whose current saturation level moved past its key is
+		// re-pushed with the fresh key (lazy deletion).
+		lambdaL := inf
+		for len(heap) > 0 {
+			top := heap[0]
+			if top.nactive == 0 {
+				heap = heapPop(heap)
+				continue
+			}
+			cur := top.satLevel()
+			if cur > top.key+s.epsilon {
+				heap = heapPop(heap)
+				top.key = cur
+				heap = heapPush(heap, top)
+				continue
+			}
+			lambdaL = cur
+			break
+		}
+		level = lambdaD
+		if lambdaL < level {
+			level = lambdaL
+		}
+		if math.IsInf(float64(level), 1) {
+			break // cannot happen: unfrozen flows always bound lambdaD
+		}
+		// Freeze demand-limited flows at the new level.
+		if lambdaD <= lambdaL+s.epsilon {
+			for di < len(flows) {
+				f := flows[di]
+				if f.Rate >= 0 {
+					di++
+					continue
+				}
+				if f.Demand > level+s.epsilon {
+					break
+				}
+				s.freeze(f, f.Demand, level)
+				remaining--
+				di++
 			}
 		}
-		// Freeze flows that hit their demand or cross a saturated link.
-		var rest []*Flow
-		for _, f := range active {
-			frozen := f.Demand-f.Rate <= s.epsilon
-			if !frozen {
-				for _, l := range f.Path {
-					ls := links[l]
-					if ls.cap-ls.load <= s.epsilon {
-						frozen = true
-						break
+		// Freeze saturated links: every unfrozen flow crossing them stops
+		// at the current level.
+		if lambdaL <= lambdaD+s.epsilon {
+			for len(heap) > 0 {
+				top := heap[0]
+				if top.nactive == 0 {
+					heap = heapPop(heap)
+					continue
+				}
+				if top.satLevel() > level+s.epsilon {
+					break
+				}
+				heap = heapPop(heap)
+				for _, m := range top.members {
+					if m.f.Rate < 0 {
+						s.freeze(m.f, level, level)
+						remaining--
 					}
 				}
 			}
-			if frozen {
-				for _, l := range f.Path {
-					links[l].active--
-				}
-			} else {
-				rest = append(rest, f)
-			}
 		}
-		if len(rest) == len(active) {
-			// No progress is possible (can only happen from numeric
-			// dust); freeze everything to guarantee termination.
-			for _, f := range active {
-				for _, l := range f.Path {
-					links[l].active--
-				}
-			}
-			rest = nil
-		}
-		active = rest
 	}
+	s.last.Rounds = rounds
+	s.heap = heap[:0]
+}
+
+// freeze finalizes a flow's rate and retires it from every link it
+// crosses: the links' residuals are synced to the fill level, their
+// unfrozen counts drop, and the granted load is recorded.
+func (s *Set) freeze(f *Flow, rate, level core.Rate) {
+	f.Rate = rate
+	for _, lid := range f.Path {
+		ls := s.links[lid]
+		ls.sync(level)
+		ls.nactive--
+		ls.load += rate
+	}
+}
+
+// heapPush and heapPop maintain a binary min-heap of links keyed by
+// saturation level. Hand-rolled over a shared scratch slice so the solve
+// path stays allocation-free.
+func heapPush(h []*linkState, ls *linkState) []*linkState {
+	h = append(h, ls)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].key <= h[i].key {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []*linkState) []*linkState {
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].key < h[smallest].key {
+			smallest = l
+		}
+		if r < len(h) && h[r].key < h[smallest].key {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return h
 }
 
 // AggregateRx reports the total rate currently arriving at all
@@ -300,21 +703,21 @@ func (s *Set) RxRateByDst() map[core.NodeID]core.Rate {
 	return out
 }
 
-// LinkRate reports the instantaneous load on a directed link.
+// LinkRate reports the instantaneous load on a directed link in O(1) from
+// the persistent per-link granted load.
 func (s *Set) LinkRate(l core.LinkID) core.Rate {
-	var sum core.Rate
-	for _, f := range s.flows {
-		if f.State != Active {
-			continue
-		}
-		for _, fl := range f.Path {
-			if fl == l {
-				sum += f.Rate
-				break
-			}
-		}
+	if ls := s.links[l]; ls != nil {
+		return ls.load
 	}
-	return sum
+	return 0
+}
+
+// LinkFlows reports how many active flows currently cross a link.
+func (s *Set) LinkFlows(l core.LinkID) int {
+	if ls := s.links[l]; ls != nil {
+		return len(ls.members)
+	}
+	return 0
 }
 
 // LinkBytes reports the bytes delivered over a directed link so far
@@ -323,9 +726,11 @@ func (s *Set) LinkBytes(l core.LinkID) uint64 { return s.linkB[l] }
 
 // Flows returns live flows in insertion order.
 func (s *Set) Flows() []*Flow {
-	out := make([]*Flow, 0, len(s.order))
+	out := make([]*Flow, 0, len(s.flows))
 	for _, id := range s.order {
-		out = append(out, s.flows[id])
+		if f := s.flows[id]; f != nil {
+			out = append(out, f)
+		}
 	}
 	return out
 }
@@ -336,16 +741,17 @@ func (s *Set) FlowsByDst() map[core.NodeID][]*Flow {
 	out := make(map[core.NodeID][]*Flow)
 	for _, id := range s.order {
 		f := s.flows[id]
-		if f.State == Active {
+		if f != nil && f.State == Active {
 			out[f.Dst] = append(out[f.Dst], f)
 		}
 	}
 	return out
 }
 
-// MarkDirty forces the next Solve to recompute, used when link capacities
-// change underneath the set (e.g. link failure injection).
-func (s *Set) MarkDirty() { s.dirty = true }
+// MarkDirty forces the next Solve to re-read link capacities and
+// recompute every allocation, used when capacities change underneath the
+// set (e.g. link failure injection).
+func (s *Set) MarkDirty() { s.dirtyAll = true }
 
 // SortedLinkIDs returns the ids of links that carried traffic, sorted;
 // handy for deterministic test assertions and dumps.

@@ -356,3 +356,317 @@ func TestPermutationOnSharedCoreConverges(t *testing.T) {
 		}
 	}
 }
+
+// --- Regression: zero- and negative-capacity links -----------------------
+
+func TestZeroCapacityLink(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		name := "incremental"
+		if naive {
+			name = "naive"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewSet(func(l core.LinkID) core.Rate {
+				if l == 0 {
+					return 0 // failed link
+				}
+				return core.Gbps
+			})
+			s.SetNaive(naive)
+			dead := mkFlow(1, core.Gbps, 0, 1) // crosses the dead link
+			live := mkFlow(2, core.Gbps, 1)    // healthy link only
+			s.Add(dead, 0)
+			s.Add(live, 0)
+			if dead.Rate != 0 {
+				t.Errorf("flow across zero-capacity link: rate = %v, want 0", dead.Rate)
+			}
+			if !approxEq(live.Rate, core.Gbps) {
+				t.Errorf("healthy flow: rate = %v, want 1Gbps", live.Rate)
+			}
+			if got := s.LinkRate(0); got != 0 {
+				t.Errorf("zero-capacity link load = %v, want 0", got)
+			}
+		})
+	}
+}
+
+func TestNegativeCapacityClamped(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		name := "incremental"
+		if naive {
+			name = "naive"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewSet(func(core.LinkID) core.Rate { return -5 * core.Gbps })
+			s.SetNaive(naive)
+			f := mkFlow(1, core.Gbps, 0)
+			s.Add(f, 0)
+			if f.Rate != 0 || math.IsNaN(float64(f.Rate)) {
+				t.Fatalf("rate on negative-capacity link = %v, want 0", f.Rate)
+			}
+		})
+	}
+}
+
+// TestDustFreezeTermination drives both solvers through allocations that
+// produce repeating-fraction shares and sub-epsilon demand differences —
+// the regime where the naive solver's increments shrink toward numeric
+// dust — and checks that they terminate with valid max–min allocations.
+func TestDustFreezeTermination(t *testing.T) {
+	caps := func(l core.LinkID) core.Rate {
+		// Capacities with non-terminating binary fractions.
+		return core.Gbps / core.Rate(3+int(l)%7)
+	}
+	for _, naive := range []bool{false, true} {
+		name := "incremental"
+		if naive {
+			name = "naive"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewSet(caps)
+			s.SetNaive(naive)
+			var flows []*Flow
+			for i := 0; i < 30; i++ {
+				// Demands differing by fractions of the 1 bps epsilon.
+				d := core.Gbps/3 + core.Rate(i)*0.1
+				f := mkFlow(i+1, d, i%5, 5+i%7)
+				flows = append(flows, f)
+				s.Add(f, 0) // must return: termination is the test
+			}
+			loads := map[core.LinkID]core.Rate{}
+			for _, f := range flows {
+				if f.Rate < 0 {
+					t.Fatalf("flow %d left unfrozen (rate %v)", f.ID, f.Rate)
+				}
+				if f.Rate > f.Demand+1e3 {
+					t.Fatalf("flow %d above demand: %v > %v", f.ID, f.Rate, f.Demand)
+				}
+				for _, l := range f.Path {
+					loads[l] += f.Rate
+				}
+			}
+			for l, load := range loads {
+				if load > caps(l)+1e3 {
+					t.Fatalf("link %v oversubscribed: %v > %v", l, load, caps(l))
+				}
+			}
+		})
+	}
+}
+
+// --- Accounting guards for the incremental bookkeeping -------------------
+
+func TestIntegrateAcrossRemoveMidInterval(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f1 := mkFlow(1, core.Gbps, 0, 1)
+	f2 := mkFlow(2, core.Gbps, 0)
+	s.Add(f1, 0)
+	s.Add(f2, 0) // both at 500 Mbps on link 0
+	s.Remove(1, core.Second)
+	// f1 existed 1s @ 500 Mbps = 62.5 MB on links 0 and 1, then stops
+	// accruing even though time advances.
+	if f1.Bytes != 62_500_000 {
+		t.Fatalf("removed flow bytes = %d, want 62500000", f1.Bytes)
+	}
+	s.Integrate(3 * core.Second)
+	if f1.Bytes != 62_500_000 {
+		t.Fatalf("removed flow accrued after removal: %d", f1.Bytes)
+	}
+	// f2: 1s @ 500 Mbps + 2s @ 1 Gbps = 62.5 MB + 250 MB.
+	if f2.Bytes != 312_500_000 {
+		t.Fatalf("survivor bytes = %d, want 312500000", f2.Bytes)
+	}
+	// Link 0 carried both; link 1 only f1 before its removal.
+	if got := s.LinkBytes(0); got != 375_000_000 {
+		t.Fatalf("link 0 bytes = %d, want 375000000", got)
+	}
+	if got := s.LinkBytes(1); got != 62_500_000 {
+		t.Fatalf("link 1 bytes = %d, want 62500000", got)
+	}
+}
+
+func TestRxRateByDstAfterSetPath(t *testing.T) {
+	// Two destinations; rerouting f2 off the shared bottleneck must move
+	// both flows' rates and the per-destination receive map.
+	s := NewSet(capsConst(1 * core.Gbps))
+	f1 := mkFlow(1, core.Gbps, 0)
+	f1.Dst = 7
+	f2 := mkFlow(2, core.Gbps, 0)
+	f2.Dst = 8
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	per := s.RxRateByDst()
+	if !approxEq(per[7], 500*core.Mbps) || !approxEq(per[8], 500*core.Mbps) {
+		t.Fatalf("pre-reroute per-dst = %v", per)
+	}
+	s.SetPath(2, []core.LinkID{1}, core.Second) // move f2 to its own link
+	per = s.RxRateByDst()
+	if !approxEq(per[7], core.Gbps) || !approxEq(per[8], core.Gbps) {
+		t.Fatalf("post-reroute per-dst = %v", per)
+	}
+	if !approxEq(s.LinkRate(0), core.Gbps) || !approxEq(s.LinkRate(1), core.Gbps) {
+		t.Fatalf("link loads = %v, %v", s.LinkRate(0), s.LinkRate(1))
+	}
+	// Blackhole f2: its rate vanishes from the map and from link 1.
+	s.SetPath(2, nil, 2*core.Second)
+	per = s.RxRateByDst()
+	if _, ok := per[8]; ok {
+		t.Fatalf("blackholed dst still receiving: %v", per)
+	}
+	if got := s.LinkRate(1); got != 0 {
+		t.Fatalf("link 1 load after blackhole = %v", got)
+	}
+}
+
+// --- Dirty-region cut ----------------------------------------------------
+
+func TestDirtyRegionComponentCut(t *testing.T) {
+	// Two clusters sharing no links: {links 0,1} and {links 10,11}.
+	s := NewSet(capsConst(1 * core.Gbps))
+	a1 := mkFlow(1, core.Gbps, 0, 1)
+	a2 := mkFlow(2, core.Gbps, 0)
+	b1 := mkFlow(3, core.Gbps, 10, 11)
+	b2 := mkFlow(4, core.Gbps, 10)
+	for _, f := range []*Flow{a1, a2, b1, b2} {
+		s.Add(f, 0)
+	}
+	// Removing a2 must re-solve only cluster A.
+	s.Remove(2, 0)
+	st := s.LastSolve()
+	if st.Flows != 1 || st.Full {
+		t.Fatalf("component stats after cluster-A removal = %+v, want Flows=1 partial", st)
+	}
+	if st.Links != 2 {
+		t.Fatalf("component links = %d, want 2 (links 0 and 1)", st.Links)
+	}
+	if !approxEq(a1.Rate, core.Gbps) {
+		t.Fatalf("cluster-A survivor = %v, want 1Gbps", a1.Rate)
+	}
+	if !approxEq(b1.Rate, 500*core.Mbps) || !approxEq(b2.Rate, 500*core.Mbps) {
+		t.Fatalf("cluster B disturbed: %v, %v", b1.Rate, b2.Rate)
+	}
+	// MarkDirty forces a full re-solve over both clusters.
+	s.MarkDirty()
+	s.Solve(0)
+	if st := s.LastSolve(); !st.Full || st.Flows != 3 {
+		t.Fatalf("full solve stats = %+v", st)
+	}
+}
+
+func TestDeferBatchesSolves(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	s.Add(mkFlow(1, core.Gbps, 0), 0)
+	before := s.Solves()
+	s.Defer()
+	for i := 2; i <= 10; i++ {
+		s.Add(mkFlow(i, core.Gbps, 0), 0)
+	}
+	if s.Solves() != before {
+		t.Fatalf("solver ran inside deferred batch: %d solves", s.Solves()-before)
+	}
+	s.Resume(0)
+	if s.Solves() != before+1 {
+		t.Fatalf("batch resume ran %d solves, want 1", s.Solves()-before)
+	}
+	for _, f := range s.Flows() {
+		if !approxEq(f.Rate, 100*core.Mbps) {
+			t.Fatalf("rate after batch = %v, want 100Mbps", f.Rate)
+		}
+	}
+}
+
+// --- Differential testing: incremental vs naive oracle -------------------
+
+// TestNaiveIncrementalParity churns random flow sets through the
+// incremental solver and checks every allocation against a from-scratch
+// naive solve of the same final state. Max–min allocations are unique, so
+// any divergence is a bug in the incremental bookkeeping.
+func TestNaiveIncrementalParity(t *testing.T) {
+	const nLinks = 16
+	caps := func(l core.LinkID) core.Rate {
+		if l == 3 {
+			return 0 // keep a dead link in the mix
+		}
+		return core.Gbps / core.Rate(1+int(l)%3)
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inc := NewSet(caps)
+		randPath := func() []core.LinkID {
+			plen := rng.Intn(4) + 1
+			seen := map[int]bool{}
+			var path []core.LinkID
+			for len(path) < plen {
+				l := rng.Intn(nLinks)
+				if !seen[l] {
+					seen[l] = true
+					path = append(path, core.LinkID(l))
+				}
+			}
+			return path
+		}
+		live := map[FlowID]*Flow{}
+		next := 1
+		for op := 0; op < 60; op++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.5: // add
+				f := mkFlow(next, core.Rate(rng.Intn(2000)+1)*core.Mbps/2, 0)
+				next++
+				f.Path = randPath()
+				live[f.ID] = f
+				inc.Add(f, 0)
+			case rng.Float64() < 0.5: // remove
+				for id := range live {
+					delete(live, id)
+					inc.Remove(id, 0)
+					break
+				}
+			default: // reroute (sometimes blackhole)
+				for id := range live {
+					if rng.Float64() < 0.2 {
+						inc.SetPath(id, nil, 0)
+					} else {
+						inc.SetPath(id, randPath(), 0)
+					}
+					break
+				}
+			}
+		}
+		// Oracle: same final flows, naive full solve.
+		oracle := NewSet(caps)
+		oracle.SetNaive(true)
+		for _, f := range inc.Flows() {
+			clone := &Flow{ID: f.ID, Demand: f.Demand, State: f.State, Dst: f.Dst}
+			clone.Path = append([]core.LinkID(nil), f.Path...)
+			oracle.Add(clone, 0)
+		}
+		for _, f := range inc.Flows() {
+			o, ok := oracle.Flow(f.ID)
+			if !ok {
+				t.Fatalf("seed %d: oracle missing flow %d", seed, f.ID)
+			}
+			if !approxEq(f.Rate, o.Rate) {
+				t.Fatalf("seed %d: flow %d rate %v (incremental) vs %v (naive oracle)",
+					seed, f.ID, f.Rate, o.Rate)
+			}
+		}
+		// Persistent link loads must match a recount from flow rates.
+		for l := 0; l < nLinks; l++ {
+			var want core.Rate
+			for _, f := range inc.Flows() {
+				if f.State != Active {
+					continue
+				}
+				for _, fl := range f.Path {
+					if fl == core.LinkID(l) {
+						want += f.Rate
+					}
+				}
+			}
+			if !approxEq(inc.LinkRate(core.LinkID(l)), want) {
+				t.Fatalf("seed %d: link %d load %v, recount %v",
+					seed, l, inc.LinkRate(core.LinkID(l)), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fluid
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// solveNaive is the pre-incremental solver: a from-scratch progressive
+// filling that rebuilds per-link state in fresh maps on every solve and
+// raises all active flows by uniform increments. It is retained behind
+// SetNaive as the benchmark baseline (BenchmarkSolveScale measures the
+// incremental solver against it) and as a differential-testing oracle —
+// max–min allocations are unique, so both solvers must agree.
+//
+// Unlike the original seed implementation it clamps non-positive link
+// capacities explicitly: a flow crossing a zero-capacity link freezes at
+// rate 0 in the first round instead of driving the increment negative and
+// relying on the numeric-dust fallback to terminate.
+func (s *Set) solveNaive() {
+	type naiveLink struct {
+		cap    core.Rate
+		load   core.Rate // allocation already granted on this link
+		active int       // flows still being filled
+	}
+	links := make(map[core.LinkID]*naiveLink)
+	var active []*Flow
+	for _, id := range s.order {
+		f := s.flows[id]
+		if f == nil {
+			continue // tombstone of a removed flow
+		}
+		if f.State != Active || len(f.Path) == 0 {
+			f.Rate = 0
+			continue
+		}
+		f.Rate = 0
+		active = append(active, f)
+		for _, l := range f.Path {
+			nl := links[l]
+			if nl == nil {
+				c := s.caps(l)
+				if c < 0 {
+					c = 0
+				}
+				nl = &naiveLink{cap: c}
+				links[l] = nl
+			}
+			nl.active++
+		}
+	}
+	s.last = SolveStats{Flows: len(active), Links: len(links), Full: true}
+
+	// Progressive filling: raise all active flows together until a link
+	// saturates or a flow reaches its demand; freeze and repeat.
+	rounds := 0
+	for len(active) > 0 {
+		rounds++
+		// The largest uniform increment every active flow can take.
+		inc := core.Rate(math.Inf(1))
+		for _, f := range active {
+			if room := f.Demand - f.Rate; room < inc {
+				inc = room
+			}
+		}
+		for _, nl := range links {
+			if nl.active == 0 {
+				continue
+			}
+			if share := (nl.cap - nl.load) / core.Rate(nl.active); share < inc {
+				inc = share
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Apply the increment.
+		for _, f := range active {
+			f.Rate += inc
+			for _, l := range f.Path {
+				links[l].load += inc
+			}
+		}
+		// Freeze flows that hit their demand or cross a saturated link.
+		var rest []*Flow
+		for _, f := range active {
+			frozen := f.Demand-f.Rate <= s.epsilon
+			if !frozen {
+				for _, l := range f.Path {
+					nl := links[l]
+					if nl.cap-nl.load <= s.epsilon {
+						frozen = true
+						break
+					}
+				}
+			}
+			if frozen {
+				for _, l := range f.Path {
+					links[l].active--
+				}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		if len(rest) == len(active) {
+			// No progress is possible (can only happen from numeric
+			// dust); freeze everything to guarantee termination.
+			for _, f := range active {
+				for _, l := range f.Path {
+					links[l].active--
+				}
+			}
+			rest = nil
+		}
+		active = rest
+	}
+	s.last.Rounds = rounds
+
+	// Refresh the persistent per-link granted loads so O(1) accessors
+	// (LinkRate) stay correct in naive mode.
+	for _, ls := range s.links {
+		ls.load = 0
+		for _, m := range ls.members {
+			ls.load += m.f.Rate
+		}
+	}
+}

@@ -254,9 +254,13 @@ func (n *Network) clearPunts(ft core.FiveTuple) {
 // ReRouteAll recomputes the path of every live flow after forwarding
 // state changed (FIB install, FLOW_MOD, expiry). Pending flows whose
 // forwarding state is now complete become active; active flows whose
-// state disappeared become pending again.
+// state disappeared become pending again. The whole pass runs as one
+// deferred solver batch: a convergence burst that re-paths thousands of
+// flows pays for a single rate solve instead of one per SetPath.
 func (n *Network) ReRouteAll(now core.Time) {
 	n.reroutes++
+	n.Flows.Defer()
+	defer n.Flows.Resume(now)
 	for _, f := range n.Flows.Flows() {
 		path, status := n.route(f.Src, f.Tuple, now, true)
 		switch status {

@@ -1,0 +1,145 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FatTreePaths derives ECMP host-to-host paths of a k-ary fat-tree
+// structurally — without walking forwarding tables — in O(path length)
+// per query. Scale scenarios (≥100k concurrent flows on k=16) use it to
+// synthesize realistic routed workloads directly against the fluid model,
+// where driving the emulated control plane for every flow would dominate
+// the measurement.
+//
+// The hash argument plays the role of the switches' ECMP hash: it picks
+// one of the (k/2)^2 equal-cost core paths (or k/2 aggregation paths for
+// intra-pod traffic) deterministically, so a (flow, hash) pair always maps
+// to the same path — exactly like 5-tuple hashing in the SDN demo.
+type FatTreePaths struct {
+	g    *Graph
+	half int
+
+	aggs  [][]*Node // [pod][a] aggregation switch
+	cores [][]*Node // [a][c] core switch reachable from agg index a
+
+	edgeOf map[core.NodeID]*Node          // host -> its edge switch
+	links  map[[2]core.NodeID]core.LinkID // (from,to) -> directed link
+}
+
+// NewFatTreePaths indexes a graph produced by FatTree with the same k.
+func NewFatTreePaths(g *Graph, k int) (*FatTreePaths, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	p := &FatTreePaths{
+		g:      g,
+		half:   half,
+		aggs:   make([][]*Node, k),
+		cores:  make([][]*Node, half),
+		edgeOf: make(map[core.NodeID]*Node),
+		links:  make(map[[2]core.NodeID]core.LinkID, len(g.Links)),
+	}
+	for pod := range p.aggs {
+		p.aggs[pod] = make([]*Node, half)
+	}
+	for a := range p.cores {
+		p.cores[a] = make([]*Node, half)
+	}
+	for _, n := range g.Nodes {
+		switch n.Layer {
+		case LayerAgg:
+			if n.Pod < 0 || n.Pod >= k || n.Idx < 0 || n.Idx >= half {
+				return nil, fmt.Errorf("topo: agg %q outside k=%d layout", n.Name, k)
+			}
+			p.aggs[n.Pod][n.Idx] = n
+		case LayerCore:
+			if n.Idx < 0 || n.Idx >= half*half {
+				return nil, fmt.Errorf("topo: core %q outside k=%d layout", n.Name, k)
+			}
+			p.cores[n.Idx/half][n.Idx%half] = n
+		case LayerHost:
+			if len(n.Ports) != 1 {
+				return nil, fmt.Errorf("topo: host %q is not single-homed", n.Name)
+			}
+			p.edgeOf[n.ID] = g.Node(n.Ports[0].Peer)
+		}
+	}
+	for pod, row := range p.aggs {
+		for a, n := range row {
+			if n == nil {
+				return nil, fmt.Errorf("topo: missing agg %d in pod %d (not a k=%d fat-tree?)", a, pod, k)
+			}
+		}
+	}
+	for a, row := range p.cores {
+		for c, n := range row {
+			if n == nil {
+				return nil, fmt.Errorf("topo: missing core group %d index %d (not a k=%d fat-tree?)", a, c, k)
+			}
+		}
+	}
+	for _, l := range g.Links {
+		p.links[[2]core.NodeID{l.From, l.To}] = l.ID
+	}
+	return p, nil
+}
+
+// AppendPath appends the directed links of the hash-selected path from
+// src to dst onto buf and returns it; buf may be nil or a recycled slice,
+// so steady-state callers allocate nothing.
+func (p *FatTreePaths) AppendPath(buf []core.LinkID, src, dst core.NodeID, hash uint64) ([]core.LinkID, error) {
+	if src == dst {
+		return buf, fmt.Errorf("topo: path from %v to itself", src)
+	}
+	srcEdge, ok := p.edgeOf[src]
+	if !ok {
+		return buf, fmt.Errorf("topo: %v is not a fat-tree host", src)
+	}
+	dstEdge, ok := p.edgeOf[dst]
+	if !ok {
+		return buf, fmt.Errorf("topo: %v is not a fat-tree host", dst)
+	}
+	buf, err := p.hop(buf, src, srcEdge.ID)
+	if err != nil {
+		return buf, err
+	}
+	if srcEdge == dstEdge {
+		return p.hop(buf, srcEdge.ID, dst)
+	}
+	a := int(hash % uint64(p.half))
+	var via []core.NodeID
+	if srcEdge.Pod == dstEdge.Pod {
+		via = []core.NodeID{p.aggs[srcEdge.Pod][a].ID, dstEdge.ID, dst}
+	} else {
+		c := int(hash / uint64(p.half) % uint64(p.half))
+		via = []core.NodeID{
+			p.aggs[srcEdge.Pod][a].ID, p.cores[a][c].ID,
+			p.aggs[dstEdge.Pod][a].ID, dstEdge.ID, dst,
+		}
+	}
+	prev := srcEdge.ID
+	for _, hopDst := range via {
+		if buf, err = p.hop(buf, prev, hopDst); err != nil {
+			return buf, err
+		}
+		prev = hopDst
+	}
+	return buf, nil
+}
+
+// Path is AppendPath with a fresh slice.
+func (p *FatTreePaths) Path(src, dst core.NodeID, hash uint64) ([]core.LinkID, error) {
+	return p.AppendPath(nil, src, dst, hash)
+}
+
+// hop appends the directed link from a to b.
+func (p *FatTreePaths) hop(buf []core.LinkID, a, b core.NodeID) ([]core.LinkID, error) {
+	l, ok := p.links[[2]core.NodeID{a, b}]
+	if !ok {
+		return buf, fmt.Errorf("topo: no link %v -> %v", a, b)
+	}
+	return append(buf, l), nil
+}

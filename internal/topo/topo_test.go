@@ -353,3 +353,109 @@ func TestNeighbors(t *testing.T) {
 		t.Error("missing node has neighbors")
 	}
 }
+
+func TestFatTreePathsStructural(t *testing.T) {
+	const k = 4
+	g, err := FatTree(FatTreeOpts{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := NewFatTreePaths(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	checkPath := func(src, dst *Node, path []core.LinkID) {
+		t.Helper()
+		if len(path) == 0 {
+			t.Fatalf("%s->%s: empty path", src.Name, dst.Name)
+		}
+		prev := src.ID
+		for _, lid := range path {
+			l := g.Link(lid)
+			if l == nil || l.From != prev {
+				t.Fatalf("%s->%s: broken chain at %v", src.Name, dst.Name, lid)
+			}
+			prev = l.To
+		}
+		if prev != dst.ID {
+			t.Fatalf("%s->%s: path ends at %v", src.Name, dst.Name, prev)
+		}
+	}
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			for h := uint64(0); h < 8; h++ {
+				path, err := fp.Path(src.ID, dst.ID, h)
+				if err != nil {
+					t.Fatalf("%s->%s h=%d: %v", src.Name, dst.Name, h, err)
+				}
+				checkPath(src, dst, path)
+				// Structural paths are shortest paths: 2 hops same-edge,
+				// 4 intra-pod, 6 across the core.
+				want := 6
+				switch {
+				case src.Ports[0].Peer == dst.Ports[0].Peer:
+					want = 2
+				case src.Pod == dst.Pod:
+					want = 4
+				}
+				if len(path) != want {
+					t.Fatalf("%s->%s: path length %d, want %d", src.Name, dst.Name, len(path), want)
+				}
+			}
+		}
+	}
+	// Hash sweep covers every core for an inter-pod pair.
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	cores := map[core.NodeID]bool{}
+	for h := uint64(0); h < uint64(k*k); h++ {
+		path, err := fp.Path(src.ID, dst.ID, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := g.Link(path[2]).To // edge, agg, core
+		if g.Node(mid).Layer != LayerCore {
+			t.Fatalf("hop 3 of inter-pod path is %s", g.Node(mid).Layer)
+		}
+		cores[mid] = true
+	}
+	if want := k * k / 4; len(cores) != want {
+		t.Fatalf("hash sweep reached %d cores, want %d", len(cores), want)
+	}
+	// Determinism: same hash, same path.
+	p1, _ := fp.Path(src.ID, dst.ID, 12345)
+	p2, _ := fp.Path(src.ID, dst.ID, 12345)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same hash produced different paths")
+		}
+	}
+	// AppendPath reuses the buffer without allocating.
+	buf := make([]core.LinkID, 0, 8)
+	buf, err = fp.AppendPath(buf[:0], src.ID, dst.ID, 3)
+	if err != nil || len(buf) != 6 {
+		t.Fatalf("AppendPath = %v, %v", buf, err)
+	}
+	// Errors: self-path and non-host endpoints.
+	if _, err := fp.Path(src.ID, src.ID, 0); err == nil {
+		t.Fatal("self path accepted")
+	}
+	sw := g.Switches()[0]
+	if _, err := fp.Path(sw.ID, dst.ID, 0); err == nil {
+		t.Fatal("switch as source accepted")
+	}
+}
+
+func TestFatTreePathsRejectsNonFatTree(t *testing.T) {
+	g, _ := Linear(3, Switch, core.Gbps, 0)
+	if _, err := NewFatTreePaths(g, 4); err == nil {
+		t.Fatal("linear graph accepted as fat-tree")
+	}
+	g2, _ := FatTree(FatTreeOpts{K: 4})
+	if _, err := NewFatTreePaths(g2, 3); err == nil {
+		t.Fatal("odd k accepted")
+	}
+}

@@ -96,6 +96,40 @@ func Stride(stride int, rate core.Rate, start, duration core.Time) Pattern {
 	}
 }
 
+// Churn generates an arrival/departure workload: n flows between random
+// distinct hosts, each starting uniformly within the horizon and living
+// for a bounded random lifetime between meanLife/2 and 3·meanLife/2.
+// Unlike Permutation (one long-lived flow per host) this keeps the flow
+// set mutating for the whole run — the regime the incremental rate
+// solver is built for.
+func Churn(seed int64, n int, rate core.Rate, horizon, meanLife core.Time) Pattern {
+	return func(nHosts int) []Spec {
+		if nHosts < 2 || n <= 0 || horizon <= 0 || meanLife <= 0 {
+			return nil
+		}
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]Spec, 0, n)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(nHosts)
+			dst := rng.Intn(nHosts - 1)
+			if dst >= src {
+				dst++
+			}
+			life := meanLife/2 + core.Time(rng.Int63n(int64(meanLife)))
+			out = append(out, Spec{
+				SrcHost: src, DstHost: dst,
+				Rate:     rate,
+				Start:    core.Time(rng.Int63n(int64(horizon))),
+				Duration: life,
+				Proto:    core.ProtoUDP,
+				SrcPort:  uint16(1024 + i%60000),
+				DstPort:  uint16(1024 + i/60000),
+			})
+		}
+		return out
+	}
+}
+
 // Pairs sends flows between explicit host index pairs.
 func Pairs(rate core.Rate, start, duration core.Time, pairs ...[2]int) Pattern {
 	return func(n int) []Spec {

@@ -88,3 +88,37 @@ func TestPairs(t *testing.T) {
 		t.Fatalf("pairs = %+v", specs)
 	}
 }
+
+func TestChurn(t *testing.T) {
+	const n = 500
+	horizon := 10 * core.Second
+	meanLife := 2 * core.Second
+	specs := Churn(7, n, core.Gbps, horizon, meanLife)(64)
+	if len(specs) != n {
+		t.Fatalf("got %d specs, want %d", len(specs), n)
+	}
+	for i, s := range specs {
+		if s.SrcHost == s.DstHost {
+			t.Fatalf("spec %d: self flow", i)
+		}
+		if s.SrcHost < 0 || s.SrcHost >= 64 || s.DstHost < 0 || s.DstHost >= 64 {
+			t.Fatalf("spec %d: host out of range", i)
+		}
+		if s.Start < 0 || s.Start >= horizon {
+			t.Fatalf("spec %d: start %v outside horizon", i, s.Start)
+		}
+		if s.Duration < meanLife/2 || s.Duration > 3*meanLife/2 {
+			t.Fatalf("spec %d: lifetime %v outside [%v, %v]", i, s.Duration, meanLife/2, 3*meanLife/2)
+		}
+	}
+	// Deterministic per seed.
+	again := Churn(7, n, core.Gbps, horizon, meanLife)(64)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	if Churn(7, n, core.Gbps, horizon, meanLife)(1) != nil {
+		t.Fatal("degenerate host count accepted")
+	}
+}
