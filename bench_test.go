@@ -384,7 +384,7 @@ func BenchmarkSolveScale(b *testing.B) {
 		if link == nil {
 			return 0
 		}
-		return link.Rate
+		return link.Rate()
 	}
 	pair := func(rng *rand.Rand, podLocal bool) (src, dst *topo.Node) {
 		si := rng.Intn(len(hosts))

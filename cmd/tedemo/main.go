@@ -3,9 +3,15 @@
 // series (the graph the demo shows "of the aggregated rate of all flows
 // arriving at the hosts"), followed by a summary.
 //
+// With -fail, an agg-core link dies one third into the run and is
+// repaired at two thirds: the series shows the throughput collapse and
+// the control plane's repair — BGP withdraws and reroutes, or the SDN
+// controller reacts to PORT_STATUS — followed by full restoration at
+// link-up. A dip/recovery summary quantifies both.
+//
 // Usage:
 //
-//	tedemo -te bgp|hedera|ecmp5 [-k 4] [-dur 20s] [-pacing 1.0] [-seed 42] [-tsv]
+//	tedemo -te bgp|hedera|ecmp5 [-k 4] [-dur 20s] [-pacing 1.0] [-seed 42] [-tsv] [-fail]
 package main
 
 import (
@@ -27,10 +33,17 @@ func main() {
 		seed   = flag.Int64("seed", 42, "permutation seed")
 		tsv    = flag.Bool("tsv", false, "print the full time series as TSV")
 		naive  = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
+		fail   = flag.Bool("fail", false, "inject an agg-core link failure at dur/3, repair at 2*dur/3")
 	)
 	flag.Parse()
 
-	exp := horse.NewExperiment(horse.Config{Pacing: *pacing, NaiveSolver: *naive})
+	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive}
+	if *fail {
+		// Sample finely enough to resolve the dip: control plane repair
+		// takes milliseconds of (FTI-paced) virtual time.
+		cfg.SampleInterval = 10 * horse.Millisecond
+	}
+	exp := horse.NewExperiment(cfg)
 	var (
 		g   *horse.Topology
 		err error
@@ -66,7 +79,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := exp.Run(core.FromDuration(*dur))
+	end := core.FromDuration(*dur)
+	failAt, healAt := end/3, 2*end/3
+	if *fail {
+		// The same victim exists in both the SDN and the BGP fat-tree.
+		if err := exp.At(failAt).LinkDown("agg-0-0", "core-0-0"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := exp.At(healAt).LinkUp("agg-0-0", "core-0-0"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	res, err := exp.Run(end)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -88,4 +114,32 @@ func main() {
 		res.ControlBytes, res.ControlWrites, res.FlowModsApplied,
 		res.RouteInstalls, res.PacketIns, res.StatsQueries)
 	fmt.Printf("rate solver         : %d solves (naive=%v)\n", res.Solves, *naive)
+	if *fail {
+		rx := res.AggregateRx
+		pre := rx.MeanBetween(failAt-horse.Second, failAt)
+		post := rx.MeanBetween(end-horse.Second, end)
+		fmt.Printf("failure injection   : agg-0-0 <-> core-0-0 down @%v, up @%v (%d injections)\n",
+			failAt, healAt, res.Injections)
+		degraded := rx.MeanBetween(healAt-horse.Second, healAt)
+		if pre <= 0 || degraded <= 0 {
+			fmt.Printf("  no pre-failure baseline: the control plane had not converged by %v; use a longer -dur\n", failAt)
+			return
+		}
+		fmt.Printf("  pre-failure rate  : %v\n", horse.Rate(pre))
+		if dip, ok := rx.MinBetween(failAt, healAt); ok {
+			fmt.Printf("  dip               : %v at %v (-%.1f%%)\n",
+				horse.Rate(dip.Value), dip.At, 100*(pre-dip.Value)/pre)
+			// Repair latency: time from failure until the control plane
+			// reaches the degraded topology's steady rate. Anchored at
+			// the dip, not failAt, so a shallow failure (post-failure
+			// rate already at the degraded mean) is not reported as an
+			// instant repair.
+			if rec, ok := rx.FirstAtLeast(dip.At, 0.98*degraded); ok && rec.At < healAt {
+				fmt.Printf("  repaired          : %v at %v (%v after failure, before link-up)\n",
+					horse.Rate(rec.Value), rec.At, rec.At-failAt)
+			}
+		}
+		fmt.Printf("  degraded steady   : %v (%.1f%% of pre-failure)\n", horse.Rate(degraded), 100*degraded/pre)
+		fmt.Printf("  post-repair rate  : %v (%.1f%% of pre-failure)\n", horse.Rate(post), 100*post/pre)
+	}
 }

@@ -1,0 +1,110 @@
+// Failure injection walkthrough: the control plane's actual job is
+// reacting to events — link failures, capacity changes, session resets.
+// This example runs the same convergence experiment against both control
+// planes Horse emulates and compares their repair behaviour:
+//
+//  1. a BGP fat-tree (RFC 7938-style, one ASN per switch): the failure
+//     resets the eBGP session over the dead link, withdrawals flood, and
+//     the routers converge onto the surviving paths;
+//  2. an SDN fat-tree running the proactive ECMP app: the adjacent
+//     switches report PORT_STATUS and the controller reinstalls
+//     select-group rules over the surviving shortest paths.
+//
+// In both cases the aggregate receive rate collapses at the instant of
+// failure, recovers to the degraded topology's max-min rate after the
+// control plane repair, and returns to the pre-failure allocation when
+// the link comes back (exp.At(...).LinkUp restores it).
+//
+//	go run ./examples/failures
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	horse "repro"
+)
+
+const (
+	failAt = 4 * horse.Second
+	healAt = 8 * horse.Second
+	endAt  = 12 * horse.Second
+)
+
+func run(name string, setup func(*horse.Experiment) error) {
+	exp := horse.NewExperiment(horse.Config{
+		// Accelerate FTI so the walkthrough finishes quickly; shapes are
+		// preserved (see Config.Pacing). Sample at 10ms: control plane
+		// repair takes milliseconds, not the default 100ms sample.
+		Pacing:         20,
+		SampleInterval: 10 * horse.Millisecond,
+	})
+	if err := setup(exp); err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.SendPermutation(42, 1*horse.Gbps, 0, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// The scenario script: one agg-core link dies mid-run and is
+	// repaired later. Injections are control plane events — the hybrid
+	// clock holds in FTI while the emulated plane reacts in wall time.
+	if err := exp.At(failAt).LinkDown("agg-0-0", "core-0-0"); err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.At(healAt).LinkUp("agg-0-0", "core-0-0"); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := exp.Run(endAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rx := res.AggregateRx
+	pre := rx.MeanBetween(failAt-horse.Second, failAt)
+	degraded := rx.MeanBetween(healAt-horse.Second, healAt)
+	post := rx.MeanBetween(endAt-horse.Second, endAt)
+	dip, dipOK := rx.MinBetween(failAt, healAt)
+
+	fmt.Printf("== %s ==\n", name)
+	fmt.Printf("  wall time        : %v for %v virtual\n",
+		res.Sim.WallTotal.Round(time.Millisecond), res.Sim.VirtualEnd)
+	if pre <= 0 || degraded <= 0 || !dipOK {
+		fmt.Printf("  control plane had not converged before the failure; nothing to measure\n\n")
+		return
+	}
+	fmt.Printf("  pre-failure      : %v aggregate rx\n", horse.Rate(pre))
+	fmt.Printf("  dip              : %v at %v (-%.1f%%)\n",
+		horse.Rate(dip.Value), dip.At, 100*(pre-dip.Value)/pre)
+	if rec, ok := rx.FirstAtLeast(dip.At, 0.98*degraded); ok && rec.At < healAt {
+		fmt.Printf("  repair latency   : %v (control plane reroutes to %v)\n",
+			rec.At-failAt, horse.Rate(rec.Value))
+	}
+	fmt.Printf("  degraded steady  : %v (%.1f%% of pre)\n", horse.Rate(degraded), 100*degraded/pre)
+	fmt.Printf("  after link-up    : %v (%.1f%% of pre)\n", horse.Rate(post), 100*post/pre)
+	fmt.Printf("  control activity : %d withdraws, %d flowmods, %d injections\n\n",
+		res.RouteWithdraws, res.FlowModsApplied, res.Injections)
+}
+
+func main() {
+	run("BGP fat-tree k=4 (session reset + withdrawal flood)", func(exp *horse.Experiment) error {
+		g, err := horse.FatTree(4, horse.BGP())
+		if err != nil {
+			return err
+		}
+		exp.SetTopology(g)
+		exp.UseBGP(horse.BGPOptions{ECMP: true})
+		return nil
+	})
+	run("SDN fat-tree k=4, proactive ECMP (PORT_STATUS repair)", func(exp *horse.Experiment) error {
+		g, err := horse.FatTree(4, horse.SDN())
+		if err != nil {
+			return err
+		}
+		exp.SetTopology(g)
+		exp.UseSDN(horse.AppECMP5())
+		return nil
+	})
+}

@@ -36,13 +36,14 @@ type BGPOptions struct {
 // Experiment is a single Horse run: a topology, a control plane scenario
 // and a workload.
 type Experiment struct {
-	cfg      Config
-	g        *Topology
-	kind     scenarioKind
-	bgpOpts  BGPOptions
-	app      App
-	flows    []traffic.Spec
-	extraRun []func(e *Experiment) // test/ablation hooks
+	cfg        Config
+	g          *Topology
+	kind       scenarioKind
+	bgpOpts    BGPOptions
+	app        App
+	flows      []traffic.Spec
+	injections []injection           // scheduled failure/dynamics events
+	extraRun   []func(e *Experiment) // test/ablation hooks
 
 	// populated during Run
 	engine *sim.Engine
@@ -58,8 +59,18 @@ func NewExperiment(cfg Config) *Experiment {
 	return &Experiment{cfg: cfg}
 }
 
-// SetTopology assigns the experiment topology.
-func (e *Experiment) SetTopology(g *Topology) { e.g = g }
+// SetTopology assigns the experiment topology. Flows and injections are
+// scoped to a topology (flows hold host indices, injections hold
+// resolved links and nodes), so replacing it discards any already
+// scripted — script the workload and the failure scenario after the
+// final SetTopology.
+func (e *Experiment) SetTopology(g *Topology) {
+	if e.g != nil && e.g != g {
+		e.flows = nil
+		e.injections = nil
+	}
+	e.g = g
+}
 
 // UseBGP selects an emulated BGP control plane (requires a topology whose
 // forwarding nodes are routers).
@@ -201,6 +212,13 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 				})
 			}
 		}
+		// Failure & dynamics injections. Each injection marks control
+		// activity inside the applying method, so the clock is already
+		// in FTI when the emulated plane starts reacting.
+		for _, inj := range e.injections {
+			apply := inj.apply
+			e.engine.Schedule(inj.at, func() { apply(e.mgr) })
+		}
 		// Aggregate receive rate sampling.
 		var sample func()
 		sample = func() {
@@ -240,6 +258,7 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 	}
 	result.Sim = simStats
 	result.Solves = e.net.Flows.Solves()
+	result.Injections = e.mgr.Stats.Injections.Load()
 	result.ControlBytes = e.mgr.Stats.ControlBytes.Load()
 	result.ControlWrites = e.mgr.Stats.ControlWrites.Load()
 	result.RouteInstalls = e.mgr.Stats.RouteInstalls.Load()
@@ -287,6 +306,10 @@ type Result struct {
 	PacketIns       uint64
 	StatsQueries    uint64
 	Drops           uint64
+
+	// Injections counts applied failure/dynamics events (LinkDown,
+	// LinkUp, SetLinkRate, node transitions, flaps).
+	Injections uint64
 }
 
 // FlowResult summarizes one flow.

@@ -446,3 +446,552 @@ func TestChurnWorkload(t *testing.T) {
 		t.Error("churn flows delivered no bytes")
 	}
 }
+
+// TestFatTreeLinkFailureRecoverySDN is the headline failure experiment:
+// an agg-core link in a k=4 fat-tree dies mid-run, aggregate receive
+// rate dips (select groups keep hashing flows into the dead port until
+// the control plane reacts), the ECMP app repairs paths after the
+// PORT_STATUS round trip, and LinkUp restores the pre-failure
+// allocation.
+func TestFatTreeLinkFailureRecoverySDN(t *testing.T) {
+	topo, err := FatTree(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.SampleInterval = 5 * Millisecond
+	exp := NewExperiment(cfg)
+	exp.SetTopology(topo)
+	exp.UseSDN(AppECMP5())
+	if err := exp.SendPermutation(1, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		failAt = 4 * Second
+		healAt = 8 * Second
+		endAt  = 12 * Second
+	)
+	if err := exp.At(failAt).LinkDown("agg-0-0", "core-0-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(healAt).LinkUp("agg-0-0", "core-0-0"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(endAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections != 2 {
+		t.Fatalf("injections applied = %d, want 2", res.Injections)
+	}
+	rx := res.AggregateRx
+	pre := rx.MeanBetween(3*Second, failAt)
+	if pre < float64(4*Gbps) {
+		t.Fatalf("pre-failure aggregate = %v; experiment never converged", Rate(pre))
+	}
+	// The failure must produce a visible dip before the controller
+	// repair lands.
+	dip, ok := rx.MinBetween(failAt, healAt)
+	if !ok || dip.Value > pre-float64(500*Mbps) {
+		t.Fatalf("no throughput dip after LinkDown: min %v vs pre %v", Rate(dip.Value), Rate(pre))
+	}
+	// ...and the SDN control plane must repair it well before the heal:
+	// throughput returns to >= 75%% of pre-failure on the degraded
+	// topology.
+	rec, ok := rx.FirstAtLeast(failAt, 0.75*pre)
+	if !ok || rec.At >= healAt {
+		t.Fatalf("no recovery before LinkUp (rec=%+v ok=%v)", rec, ok)
+	}
+	t.Logf("pre=%v dip=%v@%v repaired=%v@%v", Rate(pre), Rate(dip.Value), dip.At, Rate(rec.Value), rec.At)
+	// LinkUp restores the pre-failure forwarding: the tail of the run
+	// must match the pre-failure aggregate closely (same groups, same
+	// hashes, same allocation).
+	post := rx.MeanBetween(11*Second, endAt)
+	if diff := post - pre; diff < -0.05*pre || diff > 0.05*pre {
+		t.Fatalf("LinkUp did not restore allocation: post %v vs pre %v", Rate(post), Rate(pre))
+	}
+}
+
+// TestBGPLinkFailureReroute drives the classic BGP convergence
+// experiment: a ring of four routers, traffic pinned to the best path,
+// the in-use link dies. The adjacent routers reset the session at once
+// (interface down), withdrawals flood, and the flow re-routes over the
+// surviving side of the ring; LinkUp re-peers and restores the original
+// best path.
+func TestBGPLinkFailureReroute(t *testing.T) {
+	topo, err := WANRing(4, 0, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.SampleInterval = 5 * Millisecond
+	exp := NewExperiment(cfg)
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h0", "h2", 500*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		failAt = 5 * Second
+		healAt = 10 * Second
+		endAt  = 15 * Second
+	)
+	// r0's best path to h2 goes via r1 (deterministic tiebreak: lowest
+	// router ID); failing r0-r1 forces a reroute via r3.
+	if err := exp.At(failAt).LinkDown("r0", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(healAt).LinkUp("r0", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(endAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections != 2 {
+		t.Fatalf("injections applied = %d, want 2", res.Injections)
+	}
+	if res.RouteWithdraws == 0 {
+		t.Fatal("link failure produced no BGP withdrawals")
+	}
+	rx := res.AggregateRx
+	pre := rx.MeanBetween(4*Second, failAt)
+	if pre < float64(450*Mbps) {
+		t.Fatalf("pre-failure rate = %v; BGP never converged", Rate(pre))
+	}
+	// Visible dip at the failure instant (the sample at failAt runs
+	// after the injection in the same event batch).
+	dip, ok := rx.MinBetween(failAt, healAt)
+	if !ok || dip.Value > 0.5*pre {
+		t.Fatalf("no dip after LinkDown: min %v vs pre %v", Rate(dip.Value), Rate(pre))
+	}
+	// BGP repairs over the other side of the ring well before the heal.
+	rec, ok := rx.FirstAtLeast(failAt, 0.9*pre)
+	if !ok || rec.At >= healAt {
+		t.Fatalf("no BGP reroute before LinkUp (rec=%+v ok=%v)", rec, ok)
+	}
+	t.Logf("pre=%v dip=%v@%v rerouted=%v@%v withdraws=%d",
+		Rate(pre), Rate(dip.Value), dip.At, Rate(rec.Value), rec.At, res.RouteWithdraws)
+	// After LinkUp the session re-establishes and traffic still flows.
+	post := rx.MeanBetween(14*Second, endAt)
+	if post < 0.9*pre {
+		t.Fatalf("allocation not restored after LinkUp: post %v vs pre %v", Rate(post), Rate(pre))
+	}
+	if res.Flows[0].State != fluid.Active.String() {
+		t.Fatalf("flow state at end = %v", res.Flows[0].State)
+	}
+}
+
+// TestFlapRandomLinks runs a seeded link-flapping storm through the full
+// stack and checks the schedule is deterministic, every outage is
+// paired with a repair inside the window, and the experiment survives
+// with traffic flowing at the end.
+func TestFlapRandomLinks(t *testing.T) {
+	build := func() (*Experiment, int) {
+		t.Helper()
+		topo, err := FatTree(4, SDN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := NewExperiment(testConfig())
+		exp.SetTopology(topo)
+		exp.UseSDN(AppECMP5())
+		if err := exp.SendPermutation(2, 1*Gbps, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		n, err := exp.FlapRandomLinks(99, 3, 2*Second, 9*Second, 2*Second, 300*Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp, n
+	}
+	exp, n := build()
+	if n == 0 || n%2 != 0 {
+		t.Fatalf("scheduled %d flap injections, want a positive even count", n)
+	}
+	// Determinism: same seed, same schedule.
+	if _, n2 := build(); n2 != n {
+		t.Fatalf("flap schedule not reproducible: %d vs %d", n, n2)
+	}
+	res, err := exp.Run(12 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections != uint64(n) {
+		t.Fatalf("applied %d injections, scheduled %d", res.Injections, n)
+	}
+	// All flaps healed by 9s; the tail must carry traffic again.
+	if tail := res.AggregateRx.MeanBetween(11*Second, 12*Second); tail < float64(4*Gbps) {
+		t.Fatalf("aggregate after flap storm = %v", Rate(tail))
+	}
+	if bad, err := exp.FlapRandomLinks(1, 10000, 0, Second, Second, Second); err == nil {
+		t.Fatalf("oversized flap request accepted (%d)", bad)
+	}
+}
+
+// TestInjectionValidation covers scripting-time error paths.
+func TestInjectionValidation(t *testing.T) {
+	exp := NewExperiment(Config{})
+	if err := exp.At(Second).LinkDown("a", "b"); err == nil {
+		t.Error("LinkDown without topology accepted")
+	}
+	topo, _ := Star(3, SDN())
+	exp.SetTopology(topo)
+	if err := exp.At(Second).LinkDown("nope", "h1"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := exp.At(Second).LinkDown("h0", "h1"); err == nil {
+		t.Error("nonexistent link accepted")
+	}
+	if err := exp.At(Second).SetLinkRate("h0", "s0", -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := exp.At(Second).NodeDown("ghost"); err == nil {
+		t.Error("unknown node for NodeDown accepted")
+	}
+	if err := exp.At(Second).NodeUp("ghost"); err == nil {
+		t.Error("unknown node for NodeUp accepted")
+	}
+	if err := exp.At(Second).LinkUp("h0", "s0"); err != nil {
+		t.Errorf("valid LinkUp rejected: %v", err)
+	}
+	if _, err := exp.FlapRandomLinks(1, 1, 0, Second, Second, Second); err == nil {
+		t.Error("flap on star (no eligible cables) accepted")
+	}
+}
+
+// TestSetLinkRateMidRun checks the capacity-change injection end to end:
+// a mid-run degrade of the only path throttles the flow, and a later
+// restore returns it to full rate — no routing changes involved.
+func TestSetLinkRateMidRun(t *testing.T) {
+	topo, err := Star(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.SampleInterval = 10 * Millisecond
+	exp := NewExperiment(cfg)
+	exp.SetTopology(topo)
+	exp.UseSDN(AppReactive(false))
+	if err := exp.AddFlow("h0", "h1", 800*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(4*Second).SetLinkRate("h0", "s0", 200*Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(8*Second).SetLinkRate("h0", "s0", Gbps); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(12 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := res.AggregateRx
+	if pre := rx.MeanBetween(3*Second, 4*Second); pre < float64(750*Mbps) {
+		t.Fatalf("pre-change rate = %v", Rate(pre))
+	}
+	if mid := rx.MeanBetween(5*Second, 8*Second); mid > float64(210*Mbps) || mid < float64(150*Mbps) {
+		t.Fatalf("degraded rate = %v, want ~200Mbps", Rate(mid))
+	}
+	if post := rx.MeanBetween(9*Second, 12*Second); post < float64(750*Mbps) {
+		t.Fatalf("restored rate = %v", Rate(post))
+	}
+}
+
+// TestNodeDownUpBGP kills a transit router and brings it back: the ring
+// re-converges around the dead node and heals when it returns.
+func TestNodeDownUpBGP(t *testing.T) {
+	topo, err := WANRing(4, 0, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h0", "h2", 400*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(5 * Second).NodeDown("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(10 * Second).NodeUp("r1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(15 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1 has three cables (two ring links and its host access link):
+	// down + up = 6 cable injections.
+	if res.Injections != 6 {
+		t.Fatalf("injections = %d, want 6", res.Injections)
+	}
+	if res.RouteWithdraws == 0 {
+		t.Fatal("node failure produced no withdrawals")
+	}
+	rx := res.AggregateRx
+	// The flow survives the node failure via the other side of the ring
+	// and is still active at the end.
+	if mid := rx.MeanBetween(8*Second, 10*Second); mid < float64(350*Mbps) {
+		t.Fatalf("rate during node outage = %v; reroute failed", Rate(mid))
+	}
+	if tail := rx.MeanBetween(14*Second, 15*Second); tail < float64(350*Mbps) {
+		t.Fatalf("rate after node repair = %v", Rate(tail))
+	}
+}
+
+// TestFailureParityNaiveVsIncremental runs the same failure scenario
+// with the incremental dirty-region solver and the naive baseline: the
+// steady rates before the failure, during the outage and after repair
+// must agree (max–min allocations are unique), proving SetCapacity's
+// dirty-region seeding matches a full recompute.
+func TestFailureParityNaiveVsIncremental(t *testing.T) {
+	run := func(naive bool) *Result {
+		t.Helper()
+		topo, err := FatTree(2, SDN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig()
+		cfg.NaiveSolver = naive
+		exp := NewExperiment(cfg)
+		exp.SetTopology(topo)
+		exp.UseSDN(AppECMP5())
+		if err := exp.SendPermutation(4, 1*Gbps, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.At(3*Second).SetLinkRate("agg-0-0", "core-0-0", 250*Mbps); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.At(5*Second).LinkDown("agg-0-0", "core-0-0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.At(7*Second).LinkUp("agg-0-0", "core-0-0"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := exp.Run(9 * Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inc := run(false)
+	naive := run(true)
+	for _, w := range [][2]Time{{2 * Second, 3 * Second}, {4 * Second, 5 * Second}, {8 * Second, 9 * Second}} {
+		got := inc.AggregateRx.MeanBetween(w[0], w[1])
+		want := naive.AggregateRx.MeanBetween(w[0], w[1])
+		if diff := got - want; diff < -float64(20*Mbps) || diff > float64(20*Mbps) {
+			t.Errorf("window %v-%v: incremental %v vs naive %v", w[0], w[1], Rate(got), Rate(want))
+		}
+	}
+}
+
+// TestNodeUpDoesNotReviveScriptedLinkDown pins the composition rule: a
+// node repair restores only the cables its own failure took down — an
+// independent scripted LinkDown outlives the node outage until its own
+// LinkUp.
+func TestNodeUpDoesNotReviveScriptedLinkDown(t *testing.T) {
+	topo, err := WANRing(4, 0, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h0", "h2", 400*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Scripted outage of r0-r1 from 3s to 12s; r1 crashes and recovers
+	// inside that window. NodeUp at 8s must NOT bring r0-r1 back.
+	if err := exp.At(3*Second).LinkDown("r0", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(5 * Second).NodeDown("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(8 * Second).NodeUp("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(12*Second).LinkUp("r0", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	var linkStates []bool
+	exp.extraRun = append(exp.extraRun, func(e *Experiment) {
+		e.engine.PostData(func() {
+			check := func(at Time) {
+				e.engine.Schedule(at, func() {
+					r0, _ := e.g.NodeByName("r0")
+					r1, _ := e.g.NodeByName("r1")
+					ab := e.g.CableBetween(r0.ID, r1.ID)
+					linkStates = append(linkStates, e.g.LinkAlive(ab.ID))
+				})
+			}
+			check(10 * Second) // after NodeUp, before LinkUp
+			check(13 * Second) // after LinkUp
+		})
+	})
+	res, err := exp.Run(15 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(linkStates) != 2 || linkStates[0] || !linkStates[1] {
+		t.Fatalf("r0-r1 alive states [after NodeUp, after LinkUp] = %v, want [false true]", linkStates)
+	}
+	// LinkDown, NodeDown (2 remaining cables), NodeUp (2), LinkUp = 6
+	// transitions; the scripted LinkUp is NOT swallowed by NodeUp.
+	if res.Injections != 6 {
+		t.Fatalf("injections = %d, want 6", res.Injections)
+	}
+	// After everything heals the flow runs again.
+	if tail := res.AggregateRx.MeanBetween(14*Second, 15*Second); tail < float64(350*Mbps) {
+		t.Fatalf("rate after full repair = %v", Rate(tail))
+	}
+}
+
+// TestHostLinkFailureRestoresConnectedRoute pins the interface-up
+// behaviour of a BGP edge router: failing a host access link prunes the
+// router's connected /32 (interface-down), and the repair must reinstall
+// it or the host stays blackholed forever.
+func TestHostLinkFailureRestoresConnectedRoute(t *testing.T) {
+	topo, err := WANRing(4, 0, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h0", "h1", 400*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(4*Second).LinkDown("h1", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(7*Second).LinkUp("h1", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(12 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := res.AggregateRx
+	if pre := rx.MeanBetween(3*Second, 4*Second); pre < float64(350*Mbps) {
+		t.Fatalf("pre-failure rate = %v", Rate(pre))
+	}
+	if mid := rx.MeanBetween(5*Second, 7*Second); mid != 0 {
+		t.Fatalf("rate during access outage = %v, want 0", Rate(mid))
+	}
+	if post := rx.MeanBetween(10*Second, 12*Second); post < float64(350*Mbps) {
+		t.Fatalf("rate after access repair = %v; connected /32 not reinstalled", Rate(post))
+	}
+}
+
+// TestLinkDownDuringNodeOutageSurvivesNodeUp pins the other composition
+// direction: a LinkDown scripted while the node outage already holds the
+// cable down must convert it to an independent outage that NodeUp does
+// not revive.
+func TestLinkDownDuringNodeOutageSurvivesNodeUp(t *testing.T) {
+	topo, err := WANRing(4, 0, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h0", "h2", 400*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(3 * Second).NodeDown("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(4*Second).LinkDown("r0", "r1"); err != nil { // cable already down
+		t.Fatal(err)
+	}
+	if err := exp.At(6 * Second).NodeUp("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(10*Second).LinkUp("r0", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	var alive []bool
+	exp.extraRun = append(exp.extraRun, func(e *Experiment) {
+		e.engine.PostData(func() {
+			check := func(at Time) {
+				e.engine.Schedule(at, func() {
+					r0, _ := e.g.NodeByName("r0")
+					r1, _ := e.g.NodeByName("r1")
+					ab := e.g.CableBetween(r0.ID, r1.ID)
+					alive = append(alive, e.g.LinkAlive(ab.ID))
+				})
+			}
+			check(8 * Second)  // after NodeUp: must still be down
+			check(11 * Second) // after its own LinkUp: restored
+		})
+	})
+	res, err := exp.Run(13 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alive) != 2 || alive[0] || !alive[1] {
+		t.Fatalf("r0-r1 alive [after NodeUp, after LinkUp] = %v, want [false true]", alive)
+	}
+	if tail := res.AggregateRx.MeanBetween(12*Second, 13*Second); tail < float64(350*Mbps) {
+		t.Fatalf("rate after full repair = %v", Rate(tail))
+	}
+}
+
+// TestAdjacentNodeOutagesDeferSharedCable pins CableUp's node-liveness
+// rule: a cable cannot come up while either endpoint node is crashed.
+// With two adjacent crashed routers, the first NodeUp defers their
+// shared cable to the second node's restore list; only the second
+// NodeUp revives it (and re-peers its BGP session).
+func TestAdjacentNodeOutagesDeferSharedCable(t *testing.T) {
+	topo, err := WANRing(4, 0, BGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h0", "h2", 400*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(3 * Second).NodeDown("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(4 * Second).NodeDown("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(6 * Second).NodeUp("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.At(9 * Second).NodeUp("r2"); err != nil {
+		t.Fatal(err)
+	}
+	var alive []bool
+	exp.extraRun = append(exp.extraRun, func(e *Experiment) {
+		e.engine.PostData(func() {
+			check := func(at Time) {
+				e.engine.Schedule(at, func() {
+					r1, _ := e.g.NodeByName("r1")
+					r2, _ := e.g.NodeByName("r2")
+					ab := e.g.CableBetween(r1.ID, r2.ID)
+					alive = append(alive, e.g.LinkAlive(ab.ID))
+				})
+			}
+			check(8 * Second)  // r1 up, r2 still down: shared cable must stay dead
+			check(11 * Second) // both up: restored
+		})
+	})
+	res, err := exp.Run(14 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alive) != 2 || alive[0] || !alive[1] {
+		t.Fatalf("r1-r2 alive [r1 up only, both up] = %v, want [false true]", alive)
+	}
+	// h2 is reachable again after r2 recovers (its access link and BGP
+	// sessions restored through the second NodeUp).
+	if tail := res.AggregateRx.MeanBetween(13*Second, 14*Second); tail < float64(350*Mbps) {
+		t.Fatalf("rate after both repairs = %v", Rate(tail))
+	}
+}

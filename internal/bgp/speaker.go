@@ -226,6 +226,26 @@ func (s *Speaker) Stop() {
 	s.wg.Wait()
 }
 
+// ResetPeer tears down the session to peer immediately — the
+// interface-down reaction of a routing daemon when the underlying link
+// fails. A CEASE notification is queued (best effort: the transport is
+// usually dying with the link), the session closes, everything learned
+// from the peer is withdrawn from the Loc-RIB, and withdrawals flood to
+// the remaining sessions. After a ResetPeer the speaker accepts a fresh
+// AddPeer for the same address (link repair re-peers over a new
+// transport). It reports whether a session to peer existed.
+func (s *Speaker) ResetPeer(peer netip.Addr) bool {
+	s.mu.Lock()
+	sess := s.sessions[peer]
+	s.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	sess.sendNotification(Notification{Code: NotifCease})
+	sess.down(fmt.Errorf("bgp: peer %v reset (link down)", peer))
+	return true
+}
+
 // SessionState reports the FSM state of the session to peer.
 func (s *Speaker) SessionState(peer netip.Addr) SessionState {
 	s.mu.Lock()

@@ -356,3 +356,56 @@ func TestKeepalivesFlowOnShortHoldTime(t *testing.T) {
 		t.Fatalf("keepalives sent = %d, want >= 2", a.Stats.KeepalivesSent.Load())
 	}
 }
+
+func TestResetPeerWithdrawsAndAllowsRePeering(t *testing.T) {
+	// Link-down injection seam: ResetPeer tears the session down
+	// immediately (no hold-timer wait), withdraws learned routes, and a
+	// later AddPeer for the same address (link repair) re-converges.
+	var sinkA routeSink
+	a, err := NewSpeaker(Config{
+		Name: "r1", ASN: 65001, RouterID: addr("1.1.1.1"),
+		OnRoute: sinkA.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSpeaker(Config{
+		Name: "r2", ASN: 65002, RouterID: addr("2.2.2.2"),
+		Networks: []netip.Prefix{pfx("10.0.2.0/24")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer b.Stop()
+	pair(t, a, b, "172.16.0.0", "172.16.0.1", 2, 2)
+	waitFor(t, "r1 learns the prefix", func() bool {
+		ev, ok := sinkA.latest()[pfx("10.0.2.0/24")]
+		return ok && len(ev.NextHops) == 1
+	})
+
+	// Fail the link: both ends reset (the injection layer resets both).
+	if !a.ResetPeer(addr("172.16.0.1")) {
+		t.Fatal("ResetPeer found no session on r1")
+	}
+	b.ResetPeer(addr("172.16.0.0"))
+	waitFor(t, "r1 withdraws after reset", func() bool {
+		ev, ok := sinkA.latest()[pfx("10.0.2.0/24")]
+		return ok && len(ev.NextHops) == 0
+	})
+	if a.SessionState(addr("172.16.0.1")) != StateClosed {
+		t.Fatalf("session state after reset = %v", a.SessionState(addr("172.16.0.1")))
+	}
+	// Resetting a gone peer is a no-op.
+	if a.ResetPeer(addr("172.16.0.1")) {
+		t.Fatal("ResetPeer on closed session reported a session")
+	}
+
+	// Link repair: fresh transport, same addresses — must re-establish
+	// and re-learn.
+	pair(t, a, b, "172.16.0.0", "172.16.0.1", 2, 2)
+	waitFor(t, "r1 re-learns the prefix after re-peering", func() bool {
+		ev, ok := sinkA.latest()[pfx("10.0.2.0/24")]
+		return ok && len(ev.NextHops) == 1
+	})
+}

@@ -41,6 +41,7 @@ type Stats struct {
 	FlowModsApplied atomic.Uint64
 	PacketIns       atomic.Uint64
 	StatsQueries    atomic.Uint64
+	Injections      atomic.Uint64
 }
 
 // Manager is the Connection Manager.
@@ -59,6 +60,12 @@ type Manager struct {
 
 	// flushArmed coalesces reroute flushes; engine goroutine only.
 	flushArmed bool
+
+	// nodeDowned records, per crashed node, the cables that NodeDown
+	// itself failed — NodeUp restores exactly those, so an independent
+	// scripted LinkDown that predates (or outlives) the node outage is
+	// not silently revived. Engine goroutine only.
+	nodeDowned map[core.NodeID][]*topo.Link
 }
 
 // New creates a Connection Manager bridging the given engine and
@@ -68,12 +75,13 @@ func New(engine *sim.Engine, net *netmodel.Network, logf func(string, ...any)) *
 		logf = func(string, ...any) {}
 	}
 	m := &Manager{
-		Engine:   engine,
-		Net:      net,
-		G:        net.G,
-		Logf:     logf,
-		speakers: make(map[core.NodeID]*bgp.Speaker),
-		agents:   make(map[core.NodeID]*openflow.Agent),
+		Engine:     engine,
+		Net:        net,
+		G:          net.G,
+		Logf:       logf,
+		speakers:   make(map[core.NodeID]*bgp.Speaker),
+		agents:     make(map[core.NodeID]*openflow.Agent),
+		nodeDowned: make(map[core.NodeID][]*topo.Link),
 	}
 	net.OnPacketIn = m.handlePacketIn
 	// The CM coalesces reroutes: control plane bursts (a fat-tree BGP
@@ -219,26 +227,36 @@ func (m *Manager) WireBGP(cfg BGPConfig) error {
 		if l.ID > l.Reverse {
 			continue
 		}
-		from := m.G.Node(l.From)
-		to := m.G.Node(l.To)
-		if from.Kind != topo.Router || to.Kind != topo.Router {
-			continue
-		}
-		ca, cb := m.TappedPipe()
-		pa := m.G.Port(l.From, l.FromPort)
-		pb := m.G.Port(l.To, l.ToPort)
-		if err := m.speakers[from.ID].AddPeer(bgp.PeerConfig{
-			Conn: ca, LocalAddr: pa.IP, RemoteAddr: pb.IP,
-			RemoteAS: to.ASN, Port: pa.ID,
-		}); err != nil {
+		if err := m.peerCable(l); err != nil {
 			return err
 		}
-		if err := m.speakers[to.ID].AddPeer(bgp.PeerConfig{
-			Conn: cb, LocalAddr: pb.IP, RemoteAddr: pa.IP,
-			RemoteAS: from.ASN, Port: pb.ID,
-		}); err != nil {
-			return err
-		}
+	}
+	return nil
+}
+
+// peerCable opens one BGP session across a router-router cable over a
+// fresh tapped transport; used at wiring time and again when a failed
+// link is repaired. Non-router cables are ignored.
+func (m *Manager) peerCable(l *topo.Link) error {
+	from := m.G.Node(l.From)
+	to := m.G.Node(l.To)
+	if from.Kind != topo.Router || to.Kind != topo.Router {
+		return nil
+	}
+	ca, cb := m.TappedPipe()
+	pa := m.G.Port(l.From, l.FromPort)
+	pb := m.G.Port(l.To, l.ToPort)
+	if err := m.speakers[from.ID].AddPeer(bgp.PeerConfig{
+		Conn: ca, LocalAddr: pa.IP, RemoteAddr: pb.IP,
+		RemoteAS: to.ASN, Port: pa.ID,
+	}); err != nil {
+		return err
+	}
+	if err := m.speakers[to.ID].AddPeer(bgp.PeerConfig{
+		Conn: cb, LocalAddr: pb.IP, RemoteAddr: pa.IP,
+		RemoteAS: from.ASN, Port: pb.ID,
+	}); err != nil {
+		return err
 	}
 	return nil
 }
@@ -257,19 +275,25 @@ func (m *Manager) originatedPrefixes(r *topo.Node) []netip.Prefix {
 // router's simulated FIB (Quagga's "connected" routes).
 func (m *Manager) installConnectedRoutes(r *topo.Node) {
 	node := r.ID
-	for _, p := range r.Ports {
+	for i := range r.Ports {
+		p := &r.Ports[i]
 		peer := m.G.Node(p.Peer)
 		if peer == nil || peer.Kind != topo.Host {
 			continue
 		}
-		route := fib.Route{
-			Prefix:   netip.PrefixFrom(peer.IP, 32),
-			NextHops: []fib.NextHop{{Port: p.ID, Via: peer.IP}},
-		}
+		route := connectedRoute(p, peer)
 		m.Engine.PostData(func() {
 			_ = m.Net.InstallRoute(node, route, m.Engine.Now())
 			m.scheduleFlush()
 		})
+	}
+}
+
+// connectedRoute is the /32 a router holds for a directly attached host.
+func connectedRoute(p *topo.Port, host *topo.Node) fib.Route {
+	return fib.Route{
+		Prefix:   netip.PrefixFrom(host.IP, 32),
+		NextHops: []fib.NextHop{{Port: p.ID, Via: host.IP}},
 	}
 }
 
@@ -334,6 +358,179 @@ func (m *Manager) expireLoop() {
 		m.Net.ExpireFlowEntries(m.Engine.Now())
 		m.expireLoop()
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Failure & dynamics injection
+// ---------------------------------------------------------------------------
+//
+// The injection methods apply a scripted event to the simulated data
+// plane and notify the emulated control plane exactly as the real event
+// would: a BGP router loses its session the moment the link drops
+// (interface-down, not hold-timer expiry), an OpenFlow switch reports
+// PORT_STATUS. Every injection is a control plane event, so the hybrid
+// clock enters FTI and the emulated processes react in wall time.
+// Engine goroutine only (injections are scheduled simulation events).
+
+// CableDown fails the cable containing the directed link ab.
+func (m *Manager) CableDown(ab *topo.Link) {
+	m.Engine.MarkControl()
+	if !m.Net.SetCableState(ab.ID, true, m.Engine.Now()) {
+		// Already down — e.g. a node outage took the cable with it. The
+		// explicit down-intent still matters: strip the cable from any
+		// node's restore list so NodeUp does not revive it; only its own
+		// LinkUp will.
+		m.forgetNodeDowned(ab)
+		return
+	}
+	m.Stats.Injections.Add(1)
+	m.notifyCable(ab, true)
+	m.scheduleFlush()
+}
+
+// forgetNodeDowned removes a cable from every crashed node's restore
+// list.
+func (m *Manager) forgetNodeDowned(ab *topo.Link) {
+	for id, links := range m.nodeDowned {
+		kept := links[:0]
+		for _, l := range links {
+			if l.ID != ab.ID && l.ID != ab.Reverse {
+				kept = append(kept, l)
+			}
+		}
+		m.nodeDowned[id] = kept
+	}
+}
+
+// CableUp repairs the cable containing ab: capacity returns, BGP
+// sessions re-peer over a fresh transport, switches report the port up.
+//
+// A cable cannot come up while an endpoint node is crashed — plugging a
+// cable back into a dead router does nothing until the router boots. In
+// that case the up-intent is recorded on the crashed node's restore
+// list and NodeUp completes the repair (this also covers two adjacent
+// crashed nodes: the first NodeUp defers their shared cable to the
+// second).
+func (m *Manager) CableUp(ab *topo.Link) {
+	m.Engine.MarkControl()
+	from := m.G.Node(ab.From)
+	to := m.G.Node(ab.To)
+	if from.Down() || to.Down() {
+		for _, n := range []*topo.Node{from, to} {
+			if n.Down() && !m.restoreListed(n.ID, ab) {
+				m.nodeDowned[n.ID] = append(m.nodeDowned[n.ID], ab)
+			}
+		}
+		return
+	}
+	if !m.Net.SetCableState(ab.ID, false, m.Engine.Now()) {
+		return
+	}
+	m.Stats.Injections.Add(1)
+	m.notifyCable(ab, false)
+	m.scheduleFlush()
+}
+
+// restoreListed reports whether the cable is already on a crashed
+// node's restore list.
+func (m *Manager) restoreListed(id core.NodeID, ab *topo.Link) bool {
+	for _, l := range m.nodeDowned[id] {
+		if l.ID == ab.ID || l.ID == ab.Reverse {
+			return true
+		}
+	}
+	return false
+}
+
+// CableRate changes the capacity of the cable containing ab (both
+// directions) — a pure data plane dynamics event: allocations re-solve
+// over the dirty region, no session or port state changes.
+func (m *Manager) CableRate(ab *topo.Link, rate core.Rate) {
+	m.Engine.MarkControl()
+	m.Stats.Injections.Add(1)
+	m.Net.SetCableRate(ab.ID, rate, m.Engine.Now())
+}
+
+// NodeDown fails a node: every attached cable goes down (sessions reset,
+// PORT_STATUS floods from the surviving neighbors) and the node stops
+// forwarding. The node's emulated process keeps running but is isolated,
+// like a router whose every interface lost carrier.
+func (m *Manager) NodeDown(id core.NodeID) {
+	node := m.G.Node(id)
+	if node == nil || node.Down() {
+		return
+	}
+	var downed []*topo.Link
+	for _, p := range node.Ports {
+		if l := m.G.Link(p.Link); l != nil && !l.Down() {
+			m.CableDown(l)
+			downed = append(downed, l)
+		}
+	}
+	m.nodeDowned[id] = downed
+	m.Net.SetNodeState(id, true, m.Engine.Now())
+	m.scheduleFlush()
+}
+
+// NodeUp restores a node and the cables its NodeDown failed (cables
+// failed by an independent LinkDown stay down until their own LinkUp);
+// BGP sessions re-peer and the control plane re-converges.
+func (m *Manager) NodeUp(id core.NodeID) {
+	node := m.G.Node(id)
+	if node == nil || !node.Down() {
+		return
+	}
+	m.Net.SetNodeState(id, false, m.Engine.Now())
+	for _, l := range m.nodeDowned[id] {
+		m.CableUp(l)
+	}
+	delete(m.nodeDowned, id)
+	m.scheduleFlush()
+}
+
+// notifyCable delivers the control plane's view of a cable transition.
+func (m *Manager) notifyCable(ab *topo.Link, down bool) {
+	from := m.G.Node(ab.From)
+	to := m.G.Node(ab.To)
+	pa := m.G.Port(ab.From, ab.FromPort)
+	pb := m.G.Port(ab.To, ab.ToPort)
+	// A repaired host access link brings the router's connected /32 back
+	// (interface-up re-adds what the interface-down prune removed).
+	if !down {
+		if from.Kind == topo.Router && to.Kind == topo.Host {
+			_ = m.Net.InstallRoute(from.ID, connectedRoute(pa, to), m.Engine.Now())
+		}
+		if to.Kind == topo.Router && from.Kind == topo.Host {
+			_ = m.Net.InstallRoute(to.ID, connectedRoute(pb, from), m.Engine.Now())
+		}
+	}
+	// BGP: the routing daemons react to the interface change at once.
+	if from.Kind == topo.Router && to.Kind == topo.Router {
+		if down {
+			if sp := m.speakers[from.ID]; sp != nil {
+				sp.ResetPeer(pb.IP)
+			}
+			if sp := m.speakers[to.ID]; sp != nil {
+				sp.ResetPeer(pa.IP)
+			}
+		} else if m.speakers[from.ID] != nil && m.speakers[to.ID] != nil {
+			l := ab
+			if l.ID > l.Reverse {
+				l = m.G.Link(l.Reverse)
+			}
+			if err := m.peerCable(l); err != nil {
+				m.Logf("cm: re-peering %s-%s: %v", from.Name, to.Name, err)
+			}
+		}
+	}
+	// SDN: the switch agents report carrier loss/return to the
+	// controller as real PORT_STATUS messages.
+	if agent := m.agents[from.ID]; agent != nil {
+		agent.SetPortDown(uint16(ab.FromPort), down)
+	}
+	if agent := m.agents[to.ID]; agent != nil {
+		agent.SetPortDown(uint16(ab.ToPort), down)
+	}
 }
 
 // handlePacketIn runs on the engine goroutine when the simulated data

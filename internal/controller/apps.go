@@ -24,7 +24,24 @@ import (
 // "concentrated at the beginning" of the experiment.
 type ECMPApp struct {
 	ctx *Context
+
+	// repairArmed coalesces PORT_STATUS-driven recomputes: one cable
+	// event raises two PORT_STATUS (one per adjacent switch) and a node
+	// failure raises two per attached cable; a single debounced repair
+	// pass covers the whole batch.
+	mu          sync.Mutex
+	repairArmed bool
+
+	// repairMu serializes repair passes. Each pass is a full-fleet
+	// rewrite computed from the live topology, so with passes ordered
+	// the last one always converges the tables to the current state; an
+	// interleaved stale pass could otherwise land an FCDeleteStrict
+	// after a fresh pass's FCAdd and blackhole a destination.
+	repairMu sync.Mutex
 }
+
+// repairDebounce is the PORT_STATUS coalescing window (virtual time).
+const repairDebounce = 2 * core.Millisecond
 
 // Name implements App.
 func (a *ECMPApp) Name() string { return "ecmp5" }
@@ -39,10 +56,64 @@ func (a *ECMPApp) PacketIn(sw *SwitchHandle, pi openflow.PacketIn) {
 
 // SwitchReady implements App: install the full destination table.
 func (a *ECMPApp) SwitchReady(sw *SwitchHandle) {
+	a.install(sw, false)
+}
+
+// PortStatus implements App: the topology changed, so shortest-path
+// port groups anywhere may have gained or lost members — e.g. an
+// agg-core failure must also steer remote pods' aggs away from the
+// stranded core. The controller has a global view, so it recomputes and
+// reinstalls the destination table of every connected switch (FLOW_MOD
+// ADD replaces in place, so unchanged rules are idempotent rewrites).
+// Repairs are debounced: the burst of PORT_STATUS messages one failure
+// produces pays for a single full recompute.
+func (a *ECMPApp) PortStatus(sw *SwitchHandle, ps openflow.PortStatus) {
+	a.mu.Lock()
+	armed := a.repairArmed
+	a.repairArmed = true
+	a.mu.Unlock()
+	if armed {
+		return
+	}
+	a.ctx.Clock.After(repairDebounce, a.repairPass)
+}
+
+// repairPass rewrites every ready switch's destination table from the
+// live topology. Disarming happens after the pass is serialized, so a
+// topology change landing mid-pass re-arms a fresh pass that runs after
+// this one and converges the tables.
+func (a *ECMPApp) repairPass() {
+	a.repairMu.Lock()
+	defer a.repairMu.Unlock()
+	a.mu.Lock()
+	a.repairArmed = false
+	a.mu.Unlock()
+	for _, h := range a.ctx.Ctl.Switches() {
+		if h.Ready() {
+			a.install(h, true)
+		}
+	}
+}
+
+// install (re)computes and installs one rule per destination host. On a
+// repair pass, destinations that became unreachable have their rules
+// deleted so flows blackhole at the table miss (and re-punt) rather than
+// into a dead port.
+func (a *ECMPApp) install(sw *SwitchHandle, repair bool) {
 	g := a.ctx.Topo
 	for _, host := range g.Hosts() {
+		m := openflow.MatchFromTable(flowtable.Match{
+			DstBits: 32, Dst: host.IP,
+		})
 		ports := nextHopPorts(g, sw.Node, host.ID)
 		if len(ports) == 0 {
+			if repair {
+				sw.SendFlowMod(openflow.FlowMod{
+					Match:    m,
+					Command:  openflow.FCDeleteStrict,
+					Priority: 100,
+				})
+			}
 			continue
 		}
 		var action openflow.Action
@@ -51,9 +122,6 @@ func (a *ECMPApp) SwitchReady(sw *SwitchHandle) {
 		} else {
 			action = openflow.Action{Group: ports}
 		}
-		m := openflow.MatchFromTable(flowtable.Match{
-			DstBits: 32, Dst: host.IP,
-		})
 		sw.SendFlowMod(openflow.FlowMod{
 			Match:    m,
 			Command:  openflow.FCAdd,
@@ -130,6 +198,33 @@ func (a *HederaApp) Init(ctx *Context) {
 
 // SwitchReady implements App; Hedera is reactive, nothing to preinstall.
 func (a *HederaApp) SwitchReady(sw *SwitchHandle) {}
+
+// PortStatus implements App: forget placements that crossed the dead
+// link. The data plane has already invalidated the pinned entries, so
+// the affected flows re-punt and are re-pinned over live paths; dropping
+// the stale placement here keeps the Global First Fit scheduler from
+// treating a dead path as current.
+func (a *HederaApp) PortStatus(sw *SwitchHandle, ps openflow.PortStatus) {
+	if !ps.Desc.Down() {
+		return
+	}
+	p := a.ctx.Topo.Port(sw.Node, core.PortID(ps.Desc.PortNo))
+	if p == nil {
+		return
+	}
+	dead := p.Link
+	deadRev := a.ctx.Topo.Link(dead).Reverse
+	a.mu.Lock()
+	for ft, path := range a.installed {
+		for _, lid := range path {
+			if lid == dead || lid == deadRev {
+				delete(a.installed, ft)
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+}
 
 // PacketIn implements App: pin the new flow to a hash-chosen shortest
 // path by installing exact-match rules on every switch along it.
@@ -291,7 +386,7 @@ func (a *HederaApp) schedule(byteCounts map[core.FiveTuple]uint64) {
 	nic := core.Rate(core.Gbps)
 	if h := hosts[0]; len(h.Ports) > 0 {
 		if l := g.Link(h.Ports[0].Link); l != nil {
-			nic = l.Rate
+			nic = l.Rate()
 		}
 	}
 
@@ -316,7 +411,7 @@ func (a *HederaApp) schedule(byteCounts map[core.FiveTuple]uint64) {
 		},
 		func(l core.LinkID) core.Rate {
 			if link := g.Link(l); link != nil {
-				return link.Rate
+				return link.Rate()
 			}
 			return 0
 		},
@@ -408,6 +503,11 @@ func (a *ReactiveApp) Init(ctx *Context) { a.ctx = ctx }
 
 // SwitchReady implements App.
 func (a *ReactiveApp) SwitchReady(sw *SwitchHandle) {}
+
+// PortStatus implements App: nothing to do — the data plane invalidates
+// pinned entries over the dead link, the affected flows re-punt, and
+// PacketIn re-pins them over the surviving shortest paths.
+func (a *ReactiveApp) PortStatus(sw *SwitchHandle, ps openflow.PortStatus) {}
 
 // PacketIn implements App.
 func (a *ReactiveApp) PacketIn(sw *SwitchHandle, pi openflow.PacketIn) {

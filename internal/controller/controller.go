@@ -38,6 +38,10 @@ type App interface {
 	SwitchReady(sw *SwitchHandle)
 	// PacketIn delivers a table-miss punt.
 	PacketIn(sw *SwitchHandle, pi openflow.PacketIn)
+	// PortStatus delivers an asynchronous port change (link up/down) —
+	// the failure-injection subsystem's signal to SDN apps, which repair
+	// their installed paths here.
+	PortStatus(sw *SwitchHandle, ps openflow.PortStatus)
 }
 
 // Context gives apps access to shared controller facilities.
@@ -72,6 +76,20 @@ func (sw *SwitchHandle) Ports() []openflow.PhyPort {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	return append([]openflow.PhyPort(nil), sw.ports...)
+}
+
+// updatePort refreshes the cached description of one port from a
+// PORT_STATUS.
+func (sw *SwitchHandle) updatePort(desc openflow.PhyPort) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for i := range sw.ports {
+		if sw.ports[i].PortNo == desc.PortNo {
+			sw.ports[i] = desc
+			return
+		}
+	}
+	sw.ports = append(sw.ports, desc)
 }
 
 // SendFlowMod sends a FLOW_MOD to this switch.
@@ -125,6 +143,7 @@ type ControllerStats struct {
 	FlowModsSent      atomic.Int64
 	StatsRequestsSent atomic.Int64
 	PacketInsRecv     atomic.Int64
+	PortStatusesRecv  atomic.Int64
 	SwitchesReady     atomic.Int64
 }
 
@@ -277,6 +296,15 @@ func (c *Controller) serve(sw *SwitchHandle) {
 			}
 			c.Stats.PacketInsRecv.Add(1)
 			c.app.PacketIn(sw, pi)
+		case openflow.TypePortStatus:
+			ps, err := openflow.DecodePortStatus(raw)
+			if err != nil {
+				c.ctx.Logf("controller: bad port status from %d: %v", sw.DPID, err)
+				continue
+			}
+			c.Stats.PortStatusesRecv.Add(1)
+			sw.updatePort(ps.Desc)
+			c.app.PortStatus(sw, ps)
 		case openflow.TypeStatsReply:
 			if cb := c.takePending(h.XID); cb != nil {
 				cb(raw)

@@ -67,7 +67,14 @@ func (d *tableDP) ApplyFlowMod(fm openflow.FlowMod) error {
 			actions = append(actions, flowtable.Action{Type: flowtable.ActionOutput, Port: core.PortID(a.Output)})
 		}
 	}
-	d.table.Add(flowtable.Entry{Priority: fm.Priority, Match: fm.Match.ToTable(), Actions: actions}, 0)
+	switch fm.Command {
+	case openflow.FCDelete:
+		d.table.Delete(fm.Match.ToTable())
+	case openflow.FCDeleteStrict:
+		d.table.DeleteStrict(fm.Match.ToTable(), fm.Priority)
+	default:
+		d.table.Add(flowtable.Entry{Priority: fm.Priority, Match: fm.Match.ToTable(), Actions: actions}, 0)
+	}
 	return nil
 }
 
@@ -282,4 +289,66 @@ func TestAppNames(t *testing.T) {
 	if (&ECMPApp{}).Name() != "ecmp5" || (&HederaApp{}).Name() != "hedera" || (&ReactiveApp{}).Name() != "reactive" {
 		t.Fatal("app names wrong")
 	}
+}
+
+func TestPortStatusDrivesECMPRepair(t *testing.T) {
+	// Failure injection seam: a PORT_STATUS from the switch adjacent to a
+	// dead link must make the ECMP app recompute that switch's table —
+	// destinations that lost every live path get their rule deleted, and
+	// the link-up PORT_STATUS restores it.
+	g, err := topo.FatTree(topo.FatTreeOpts{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fire:true — the debounced PORT_STATUS repair schedules through the
+	// clock and must run.
+	ctl := New(g, &manualClock{fire: true}, &ECMPApp{}, t.Logf)
+	defer ctl.Stop()
+
+	agg, _ := g.NodeByName("agg-0-0")
+	c0, _ := g.NodeByName("core-0-0")
+	swEnd, ctlEnd := emu.Pipe()
+	dp := &tableDP{table: flowtable.New()}
+	var ports []openflow.PhyPort
+	for _, p := range agg.Ports {
+		ports = append(ports, openflow.PhyPort{PortNo: uint16(p.ID), HWAddr: p.MAC})
+	}
+	agent := openflow.NewAgent(DPIDOf(agg.ID), ports, swEnd, dp, nil)
+	agent.Start()
+	t.Cleanup(agent.Stop)
+	if err := ctl.Connect(agg.ID, DPIDOf(agg.ID), ctlEnd); err != nil {
+		t.Fatal(err)
+	}
+	// k=2: agg-0-0 reaches host-0-0-0 via its edge and host-1-0-0 via the
+	// core — two proactive rules.
+	waitFor(t, "proactive install", func() bool { return dp.tableLen() == 2 })
+
+	// Fail the agg-core cable: topology first (as netmodel.SetCableState
+	// would), then the carrier notification.
+	ab := g.CableBetween(agg.ID, c0.ID)
+	ab.SetDown(true)
+	g.Link(ab.Reverse).SetDown(true)
+	if !agent.SetPortDown(uint16(ab.FromPort), true) {
+		t.Fatal("agent does not know the failed port")
+	}
+	waitFor(t, "dead destination rule deleted", func() bool { return dp.tableLen() == 1 })
+	sw, _ := ctl.Switch(DPIDOf(agg.ID))
+	downSeen := false
+	for _, p := range sw.Ports() {
+		if p.PortNo == uint16(ab.FromPort) && p.Down() {
+			downSeen = true
+		}
+	}
+	if !downSeen {
+		t.Fatal("controller port cache not updated from PORT_STATUS")
+	}
+	if ctl.Stats.PortStatusesRecv.Load() == 0 {
+		t.Fatal("PORT_STATUS not counted")
+	}
+
+	// Repair: link back up, rule reinstalled.
+	ab.SetDown(false)
+	g.Link(ab.Reverse).SetDown(false)
+	agent.SetPortDown(uint16(ab.FromPort), false)
+	waitFor(t, "rule reinstalled after link up", func() bool { return dp.tableLen() == 2 })
 }

@@ -150,6 +150,40 @@ func (t *Table) LookupHash(addr netip.Addr, hash uint32) (NextHop, bool) {
 	return r.NextHops[int(hash%uint32(len(r.NextHops)))], true
 }
 
+// PrunePort removes every next hop reached through the given port, the
+// kernel-style cleanup a router performs when an interface goes down.
+// Routes whose ECMP group empties are withdrawn from the table entirely.
+// It reports how many routes were touched.
+func (t *Table) PrunePort(port core.PortID) int {
+	touched := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if r := n.route; r != nil {
+			kept := r.NextHops[:0]
+			for _, nh := range r.NextHops {
+				if nh.Port != port {
+					kept = append(kept, nh)
+				}
+			}
+			if len(kept) != len(r.NextHops) {
+				touched++
+				r.NextHops = kept
+				if len(kept) == 0 {
+					n.route = nil
+					t.count--
+				}
+			}
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(&t.root)
+	return touched
+}
+
 // Routes returns all installed routes sorted by prefix (address, then
 // length): a stable order for tests and dumps.
 func (t *Table) Routes() []Route {

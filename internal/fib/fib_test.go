@@ -246,3 +246,42 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+func TestPrunePort(t *testing.T) {
+	tb := New()
+	p1 := netip.MustParsePrefix("10.0.1.0/24")
+	p2 := netip.MustParsePrefix("10.0.2.0/24")
+	p3 := netip.MustParsePrefix("10.0.3.0/24")
+	if err := tb.Insert(p1, []NextHop{nh(1, "172.16.0.1"), nh(2, "172.16.0.3")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(p2, []NextHop{nh(2, "172.16.0.3")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(p3, []NextHop{nh(3, "172.16.0.5")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.PrunePort(2); got != 2 {
+		t.Fatalf("PrunePort touched %d routes, want 2", got)
+	}
+	// p1 lost one ECMP member but survives.
+	r, ok := tb.Lookup(netip.MustParseAddr("10.0.1.9"))
+	if !ok || len(r.NextHops) != 1 || r.NextHops[0].Port != 1 {
+		t.Fatalf("p1 after prune = %+v ok=%v", r, ok)
+	}
+	// p2's only hop died: route withdrawn.
+	if _, ok := tb.Lookup(netip.MustParseAddr("10.0.2.9")); ok {
+		t.Fatal("p2 still resolvable after pruning its only next hop")
+	}
+	// p3 untouched.
+	if _, ok := tb.Lookup(netip.MustParseAddr("10.0.3.9")); !ok {
+		t.Fatal("p3 lost")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	// Pruning an unused port is a no-op.
+	if got := tb.PrunePort(9); got != 0 {
+		t.Fatalf("PrunePort(9) touched %d", got)
+	}
+}

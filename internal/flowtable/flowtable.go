@@ -321,6 +321,36 @@ func (t *Table) Lookup(inPort core.PortID, ft core.FiveTuple) (*Entry, bool) {
 	return nil, false
 }
 
+// PrunePort removes entries whose forwarding output is the given port,
+// modelling the interface-down invalidation the data plane performs when
+// a link dies: exact/output rules into a dead port can never forward
+// again and their flows must re-punt to the controller for repair.
+// Select-group entries are left intact — the hash keeps picking the dead
+// member and blackholing deterministically until the controller
+// reinstalls the group (the PORT_STATUS repair path), which is the
+// OpenFlow 1.0 behaviour Horse emulates. Removed entries are returned so
+// the agent can emit FLOW_REMOVED.
+func (t *Table) PrunePort(port core.PortID) []*Entry {
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		dead := false
+		for _, a := range e.Actions {
+			if a.Type == ActionOutput && a.Port == port {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
 // ExpireDue removes and returns all entries expired at now.
 func (t *Table) ExpireDue(now core.Time) []*Entry {
 	var removed []*Entry

@@ -269,3 +269,39 @@ func TestPrefixMatching(t *testing.T) {
 		t.Fatal("prefix src matched outside subnet")
 	}
 }
+
+func TestPrunePort(t *testing.T) {
+	tb := New()
+	ftA := ft("10.0.0.1", "10.0.0.2", 100, 200)
+	ftB := ft("10.0.0.3", "10.0.0.4", 101, 201)
+	tb.Add(Entry{Priority: 200, Match: ExactFlowMatch(ftA),
+		Actions: []Action{{Type: ActionOutput, Port: 3}}}, 0)
+	tb.Add(Entry{Priority: 200, Match: ExactFlowMatch(ftB),
+		Actions: []Action{{Type: ActionOutput, Port: 4}}}, 0)
+	tb.Add(Entry{Priority: 100, Match: DstPrefixMatch(netip.MustParsePrefix("10.0.0.2/32")),
+		Actions: []Action{{Type: ActionSelectGroup, Group: []core.PortID{3, 4}}}}, 0)
+
+	removed := tb.PrunePort(3)
+	if len(removed) != 1 || !removed[0].Match.Equal(ExactFlowMatch(ftA)) {
+		t.Fatalf("PrunePort removed %v", removed)
+	}
+	// The output entry to the dead port is gone: ftA now falls through to
+	// the group entry (which deliberately keeps its dead member).
+	e, ok := tb.Lookup(1, ftA)
+	if !ok || e.Actions[0].Type != ActionSelectGroup {
+		t.Fatalf("ftA lookup after prune = %+v ok=%v", e, ok)
+	}
+	if got := len(e.Actions[0].Group); got != 2 {
+		t.Fatalf("group pruned to %d members; PORT_STATUS repair owns groups", got)
+	}
+	// ftB's entry (port 4) untouched.
+	if e, ok := tb.Lookup(1, ftB); !ok || e.Actions[0].Port != 4 {
+		t.Fatalf("ftB entry disturbed: %+v ok=%v", e, ok)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	if removed := tb.PrunePort(9); len(removed) != 0 {
+		t.Fatalf("PrunePort(9) removed %v", removed)
+	}
+}

@@ -390,6 +390,37 @@ func (s *Set) SetPath(id FlowID, path []core.LinkID, now core.Time) {
 	s.Solve(now)
 }
 
+// SetCapacity changes one link's capacity and recomputes the affected
+// allocations. It is the fluid layer's failure/dynamics injection seam:
+// a link-down clamps the capacity to zero (flows crossing it collapse to
+// rate 0 on the spot), a link-up or rate change restores it. Unlike
+// MarkDirty — which forces a full re-read and re-solve of every link —
+// SetCapacity seeds only the mutated link, so the next solve is confined
+// to the dirty component around the failure and performs no heap
+// allocations beyond the link state created the first time the link is
+// ever seen.
+//
+// Callers must keep the caps callback consistent with the new value
+// (mutate the topology first): MarkDirty and the naive baseline solver
+// re-read capacities through the callback.
+func (s *Set) SetCapacity(id core.LinkID, c core.Rate, now core.Time) {
+	if c < 0 {
+		c = 0
+	}
+	ls := s.link(id)
+	if ls.cap == c {
+		return
+	}
+	s.Integrate(now)
+	ls.cap = c
+	s.seed(ls)
+	s.Solve(now)
+}
+
+// Capacity reports the solver's current cached capacity for a link (the
+// value from the caps callback or the last SetCapacity).
+func (s *Set) Capacity(id core.LinkID) core.Rate { return s.link(id).cap }
+
 // Integrate accrues delivered bytes at the current rates up to now.
 // It must be called before any rate-affecting mutation.
 func (s *Set) Integrate(now core.Time) {

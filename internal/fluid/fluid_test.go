@@ -670,3 +670,160 @@ func TestNaiveIncrementalParity(t *testing.T) {
 		}
 	}
 }
+
+func TestSetCapacityCollapseAndRestore(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	a := mkFlow(1, core.Gbps, 0, 1)
+	b := mkFlow(2, core.Gbps, 2)
+	s.Add(a, 0)
+	s.Add(b, 0)
+	if !approxEq(a.Rate, core.Gbps) || !approxEq(b.Rate, core.Gbps) {
+		t.Fatalf("initial rates %v %v", a.Rate, b.Rate)
+	}
+	// Link 1 dies: flow a collapses to zero, b is untouched.
+	s.SetCapacity(1, 0, core.Second)
+	if a.Rate != 0 {
+		t.Fatalf("rate over dead link = %v, want 0", a.Rate)
+	}
+	if !approxEq(b.Rate, core.Gbps) {
+		t.Fatalf("unrelated flow disturbed: %v", b.Rate)
+	}
+	// Degraded capacity, then full restore.
+	s.SetCapacity(1, 300*core.Mbps, 2*core.Second)
+	if !approxEq(a.Rate, 300*core.Mbps) {
+		t.Fatalf("degraded rate = %v, want 300Mbps", a.Rate)
+	}
+	s.SetCapacity(1, core.Gbps, 3*core.Second)
+	if !approxEq(a.Rate, core.Gbps) {
+		t.Fatalf("restored rate = %v, want 1Gbps", a.Rate)
+	}
+	// Byte accounting integrated through the outage: 1s at 1G, 1s at 0,
+	// 1s at 300M.
+	s.Integrate(3 * core.Second)
+	want := core.Rate(core.Gbps).BytesIn(core.Second) + core.Rate(300*core.Mbps).BytesIn(core.Second)
+	if a.Bytes != want {
+		t.Fatalf("bytes through outage = %d, want %d", a.Bytes, want)
+	}
+}
+
+func TestSetCapacityDirtyRegionConfined(t *testing.T) {
+	// Two disjoint components; a capacity change in one must not re-solve
+	// the other.
+	s := NewSet(capsConst(1 * core.Gbps))
+	for i := 0; i < 8; i++ {
+		s.Add(mkFlow(i+1, core.Gbps, i), 0) // flows on links 0..7, disjoint
+	}
+	s.SetCapacity(2, 100*core.Mbps, 0)
+	if st := s.LastSolve(); st.Full || st.Links != 1 || st.Flows != 1 {
+		t.Fatalf("solve stats after SetCapacity = %+v, want 1 link / 1 flow region", st)
+	}
+	// No-op capacity change must not solve at all.
+	n := s.Solves()
+	s.SetCapacity(2, 100*core.Mbps, 0)
+	if s.Solves() != n {
+		t.Fatal("no-op SetCapacity triggered a solve")
+	}
+}
+
+func TestSetCapacityNoAllocsSteadyState(t *testing.T) {
+	// A capacity flap on a warmed-up set must not allocate: the
+	// injection path reuses the persistent link state and the solver
+	// scratch. (The acceptance bar for the failure-injection subsystem.)
+	s := NewSet(capsConst(1 * core.Gbps))
+	for i := 0; i < 32; i++ {
+		f := mkFlow(i+1, core.Gbps, i%8, 8+(i%4))
+		s.Add(f, 0)
+	}
+	// Warm up both capacity values so link state exists.
+	s.SetCapacity(8, 0, 0)
+	s.SetCapacity(8, core.Gbps, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.SetCapacity(8, 0, 0)
+		s.SetCapacity(8, core.Gbps, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("SetCapacity allocates %v per flap, want 0", allocs)
+	}
+}
+
+// TestSetCapacityParity extends the naive-vs-incremental oracle with
+// capacity mutations: random add/remove/reroute interleaved with
+// SetCapacity (including zero-capacity failures) must leave the
+// incremental solver agreeing with a from-scratch naive solve over the
+// final capacities.
+func TestSetCapacityParity(t *testing.T) {
+	const nLinks = 12
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		capsMap := make(map[core.LinkID]core.Rate, nLinks)
+		for l := 0; l < nLinks; l++ {
+			capsMap[core.LinkID(l)] = core.Gbps
+		}
+		caps := func(l core.LinkID) core.Rate { return capsMap[l] }
+		inc := NewSet(caps)
+		randPath := func() []core.LinkID {
+			plen := rng.Intn(3) + 1
+			seen := map[int]bool{}
+			var path []core.LinkID
+			for len(path) < plen {
+				l := rng.Intn(nLinks)
+				if !seen[l] {
+					seen[l] = true
+					path = append(path, core.LinkID(l))
+				}
+			}
+			return path
+		}
+		live := map[FlowID]*Flow{}
+		next := 1
+		for op := 0; op < 80; op++ {
+			r := rng.Float64()
+			switch {
+			case len(live) == 0 || r < 0.35: // add
+				f := mkFlow(next, core.Rate(rng.Intn(2000)+1)*core.Mbps/2, 0)
+				next++
+				f.Path = randPath()
+				live[f.ID] = f
+				inc.Add(f, 0)
+			case r < 0.5: // remove
+				for id := range live {
+					delete(live, id)
+					inc.Remove(id, 0)
+					break
+				}
+			case r < 0.8: // capacity mutation (25% of them failures)
+				l := core.LinkID(rng.Intn(nLinks))
+				var c core.Rate
+				if rng.Float64() < 0.25 {
+					c = 0
+				} else {
+					c = core.Rate(rng.Intn(1000)+1) * core.Mbps
+				}
+				capsMap[l] = c
+				inc.SetCapacity(l, c, 0)
+			default: // reroute
+				for id := range live {
+					inc.SetPath(id, randPath(), 0)
+					break
+				}
+			}
+		}
+		oracle := NewSet(caps)
+		oracle.SetNaive(true)
+		for _, f := range inc.Flows() {
+			clone := &Flow{ID: f.ID, Demand: f.Demand, State: f.State, Dst: f.Dst}
+			clone.Path = append([]core.LinkID(nil), f.Path...)
+			oracle.Add(clone, 0)
+		}
+		for _, f := range inc.Flows() {
+			o, ok := oracle.Flow(f.ID)
+			if !ok {
+				t.Fatalf("seed %d: oracle missing flow %d", seed, f.ID)
+			}
+			if !approxEq(f.Rate, o.Rate) {
+				t.Fatalf("seed %d: flow %d rate %v (incremental) vs %v (naive oracle after SetCapacity)",
+					seed, f.ID, f.Rate, o.Rate)
+			}
+		}
+	}
+}

@@ -86,14 +86,19 @@ func New(g *topo.Graph) *Network {
 			n.tables[node.ID] = flowtable.New()
 		}
 	}
-	n.Flows = fluid.NewSet(func(l core.LinkID) core.Rate {
-		link := g.Link(l)
-		if link == nil {
-			return 0
-		}
-		return link.Rate
-	})
+	n.Flows = fluid.NewSet(func(l core.LinkID) core.Rate { return n.effectiveRate(l) })
 	return n
+}
+
+// effectiveRate is the capacity a link offers the fluid model: its
+// configured rate, or zero while the link (or either endpoint node) is
+// down.
+func (n *Network) effectiveRate(l core.LinkID) core.Rate {
+	link := n.G.Link(l)
+	if link == nil || !n.G.LinkAlive(l) {
+		return 0
+	}
+	return link.Rate()
 }
 
 // FIB returns the router's forwarding table (nil for non-routers).
@@ -144,6 +149,11 @@ func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt 
 	var path []core.LinkID
 	inPort := core.PortNone
 	for hops := 0; hops < maxHops; hops++ {
+		if cur.Down() {
+			// A dead node neither originates, sinks nor forwards.
+			n.rxDrop++
+			return nil, routeDropped
+		}
 		if cur.Kind == topo.Host {
 			if cur.IP == ft.Dst {
 				return path, routeOK // delivered
@@ -158,6 +168,10 @@ func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt 
 				return nil, routeDropped
 			}
 			p := cur.Ports[0]
+			if !n.G.LinkAlive(p.Link) {
+				n.rxDrop++
+				return nil, routeDropped
+			}
 			path = append(path, p.Link)
 			inPort = p.PeerPort
 			cur = n.G.Node(p.Peer)
@@ -169,6 +183,13 @@ func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt 
 		}
 		p := n.G.Port(cur.ID, egress)
 		if p == nil {
+			return nil, routeDropped
+		}
+		if !n.G.LinkAlive(p.Link) {
+			// Forwarding state still points into a dead link (e.g. a
+			// select group whose hash lands on a failed member): the flow
+			// blackholes until the control plane repairs the state.
+			n.rxDrop++
 			return nil, routeDropped
 		}
 		path = append(path, p.Link)
@@ -311,6 +332,105 @@ func linksEqual(a, b []core.LinkID) bool {
 		}
 	}
 	return true
+}
+
+// ---------------------------------------------------------------------------
+// Failure & dynamics injection
+// ---------------------------------------------------------------------------
+
+// SetCableState fails (down=true) or restores (down=false) the cable
+// containing the directed link ab, applying the data plane consequences
+// in one batch:
+//
+//   - both directions' effective capacity drops to zero / returns to the
+//     configured rate (a single dirty-region solve via fluid.SetCapacity);
+//   - on failure, the adjacent nodes' forwarding state over the dead
+//     cable is invalidated: routers prune FIB next hops through the dead
+//     port (kernel-style interface-down cleanup), switches drop
+//     exact/output entries into it (their flows re-punt to the
+//     controller for repair);
+//   - flows are rerouted (immediately, or on the next FlushReroutes when
+//     the Connection Manager coalesces).
+//
+// Control plane notifications (BGP session teardown, OpenFlow
+// PORT_STATUS) are the Connection Manager's job, layered on top. It
+// reports whether the cable state actually changed.
+func (n *Network) SetCableState(ab core.LinkID, down bool, now core.Time) bool {
+	l := n.G.Link(ab)
+	if l == nil {
+		return false
+	}
+	rev := n.G.Link(l.Reverse)
+	if l.Down() == down && rev.Down() == down {
+		return false
+	}
+	l.SetDown(down)
+	rev.SetDown(down)
+	n.Flows.Defer()
+	n.Flows.SetCapacity(l.ID, n.effectiveRate(l.ID), now)
+	n.Flows.SetCapacity(rev.ID, n.effectiveRate(rev.ID), now)
+	if down {
+		n.invalidatePort(l.From, l.FromPort)
+		n.invalidatePort(rev.From, rev.FromPort)
+	}
+	n.Flows.Resume(now)
+	n.maybeReroute(now)
+	return true
+}
+
+// SetCableRate changes the capacity of both directions of the cable
+// containing ab — the "explicit reaction to capacity change" experiment
+// class. Paths are unaffected; only allocations re-solve (confined to
+// the dirty region around the cable).
+func (n *Network) SetCableRate(ab core.LinkID, rate core.Rate, now core.Time) {
+	l := n.G.Link(ab)
+	if l == nil || rate < 0 {
+		return
+	}
+	rev := n.G.Link(l.Reverse)
+	l.SetRate(rate)
+	rev.SetRate(rate)
+	n.Flows.Defer()
+	n.Flows.SetCapacity(l.ID, n.effectiveRate(l.ID), now)
+	n.Flows.SetCapacity(rev.ID, n.effectiveRate(rev.ID), now)
+	n.Flows.Resume(now)
+}
+
+// SetNodeState fails or restores a node itself. The caller (the
+// Connection Manager) is responsible for also failing/restoring the
+// node's cables so sessions reset and PORT_STATUS fires; this method
+// only flips the node flag and refreshes adjacent capacities so the
+// fluid layer agrees with LinkAlive.
+func (n *Network) SetNodeState(id core.NodeID, down bool, now core.Time) bool {
+	node := n.G.Node(id)
+	if node == nil || node.Down() == down {
+		return false
+	}
+	node.SetDown(down)
+	n.Flows.Defer()
+	for _, p := range node.Ports {
+		l := n.G.Link(p.Link)
+		n.Flows.SetCapacity(l.ID, n.effectiveRate(l.ID), now)
+		n.Flows.SetCapacity(l.Reverse, n.effectiveRate(l.Reverse), now)
+	}
+	n.Flows.Resume(now)
+	n.maybeReroute(now)
+	return true
+}
+
+// invalidatePort removes forwarding state through a dead port on one
+// adjacent node.
+func (n *Network) invalidatePort(node core.NodeID, port core.PortID) {
+	if t := n.fibs[node]; t != nil {
+		t.PrunePort(port)
+	}
+	if t := n.tables[node]; t != nil {
+		for _, e := range t.PrunePort(port) {
+			if n.OnFlowRemoved != nil {
+				n.OnFlowRemoved(node, e)
+			}
+		}
+	}
 }
 
 // InstallRoute installs (or replaces) a route in a router's FIB and

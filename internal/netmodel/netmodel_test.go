@@ -501,3 +501,175 @@ func TestPathInvariants(t *testing.T) {
 		}
 	}
 }
+
+// failCableBetween fails/restores the cable joining two named nodes.
+func setCable(t *testing.T, n *Network, g *topo.Graph, a, b string, down bool, now core.Time) *topo.Link {
+	t.Helper()
+	na, _ := g.NodeByName(a)
+	nb, _ := g.NodeByName(b)
+	ab := g.CableBetween(na.ID, nb.ID)
+	if ab == nil {
+		t.Fatalf("no cable %s-%s", a, b)
+	}
+	n.SetCableState(ab.ID, down, now)
+	return ab
+}
+
+func TestSetCableStateRouterPrunesAndReroutes(t *testing.T) {
+	n, g := routerNet(t)
+	ft, src, dst := hostTuple(g, "h1", "h2")
+	r1, _ := g.NodeByName("r1")
+	r2, _ := g.NodeByName("r2")
+	h2, _ := g.NodeByName("h2")
+	var r1ToR2, r2ToH2 core.PortID
+	for _, p := range r1.Ports {
+		if p.Peer == r2.ID {
+			r1ToR2 = p.ID
+		}
+	}
+	for _, p := range r2.Ports {
+		if p.Peer == h2.ID {
+			r2ToH2 = p.ID
+		}
+	}
+	must(t, n.InstallRoute(r1.ID, fib.Route{
+		Prefix:   netip.MustParsePrefix("10.0.2.0/24"),
+		NextHops: []fib.NextHop{{Port: r1ToR2, Via: netip.MustParseAddr("172.16.0.1")}},
+	}, 0))
+	must(t, n.InstallRoute(r2.ID, fib.Route{
+		Prefix:   netip.MustParsePrefix("10.0.2.0/24"),
+		NextHops: []fib.NextHop{{Port: r2ToH2, Via: h2.IP}},
+	}, 0))
+	f := &fluid.Flow{ID: 1, Tuple: ft, Src: src, Dst: dst, Demand: 300 * core.Mbps}
+	n.StartFlow(f, 0)
+	if f.State != fluid.Active {
+		t.Fatalf("flow state = %v", f.State)
+	}
+
+	// Fail r1-r2: r1's FIB loses the route (interface-down prune), the
+	// flow blackholes, and both directions' capacity hits zero.
+	ab := setCable(t, n, g, "r1", "r2", true, core.Second)
+	if f.State != fluid.Pending || f.Rate != 0 {
+		t.Fatalf("after failure: state=%v rate=%v", f.State, f.Rate)
+	}
+	if n.FIB(r1.ID).Len() != 0 {
+		t.Fatalf("r1 FIB not pruned: %v", n.FIB(r1.ID))
+	}
+	if n.Flows.Capacity(ab.ID) != 0 || n.Flows.Capacity(ab.Reverse) != 0 {
+		t.Fatal("dead cable capacity not clamped")
+	}
+
+	// Restore and reinstall (as BGP re-convergence would): traffic returns.
+	setCable(t, n, g, "r1", "r2", false, 2*core.Second)
+	must(t, n.InstallRoute(r1.ID, fib.Route{
+		Prefix:   netip.MustParsePrefix("10.0.2.0/24"),
+		NextHops: []fib.NextHop{{Port: r1ToR2, Via: netip.MustParseAddr("172.16.0.1")}},
+	}, 2*core.Second))
+	if f.State != fluid.Active || f.Rate != 300*core.Mbps {
+		t.Fatalf("after repair: state=%v rate=%v", f.State, f.Rate)
+	}
+}
+
+func TestSetCableStateSwitchInvalidatesEntries(t *testing.T) {
+	n, g := starNet(t)
+	punts := 0
+	n.OnPacketIn = func(PacketIn) { punts++ }
+	removed := 0
+	n.OnFlowRemoved = func(core.NodeID, *flowtable.Entry) { removed++ }
+	sw, _ := g.NodeByName("s0")
+	h1, _ := g.NodeByName("h1")
+	ft, src, dst := hostTuple(g, "h0", "h1")
+	var toH1 core.PortID
+	for _, p := range sw.Ports {
+		if p.Peer == h1.ID {
+			toH1 = p.ID
+		}
+	}
+	must(t, n.ApplyFlowMod(sw.ID, FlowMod{Kind: FlowModAdd, Entry: flowtable.Entry{
+		Priority: 200,
+		Match:    flowtable.ExactFlowMatch(ft),
+		Actions:  []flowtable.Action{{Type: flowtable.ActionOutput, Port: toH1}},
+	}}, 0))
+	f := &fluid.Flow{ID: 1, Tuple: ft, Src: src, Dst: dst, Demand: 200 * core.Mbps}
+	n.StartFlow(f, 0)
+	if f.State != fluid.Active {
+		t.Fatalf("flow state = %v", f.State)
+	}
+
+	// Fail s0-h1: the exact entry outputting into the dead link is
+	// invalidated, OnFlowRemoved fires, and the flow re-punts for repair.
+	setCable(t, n, g, "s0", "h1", true, core.Second)
+	if removed != 1 {
+		t.Fatalf("OnFlowRemoved fired %d times, want 1", removed)
+	}
+	if n.Table(sw.ID).Len() != 0 {
+		t.Fatal("dead entry not invalidated")
+	}
+	if punts != 1 {
+		t.Fatalf("punts = %d, want 1 (repair request)", punts)
+	}
+	if f.State != fluid.Pending {
+		t.Fatalf("flow state after failure = %v", f.State)
+	}
+}
+
+func TestSetCableRateResolves(t *testing.T) {
+	n, g := starNet(t)
+	sw, _ := g.NodeByName("s0")
+	ft, src, dst := hostTuple(g, "h0", "h1")
+	must(t, n.ApplyFlowMod(sw.ID, FlowMod{Kind: FlowModAdd, Entry: flowtable.Entry{
+		Priority: 100,
+		Match:    flowtable.MatchAll(),
+		Actions:  []flowtable.Action{{Type: flowtable.ActionOutput, Port: 2}}, // s0 port 2 = h1
+	}}, 0))
+	f := &fluid.Flow{ID: 1, Tuple: ft, Src: src, Dst: dst, Demand: core.Gbps}
+	n.StartFlow(f, 0)
+	if f.Rate != core.Gbps {
+		t.Fatalf("initial rate %v", f.Rate)
+	}
+	h0, _ := g.NodeByName("h0")
+	ab := g.CableBetween(h0.ID, sw.ID)
+	// Degrade the access cable to 250 Mbps: allocation follows without
+	// any reroute.
+	n.SetCableRate(ab.ID, 250*core.Mbps, core.Second)
+	if f.Rate != 250*core.Mbps {
+		t.Fatalf("degraded rate %v, want 250Mbps", f.Rate)
+	}
+	if g.Link(ab.ID).Rate() != 250*core.Mbps || g.Link(ab.Reverse).Rate() != 250*core.Mbps {
+		t.Fatal("topology rate not updated on both directions")
+	}
+	n.SetCableRate(ab.ID, core.Gbps, 2*core.Second)
+	if f.Rate != core.Gbps {
+		t.Fatalf("restored rate %v", f.Rate)
+	}
+}
+
+func TestSetNodeStateKillsTransit(t *testing.T) {
+	n, g := starNet(t)
+	sw, _ := g.NodeByName("s0")
+	ft, src, dst := hostTuple(g, "h0", "h1")
+	must(t, n.ApplyFlowMod(sw.ID, FlowMod{Kind: FlowModAdd, Entry: flowtable.Entry{
+		Priority: 100,
+		Match:    flowtable.MatchAll(),
+		Actions:  []flowtable.Action{{Type: flowtable.ActionOutput, Port: 2}},
+	}}, 0))
+	f := &fluid.Flow{ID: 1, Tuple: ft, Src: src, Dst: dst, Demand: core.Gbps}
+	n.StartFlow(f, 0)
+	if f.State != fluid.Active {
+		t.Fatalf("flow state = %v", f.State)
+	}
+	if !n.SetNodeState(sw.ID, true, core.Second) {
+		t.Fatal("SetNodeState reported no change")
+	}
+	if f.State != fluid.Pending || f.Rate != 0 {
+		t.Fatalf("flow through dead switch: state=%v rate=%v", f.State, f.Rate)
+	}
+	// Idempotent.
+	if n.SetNodeState(sw.ID, true, core.Second) {
+		t.Fatal("second SetNodeState(true) reported a change")
+	}
+	n.SetNodeState(sw.ID, false, 2*core.Second)
+	if f.State != fluid.Active || f.Rate != core.Gbps {
+		t.Fatalf("flow after node repair: state=%v rate=%v", f.State, f.Rate)
+	}
+}

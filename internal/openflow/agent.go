@@ -23,21 +23,27 @@ type DataPlane interface {
 
 // AgentStats counts protocol activity, atomically updated.
 type AgentStats struct {
-	FlowModsRecv   atomic.Uint64
-	PacketInsSent  atomic.Uint64
-	StatsReplies   atomic.Uint64
-	EchoesAnswered atomic.Uint64
+	FlowModsRecv     atomic.Uint64
+	PacketInsSent    atomic.Uint64
+	StatsReplies     atomic.Uint64
+	EchoesAnswered   atomic.Uint64
+	PortStatusesSent atomic.Uint64
 }
 
 // Agent is the switch-side OpenFlow endpoint: one per simulated switch,
 // running as an emulated process. It performs the handshake, answers the
 // controller, and forwards table changes into the simulated data plane.
 type Agent struct {
-	DPID  uint64
-	conn  *Conn
-	dp    DataPlane
-	ports []PhyPort
-	xids  xidGen
+	DPID uint64
+	conn *Conn
+	dp   DataPlane
+	xids xidGen
+
+	// portMu guards ports: the reader goroutine serves FEATURES_REQUEST
+	// from it while the simulation side mutates link state through
+	// SetPortDown.
+	portMu sync.Mutex
+	ports  []PhyPort
 
 	handshakeDone atomic.Bool
 	wg            sync.WaitGroup
@@ -86,6 +92,38 @@ func (a *Agent) SendPacketIn(inPort uint16, frame []byte) {
 	a.Stats.PacketInsSent.Add(1)
 }
 
+// SetPortDown records a carrier change on one of the agent's ports and
+// emits the corresponding PORT_STATUS (OFPPR_MODIFY) to the controller.
+// Called by the Connection Manager when a failure injection touches a
+// link of this switch; it reports whether the port was found.
+func (a *Agent) SetPortDown(portNo uint16, down bool) bool {
+	a.portMu.Lock()
+	var desc *PhyPort
+	for i := range a.ports {
+		if a.ports[i].PortNo == portNo {
+			desc = &a.ports[i]
+			break
+		}
+	}
+	if desc == nil {
+		a.portMu.Unlock()
+		return false
+	}
+	if down {
+		desc.State |= PortStateLinkDown
+	} else {
+		desc.State &^= PortStateLinkDown
+	}
+	snapshot := *desc
+	a.portMu.Unlock()
+	a.conn.Send(EncodePortStatus(a.xids.next(), PortStatus{
+		Reason: PortReasonModify,
+		Desc:   snapshot,
+	}))
+	a.Stats.PortStatusesSent.Add(1)
+	return true
+}
+
 // SendFlowRemoved notifies the controller of an expired entry.
 func (a *Agent) SendFlowRemoved(m Match, priority uint16) {
 	// Reuse the flow stats entry layout prefixed as FLOW_REMOVED: the
@@ -115,12 +153,15 @@ func (a *Agent) readLoop() {
 		case TypeHello:
 			// Nothing to do: both sides send HELLO unconditionally.
 		case TypeFeaturesRequest:
+			a.portMu.Lock()
+			ports := append([]PhyPort(nil), a.ports...)
+			a.portMu.Unlock()
 			a.conn.Send(EncodeFeaturesReply(h.XID, FeaturesReply{
 				DatapathID: a.DPID,
 				NBuffers:   256,
 				NTables:    1,
 				Actions:    1, // OUTPUT
-				Ports:      a.ports,
+				Ports:      ports,
 			}))
 			a.handshakeDone.Store(true)
 		case TypeEchoRequest:

@@ -32,6 +32,7 @@ const (
 	TypeFeaturesReply   = 6
 	TypePacketIn        = 10
 	TypeFlowRemoved     = 11
+	TypePortStatus      = 12
 	TypePacketOut       = 13
 	TypeFlowMod         = 14
 	TypeStatsRequest    = 16
@@ -158,12 +159,53 @@ func EncodeFeaturesRequest(xid uint32) []byte {
 	return b
 }
 
+// Port state/config bits (ofp_port_state / ofp_port_config subsets).
+const (
+	// PortStateLinkDown is OFPPS_LINK_DOWN: no physical link present.
+	PortStateLinkDown = 1 << 0
+)
+
 // PhyPort is an ofp_phy_port (48 bytes on the wire).
 type PhyPort struct {
 	PortNo uint16
 	HWAddr core.MAC
 	Name   string
+	Config uint32 // administrative settings bitmap (ofp_port_config)
+	State  uint32 // link state bitmap; PortStateLinkDown = carrier lost
 	Curr   uint32 // current features bitmap; 1<<6 = 1GbE full duplex
+}
+
+// Down reports whether the port has lost its physical link.
+func (p PhyPort) Down() bool { return p.State&PortStateLinkDown != 0 }
+
+const phyPortLen = 48
+
+func putPhyPort(b []byte, p PhyPort) {
+	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
+	copy(b[2:8], p.HWAddr[:])
+	copy(b[8:24], p.Name)
+	binary.BigEndian.PutUint32(b[24:28], p.Config)
+	binary.BigEndian.PutUint32(b[28:32], p.State)
+	binary.BigEndian.PutUint32(b[32:36], p.Curr)
+}
+
+func parsePhyPort(b []byte) PhyPort {
+	p := PhyPort{
+		PortNo: binary.BigEndian.Uint16(b[0:2]),
+		Config: binary.BigEndian.Uint32(b[24:28]),
+		State:  binary.BigEndian.Uint32(b[28:32]),
+		Curr:   binary.BigEndian.Uint32(b[32:36]),
+	}
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	return p
 }
 
 // FeaturesReply is the switch handshake answer.
@@ -187,11 +229,8 @@ func EncodeFeaturesReply(xid uint32, fr FeaturesReply) []byte {
 	binary.BigEndian.PutUint32(b[28:32], fr.Actions)
 	off := 32
 	for _, p := range fr.Ports {
-		binary.BigEndian.PutUint16(b[off:], p.PortNo)
-		copy(b[off+2:off+8], p.HWAddr[:])
-		copy(b[off+8:off+24], p.Name)
-		binary.BigEndian.PutUint32(b[off+32:], p.Curr)
-		off += 48
+		putPhyPort(b[off:off+phyPortLen], p)
+		off += phyPortLen
 	}
 	return b
 }
@@ -209,24 +248,45 @@ func DecodeFeaturesReply(b []byte) (FeaturesReply, error) {
 		Actions:      binary.BigEndian.Uint32(b[28:32]),
 	}
 	rest := b[32:]
-	for len(rest) >= 48 {
-		p := PhyPort{
-			PortNo: binary.BigEndian.Uint16(rest[0:2]),
-			Curr:   binary.BigEndian.Uint32(rest[32:36]),
-		}
-		copy(p.HWAddr[:], rest[2:8])
-		name := rest[8:24]
-		for i, c := range name {
-			if c == 0 {
-				name = name[:i]
-				break
-			}
-		}
-		p.Name = string(name)
-		fr.Ports = append(fr.Ports, p)
-		rest = rest[48:]
+	for len(rest) >= phyPortLen {
+		fr.Ports = append(fr.Ports, parsePhyPort(rest))
+		rest = rest[phyPortLen:]
 	}
 	return fr, nil
+}
+
+// Port status reasons (ofp_port_reason).
+const (
+	PortReasonAdd    = 0 // OFPPR_ADD
+	PortReasonDelete = 1 // OFPPR_DELETE
+	PortReasonModify = 2 // OFPPR_MODIFY
+)
+
+// PortStatus is an ofp_port_status: the switch's asynchronous
+// notification that a port changed — Horse's failure injections surface
+// to SDN controllers as these messages, exactly like a real switch
+// reporting carrier loss.
+type PortStatus struct {
+	Reason uint8 // PortReason*
+	Desc   PhyPort
+}
+
+// EncodePortStatus serializes a PORT_STATUS (64 bytes: header, reason,
+// 7 pad, ofp_phy_port).
+func EncodePortStatus(xid uint32, ps PortStatus) []byte {
+	b := make([]byte, headerLen+8+phyPortLen)
+	putHeader(b, TypePortStatus, len(b), xid)
+	b[8] = ps.Reason
+	putPhyPort(b[16:16+phyPortLen], ps.Desc)
+	return b
+}
+
+// DecodePortStatus parses a PORT_STATUS (header included).
+func DecodePortStatus(b []byte) (PortStatus, error) {
+	if len(b) < headerLen+8+phyPortLen {
+		return PortStatus{}, fmt.Errorf("openflow: port status truncated (%d bytes)", len(b))
+	}
+	return PortStatus{Reason: b[8], Desc: parsePhyPort(b[16 : 16+phyPortLen])}, nil
 }
 
 // Match mirrors ofp_match; only the IPv4 five-tuple fields Horse uses are

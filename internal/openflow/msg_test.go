@@ -315,3 +315,54 @@ func TestStatsRequestTypes(t *testing.T) {
 		t.Fatal("truncated stats request accepted")
 	}
 }
+
+func TestPortStatusRoundTrip(t *testing.T) {
+	ps := PortStatus{
+		Reason: PortReasonModify,
+		Desc: PhyPort{
+			PortNo: 3,
+			HWAddr: core.MAC{0, 1, 2, 3, 4, 5},
+			Name:   "edge-0-0-p3",
+			State:  PortStateLinkDown,
+			Curr:   1 << 6,
+		},
+	}
+	b := EncodePortStatus(77, ps)
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypePortStatus || h.XID != 77 || int(h.Length) != len(b) {
+		t.Fatalf("header = %+v", h)
+	}
+	got, err := DecodePortStatus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ps {
+		t.Fatalf("round trip: got %+v, want %+v", got, ps)
+	}
+	if !got.Desc.Down() {
+		t.Fatal("Down() false for link-down state")
+	}
+	if _, err := DecodePortStatus(b[:20]); err == nil {
+		t.Fatal("truncated port status accepted")
+	}
+}
+
+func TestPhyPortStateSurvivesFeaturesReply(t *testing.T) {
+	fr := FeaturesReply{
+		DatapathID: 9,
+		Ports: []PhyPort{
+			{PortNo: 1, Name: "p1", Curr: 1 << 6},
+			{PortNo: 2, Name: "p2", State: PortStateLinkDown, Config: 1},
+		},
+	}
+	got, err := DecodeFeaturesReply(EncodeFeaturesReply(5, fr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ports) != 2 || got.Ports[1] != fr.Ports[1] || got.Ports[0] != fr.Ports[0] {
+		t.Fatalf("ports = %+v", got.Ports)
+	}
+}

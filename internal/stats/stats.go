@@ -78,6 +78,52 @@ func (s *Series) MeanAfter(t core.Time) float64 {
 	return sum / float64(n)
 }
 
+// MeanBetween returns the mean of samples with t0 <= At < t1; 0 when
+// the window holds no samples.
+func (s *Series) MeanBetween(t0, t1 core.Time) float64 {
+	sum, n := 0.0, 0
+	for _, x := range s.Samples {
+		if x.At >= t0 && x.At < t1 {
+			sum += x.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MinBetween returns the smallest sample in [t0, t1) and its time; ok is
+// false when the window holds no samples. Failure experiments use it to
+// measure the depth of the throughput dip after an injection.
+func (s *Series) MinBetween(t0, t1 core.Time) (Sample, bool) {
+	var min Sample
+	found := false
+	for _, x := range s.Samples {
+		if x.At < t0 || x.At >= t1 {
+			continue
+		}
+		if !found || x.Value < min.Value {
+			min = x
+			found = true
+		}
+	}
+	return min, found
+}
+
+// FirstAtLeast returns the first sample at or after t whose value
+// reaches threshold; ok is false if none does. Failure experiments use
+// it to measure recovery time after a dip.
+func (s *Series) FirstAtLeast(t core.Time, threshold float64) (Sample, bool) {
+	for _, x := range s.Samples {
+		if x.At >= t && x.Value >= threshold {
+			return x, true
+		}
+	}
+	return Sample{}, false
+}
+
 // TSV renders the series as "time<TAB>value" lines, with times in
 // seconds — directly gnuplot-able, as the demo's live graphs were.
 func (s *Series) TSV() string {

@@ -56,3 +56,37 @@ func TestTSV(t *testing.T) {
 		t.Fatal("TSV missing trailing newline")
 	}
 }
+
+func TestWindowedHelpers(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i := 0; i <= 10; i++ {
+		v := 10.0
+		if i >= 4 && i < 7 {
+			v = float64(i - 4) // dip: 0, 1, 2
+		}
+		s.Add(core.Time(i)*core.Second, v)
+	}
+	if got := s.MeanBetween(0, 4*core.Second); got != 10 {
+		t.Errorf("MeanBetween pre = %v, want 10", got)
+	}
+	if got := s.MeanBetween(4*core.Second, 7*core.Second); got != 1 {
+		t.Errorf("MeanBetween dip = %v, want 1", got)
+	}
+	if got := s.MeanBetween(20*core.Second, 30*core.Second); got != 0 {
+		t.Errorf("MeanBetween empty window = %v", got)
+	}
+	min, ok := s.MinBetween(2*core.Second, 9*core.Second)
+	if !ok || min.Value != 0 || min.At != 4*core.Second {
+		t.Errorf("MinBetween = %+v ok=%v", min, ok)
+	}
+	if _, ok := s.MinBetween(20*core.Second, 30*core.Second); ok {
+		t.Error("MinBetween found sample in empty window")
+	}
+	rec, ok := s.FirstAtLeast(4*core.Second, 9.5)
+	if !ok || rec.At != 7*core.Second {
+		t.Errorf("FirstAtLeast = %+v ok=%v", rec, ok)
+	}
+	if _, ok := s.FirstAtLeast(0, 11); ok {
+		t.Error("FirstAtLeast found unreachable threshold")
+	}
+}

@@ -11,7 +11,9 @@ package topo
 
 import (
 	"fmt"
+	"math"
 	"net/netip"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -90,20 +92,58 @@ type Node struct {
 	// ASN is the autonomous system number for Router nodes in BGP
 	// scenarios (assigned by the scenario builder; 0 if unset).
 	ASN uint32
+
+	// down marks a failed node: it neither forwards nor originates
+	// traffic, and every attached link behaves as dead. Atomic for the
+	// same reason as Link's mutable state; mutated only through
+	// netmodel.SetNodeState.
+	down atomic.Bool
 }
+
+// Down reports whether the node is failed.
+func (n *Node) Down() bool { return n.down.Load() }
+
+// SetDown fails or restores the node. Callers outside this package must
+// go through netmodel.SetNodeState.
+func (n *Node) SetDown(v bool) { n.down.Store(v) }
 
 // Link is a directed edge; every physical cable is two Links, one per
 // direction, cross-referenced via Reverse.
+//
+// Rate and the down flag are the graph's only mutable state: failure
+// injections change them mid-run on the engine goroutine while emulated
+// controller apps concurrently read the graph (AllShortestPaths,
+// capacity lookups) from their own goroutines, so both are atomics.
+// Mutate them only through netmodel (SetCableState/SetCableRate) so the
+// fluid solver's cached capacities stay consistent.
 type Link struct {
 	ID       core.LinkID
 	From     core.NodeID
 	FromPort core.PortID
 	To       core.NodeID
 	ToPort   core.PortID
-	Rate     core.Rate
 	Delay    core.Time
 	Reverse  core.LinkID
+
+	rate atomic.Uint64 // math.Float64bits of the capacity
+	down atomic.Bool
 }
+
+// Rate reports the link's configured capacity.
+func (l *Link) Rate() core.Rate { return core.Rate(math.Float64frombits(l.rate.Load())) }
+
+// SetRate changes the configured capacity. Callers outside this package
+// must go through netmodel.SetCableRate.
+func (l *Link) SetRate(r core.Rate) { l.rate.Store(math.Float64bits(float64(r))) }
+
+// Down reports whether the link is failed. A down link carries no
+// traffic and is excluded from path computation (both directions of a
+// cable fail together; the injection layer keeps the pair in sync).
+func (l *Link) Down() bool { return l.down.Load() }
+
+// SetDown fails or restores the link. Callers outside this package must
+// go through netmodel.SetCableState.
+func (l *Link) SetDown(v bool) { l.down.Store(v) }
 
 // Graph is a built topology. Node and link IDs are dense indexes into the
 // respective slices.
@@ -210,20 +250,48 @@ func (g *Graph) Connect(a, b *Node, rate core.Rate, delay core.Time) (*Link, *Li
 		ID:   core.LinkID(len(g.Links)),
 		From: a.ID, FromPort: pa.ID,
 		To: b.ID, ToPort: pb.ID,
-		Rate: rate, Delay: delay,
+		Delay: delay,
 	}
 	ba := &Link{
 		ID:   ab.ID + 1,
 		From: b.ID, FromPort: pb.ID,
 		To: a.ID, ToPort: pa.ID,
-		Rate: rate, Delay: delay,
+		Delay: delay,
 	}
+	ab.SetRate(rate)
+	ba.SetRate(rate)
 	ab.Reverse, ba.Reverse = ba.ID, ab.ID
 	g.Links = append(g.Links, ab, ba)
 
 	pa.Link, pa.Peer, pa.PeerPort = ab.ID, b.ID, pb.ID
 	pb.Link, pb.Peer, pb.PeerPort = ba.ID, a.ID, pa.ID
 	return ab, ba
+}
+
+// LinkAlive reports whether a directed link can carry traffic: the link
+// itself and both endpoint nodes must be up.
+func (g *Graph) LinkAlive(id core.LinkID) bool {
+	l := g.Link(id)
+	if l == nil || l.Down() {
+		return false
+	}
+	return !g.Nodes[l.From].Down() && !g.Nodes[l.To].Down()
+}
+
+// CableBetween finds the directed link a->b of the cable joining two
+// nodes (its Reverse is b->a). It returns nil if the nodes are not
+// directly connected.
+func (g *Graph) CableBetween(a, b core.NodeID) *Link {
+	na := g.Node(a)
+	if na == nil {
+		return nil
+	}
+	for _, p := range na.Ports {
+		if p.Peer == b {
+			return g.Link(p.Link)
+		}
+	}
+	return nil
 }
 
 // Hosts returns all Host nodes in ID order.
@@ -305,7 +373,9 @@ func (g *Graph) Validate() error {
 // AllShortestPaths returns every shortest path from src to dst as port
 // sequences... each path is the list of directed LinkIDs to traverse.
 // Hosts never appear as intermediate nodes: traffic is not switched
-// through end hosts.
+// through end hosts. Dead links and dead nodes (see LinkAlive) are
+// excluded, so after a failure injection the controller apps recompute
+// repairs over the surviving topology.
 func (g *Graph) AllShortestPaths(src, dst core.NodeID) [][]core.LinkID {
 	if src == dst {
 		return [][]core.LinkID{{}}
@@ -326,6 +396,9 @@ func (g *Graph) AllShortestPaths(src, dst core.NodeID) [][]core.LinkID {
 		}
 		for _, p := range g.Nodes[cur].Ports {
 			nxt := p.Peer
+			if !g.LinkAlive(p.Link) {
+				continue
+			}
 			if dist[nxt] == unseen {
 				dist[nxt] = dist[cur] + 1
 				queue = append(queue, nxt)
@@ -347,7 +420,7 @@ func (g *Graph) AllShortestPaths(src, dst core.NodeID) [][]core.LinkID {
 			return
 		}
 		for _, p := range g.Nodes[cur].Ports {
-			if dist[p.Peer] == dist[cur]+1 {
+			if dist[p.Peer] == dist[cur]+1 && g.LinkAlive(p.Link) {
 				walk(p.Peer, append(acc, p.Link))
 			}
 		}

@@ -459,3 +459,82 @@ func TestFatTreePathsRejectsNonFatTree(t *testing.T) {
 		t.Fatal("odd k accepted")
 	}
 }
+
+func TestLinkAliveAndCableBetween(t *testing.T) {
+	g, err := FatTree(FatTreeOpts{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, _ := g.NodeByName("agg-0-0")
+	core0, _ := g.NodeByName("core-0-0")
+	ab := g.CableBetween(agg.ID, core0.ID)
+	if ab == nil {
+		t.Fatal("agg-0-0 and core-0-0 not connected")
+	}
+	if ab.From != agg.ID || ab.To != core0.ID {
+		t.Fatalf("CableBetween direction: got %v->%v", ab.From, ab.To)
+	}
+	if !g.LinkAlive(ab.ID) || !g.LinkAlive(ab.Reverse) {
+		t.Fatal("fresh link not alive")
+	}
+	ab.SetDown(true)
+	if g.LinkAlive(ab.ID) {
+		t.Error("down link reported alive")
+	}
+	ab.SetDown(false)
+	core0.SetDown(true)
+	if g.LinkAlive(ab.ID) || g.LinkAlive(ab.Reverse) {
+		t.Error("link to a down node reported alive")
+	}
+	core0.SetDown(false)
+	if g.CableBetween(agg.ID, agg.ID) != nil {
+		t.Error("self cable found")
+	}
+	host, _ := g.NodeByName("host-0-0-0")
+	if g.CableBetween(agg.ID, host.ID) != nil {
+		t.Error("agg-host cable found where none exists")
+	}
+}
+
+func TestAllShortestPathsSkipDeadLinks(t *testing.T) {
+	g, err := FatTree(FatTreeOpts{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.NodeByName("host-0-0-0")
+	dst, _ := g.NodeByName("host-1-0-0")
+	before := g.AllShortestPaths(src.ID, dst.ID)
+	if len(before) != 4 {
+		t.Fatalf("cross-pod paths = %d, want 4", len(before))
+	}
+	// Kill one agg->core cable on a path and expect the path count to
+	// halve (agg-0-0 loses one of its two cores).
+	agg, _ := g.NodeByName("agg-0-0")
+	c, _ := g.NodeByName("core-0-0")
+	ab := g.CableBetween(agg.ID, c.ID)
+	ab.SetDown(true)
+	g.Link(ab.Reverse).SetDown(true)
+	after := g.AllShortestPaths(src.ID, dst.ID)
+	if len(after) != 3 {
+		t.Fatalf("paths after failure = %d, want 3", len(after))
+	}
+	for _, p := range after {
+		for _, lid := range p {
+			if lid == ab.ID || lid == ab.Reverse {
+				t.Fatal("path crosses the dead link")
+			}
+		}
+	}
+	// A down node removes every path through it.
+	agg.SetDown(true)
+	g2 := g.AllShortestPaths(src.ID, dst.ID)
+	if len(g2) != 2 {
+		t.Fatalf("paths with agg-0-0 down = %d, want 2", len(g2))
+	}
+	// Isolate the source edge switch entirely: no paths remain.
+	edge, _ := g.NodeByName("edge-0-0")
+	edge.SetDown(true)
+	if got := g.AllShortestPaths(src.ID, dst.ID); got != nil {
+		t.Fatalf("paths with edge down = %v, want none", got)
+	}
+}
