@@ -5,11 +5,20 @@
 //
 // Usage:
 //
-//	fig3 [-k 4,6,8] [-dur 10s] [-pacing 1.0] [-skip-baseline]
+//	fig3 [-k 4,6,8] [-dur 10s] [-pacing 1.0] [-skip-baseline] [-fail]
 //
 // With -pacing 1.0 (default) Horse's FTI mode is paper-faithful real
 // time; larger values compress control plane wall time proportionally on
 // BOTH systems, preserving the ratio.
+//
+// With -fail, every run (on both systems) takes an agg-core link failure
+// at dur/3 repaired at 2*dur/3, and two extra columns report each
+// system's repair latency — the time from the post-failure throughput dip
+// until delivery returns to the degraded steady rate, in virtual time —
+// plus their ratio. Repair-latency speedup is the stronger headline than
+// steady-state speedup: Horse measures the control plane's actual repair
+// conversation, while the baseline pays its calibrated reconvergence
+// delay in real time.
 package main
 
 import (
@@ -23,8 +32,16 @@ import (
 	horse "repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
+)
+
+// failFrom and failTo name the victim cable of -fail runs; the same
+// agg-core cable exists in the BGP, SDN and baseline fat-trees.
+const (
+	failFrom = "agg-0-0"
+	failTo   = "core-0-0"
 )
 
 func main() {
@@ -35,11 +52,27 @@ func main() {
 		skipBaseline = flag.Bool("skip-baseline", false, "run only Horse")
 		seed         = flag.Int64("seed", 42, "traffic permutation seed")
 		naive        = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
+		workers      = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		fail         = flag.Bool("fail", false, "inject an agg-core link failure at dur/3 (repair at 2*dur/3) into every run and report repair latency")
 	)
 	flag.Parse()
 
-	fmt.Printf("# Figure 3: execution time of the demonstration (3 TE approaches, %v virtual each, pacing %.1f)\n", *dur, *pacing)
-	fmt.Printf("%-4s %-14s %-14s %-14s %-8s\n", "k", "horse-setup", "horse-exec", "baseline-exec", "ratio")
+	fmt.Printf("# Figure 3: execution time of the demonstration (3 TE approaches, %v virtual each, pacing %.1f, fail=%v)\n", *dur, *pacing, *fail)
+	header := fmt.Sprintf("%-4s %-14s %-14s", "k", "horse-setup", "horse-exec")
+	if *fail {
+		header += fmt.Sprintf(" %-13s", "horse-repair")
+	}
+	if !*skipBaseline {
+		header += fmt.Sprintf(" %-14s", "baseline-exec")
+		if *fail {
+			header += fmt.Sprintf(" %-13s", "base-repair")
+		}
+		header += fmt.Sprintf(" %-8s", "ratio")
+		if *fail {
+			header += fmt.Sprintf(" %-12s", "repair-ratio")
+		}
+	}
+	fmt.Println(header)
 
 	for _, ks := range strings.Split(*kList, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(ks))
@@ -47,24 +80,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad k %q: %v\n", ks, err)
 			os.Exit(1)
 		}
-		horseSetup, horseExec := runHorseSuite(k, *dur, *pacing, *seed, *naive)
+		horseSetup, horseExec, horseRepair := runHorseSuite(k, *dur, *pacing, *seed, *naive, *workers, *fail)
 		line := fmt.Sprintf("%-4d %-14v %-14v", k, horseSetup.Round(time.Millisecond), horseExec.Round(time.Millisecond))
+		if *fail {
+			line += fmt.Sprintf(" %-13v", horseRepair.Round(time.Millisecond))
+		}
 		if *skipBaseline {
 			fmt.Println(line)
 			continue
 		}
-		baseExec := runBaselineSuite(k, *dur, *pacing, *seed)
-		fmt.Printf("%s %-14v %-8.2f\n", line, baseExec.Round(time.Millisecond),
-			float64(baseExec)/float64(horseExec))
+		baseExec, baseRepair := runBaselineSuite(k, *dur, *pacing, *seed, *fail)
+		line += fmt.Sprintf(" %-14v", baseExec.Round(time.Millisecond))
+		if *fail {
+			line += fmt.Sprintf(" %-13v", baseRepair.Round(time.Millisecond))
+		}
+		line += fmt.Sprintf(" %-8.2f", float64(baseExec)/float64(horseExec))
+		if *fail {
+			if horseRepair > 0 && baseRepair > 0 {
+				line += fmt.Sprintf(" %-12.2f", float64(baseRepair)/float64(horseRepair))
+			} else {
+				line += fmt.Sprintf(" %-12s", "n/a")
+			}
+		}
+		fmt.Println(line)
 	}
 }
 
 // runHorseSuite executes the three TE experiments on Horse and returns
-// (topology setup, execution) wall times.
-func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive bool) (setup, exec time.Duration) {
+// (topology setup, execution) wall times plus — under -fail — the mean
+// repair latency in virtual time.
+func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive bool, workers int, fail bool) (setup, exec, repair time.Duration) {
 	until := core.FromDuration(dur)
+	failAt, healAt := until/3, 2*until/3
+	var repairs, repaired int
+	var repairSum core.Time
 	for _, te := range []string{"bgp-ecmp", "hedera", "ecmp5"} {
-		cfg := horse.Config{Pacing: pacing, NaiveSolver: naive}
+		cfg := horse.Config{Pacing: pacing, NaiveSolver: naive, SolverWorkers: workers}
+		if fail {
+			// Sample finely enough to resolve the dip and repair.
+			cfg.SampleInterval = 10 * horse.Millisecond
+		}
 		exp := horse.NewExperiment(cfg)
 		var (
 			g   *horse.Topology
@@ -98,6 +153,16 @@ func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive b
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if fail {
+			if err := exp.At(failAt).LinkDown(failFrom, failTo); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := exp.At(healAt).LinkUp(failFrom, failTo); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		res, err := exp.Run(until)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "k=%d %s: %v\n", k, te, err)
@@ -105,17 +170,35 @@ func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive b
 		}
 		setup += res.SetupWall
 		exec += res.Sim.WallTotal
-		fmt.Fprintf(os.Stderr, "  horse k=%d %-9s wall=%-10v steady-rx=%v\n",
-			k, te, res.Sim.WallTotal.Round(time.Millisecond), res.SteadyAggregateRx())
+		repairNote := ""
+		if fail {
+			repairs++
+			if rep, ok := res.AggregateRx.RepairAfter(failAt, healAt, stats.DefaultRepairFrac); ok && rep.Recovered {
+				repaired++
+				repairSum += rep.Latency
+				repairNote = fmt.Sprintf(" repair=%v", rep.Latency)
+			} else {
+				repairNote = " repair=n/a"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  horse k=%d %-9s wall=%-10v steady-rx=%v%s\n",
+			k, te, res.Sim.WallTotal.Round(time.Millisecond), res.SteadyAggregateRx(), repairNote)
 	}
-	return setup, exec
+	if repaired > 0 {
+		repair = (repairSum / core.Time(repaired)).Duration()
+	}
+	return setup, exec, repair
 }
 
 // runBaselineSuite executes the equivalent three runs on the real-time
 // emulator: each pays topology setup plus the experiment duration 1:1
-// with the wall clock (scaled by the same pacing factor).
-func runBaselineSuite(k int, dur time.Duration, pacing float64, seed int64) time.Duration {
-	var total time.Duration
+// with the wall clock (scaled by the same pacing factor). Under -fail the
+// same agg-core cable dies at dur/3 and heals at 2*dur/3, and the mean
+// repair latency (converted to virtual time via the pacing factor, so it
+// compares directly with Horse's) is returned alongside.
+func runBaselineSuite(k int, dur time.Duration, pacing float64, seed int64, fail bool) (exec, repair time.Duration) {
+	var repairSum time.Duration
+	repaired := 0
 	for te := 0; te < 3; te++ {
 		g, err := topo.FatTree(topo.FatTreeOpts{K: k})
 		if err != nil {
@@ -127,13 +210,57 @@ func runBaselineSuite(k int, dur time.Duration, pacing float64, seed int64) time
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		st := em.Run(flowsFor(g, seed), time.Duration(float64(dur)/pacing))
+		wallDur := time.Duration(float64(dur) / pacing)
+		var injs []baseline.Injection
+		var failAt, healAt time.Duration
+		if fail {
+			cable := failCable(g)
+			failAt, healAt = wallDur/3, 2*wallDur/3
+			injs = append(injs,
+				baseline.Injection{At: failAt, Link: cable, Down: true},
+				baseline.Injection{At: healAt, Link: cable, Down: false})
+		}
+		st := em.Run(flowsFor(g, seed), wallDur, injs...)
 		em.Close()
-		total += em.SetupTime + st.Wall
-		fmt.Fprintf(os.Stderr, "  baseline k=%d run %d setup=%v %v\n", k, te+1,
-			em.SetupTime.Round(time.Millisecond), st)
+		exec += em.SetupTime + st.Wall
+		repairNote := ""
+		if fail {
+			if lat, ok := st.RepairLatency(failAt, healAt, stats.DefaultRepairFrac); ok {
+				repaired++
+				lat = time.Duration(float64(lat) * pacing) // wall -> virtual
+				repairSum += lat
+				repairNote = fmt.Sprintf(" repair=%v", lat.Round(time.Millisecond))
+			} else {
+				repairNote = " repair=n/a"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  baseline k=%d run %d setup=%v %v%s\n", k, te+1,
+			em.SetupTime.Round(time.Millisecond), st, repairNote)
 	}
-	return total
+	if repaired > 0 {
+		repair = repairSum / time.Duration(repaired)
+	}
+	return exec, repair
+}
+
+// failCable resolves the victim cable in the baseline's topology.
+func failCable(g *topo.Graph) core.LinkID {
+	a, ok := g.NodeByName(failFrom)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no node %q in the baseline fat-tree\n", failFrom)
+		os.Exit(1)
+	}
+	b, ok := g.NodeByName(failTo)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no node %q in the baseline fat-tree\n", failTo)
+		os.Exit(1)
+	}
+	l := g.CableBetween(a.ID, b.ID)
+	if l == nil {
+		fmt.Fprintf(os.Stderr, "no cable between %q and %q\n", failFrom, failTo)
+		os.Exit(1)
+	}
+	return l.ID
 }
 
 func flowsFor(g *topo.Graph, seed int64) []baseline.FlowSpec {

@@ -33,6 +33,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "log subsystem activity")
 		tsv         = flag.Bool("tsv", false, "dump aggregate rx series as TSV")
 		naive       = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
+		workers     = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive}
+	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers}
 	if *verbose {
 		cfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
@@ -101,7 +102,9 @@ func main() {
 		fmt.Print(res.AggregateRx.TSV())
 	}
 	fmt.Println(res)
-	fmt.Printf("rate solver: %d solves (naive=%v)\n", res.Solves, *naive)
+	fmt.Printf("rate solver: %d solves, %d components (largest %d flows), %d parallel, workers=%d (naive=%v)\n",
+		res.Solves, res.Solver.Components, res.Solver.MaxComponentFlows,
+		res.Solver.ParallelSolves, res.SolverWorkers, *naive)
 }
 
 func buildTopo(spec string, routers bool) (*horse.Topology, error) {

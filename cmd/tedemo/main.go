@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	tedemo -te bgp|hedera|ecmp5 [-k 4] [-dur 20s] [-pacing 1.0] [-seed 42] [-tsv] [-fail]
+//	tedemo -te bgp|hedera|ecmp5 [-k 4] [-dur 20s] [-pacing 1.0] [-seed 42] [-tsv] [-fail] [-solver-workers N]
 package main
 
 import (
@@ -22,22 +22,24 @@ import (
 
 	horse "repro"
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		te     = flag.String("te", "ecmp5", "TE approach: bgp, hedera or ecmp5")
-		k      = flag.Int("k", 4, "fat-tree arity (4, 6 or 8 in the demo)")
-		dur    = flag.Duration("dur", 20*time.Second, "virtual experiment duration")
-		pacing = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = real time)")
-		seed   = flag.Int64("seed", 42, "permutation seed")
-		tsv    = flag.Bool("tsv", false, "print the full time series as TSV")
-		naive  = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
-		fail   = flag.Bool("fail", false, "inject an agg-core link failure at dur/3, repair at 2*dur/3")
+		te      = flag.String("te", "ecmp5", "TE approach: bgp, hedera or ecmp5")
+		k       = flag.Int("k", 4, "fat-tree arity (4, 6 or 8 in the demo)")
+		dur     = flag.Duration("dur", 20*time.Second, "virtual experiment duration")
+		pacing  = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = real time)")
+		seed    = flag.Int64("seed", 42, "permutation seed")
+		tsv     = flag.Bool("tsv", false, "print the full time series as TSV")
+		naive   = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
+		fail    = flag.Bool("fail", false, "inject an agg-core link failure at dur/3, repair at 2*dur/3")
+		workers = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
-	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive}
+	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers}
 	if *fail {
 		// Sample finely enough to resolve the dip: control plane repair
 		// takes milliseconds of (FTI-paced) virtual time.
@@ -113,33 +115,28 @@ func main() {
 	fmt.Printf("control plane       : %d bytes, %d writes, %d flowmods, %d routes, %d packet-ins, %d stats\n",
 		res.ControlBytes, res.ControlWrites, res.FlowModsApplied,
 		res.RouteInstalls, res.PacketIns, res.StatsQueries)
-	fmt.Printf("rate solver         : %d solves (naive=%v)\n", res.Solves, *naive)
+	fmt.Printf("rate solver         : %d solves, %d components (largest %d flows), %d parallel, workers=%d (naive=%v)\n",
+		res.Solves, res.Solver.Components, res.Solver.MaxComponentFlows,
+		res.Solver.ParallelSolves, res.SolverWorkers, *naive)
 	if *fail {
 		rx := res.AggregateRx
 		pre := rx.MeanBetween(failAt-horse.Second, failAt)
 		post := rx.MeanBetween(end-horse.Second, end)
 		fmt.Printf("failure injection   : agg-0-0 <-> core-0-0 down @%v, up @%v (%d injections)\n",
 			failAt, healAt, res.Injections)
-		degraded := rx.MeanBetween(healAt-horse.Second, healAt)
-		if pre <= 0 || degraded <= 0 {
+		rep, ok := rx.RepairAfter(failAt, healAt, stats.DefaultRepairFrac)
+		if pre <= 0 || !ok {
 			fmt.Printf("  no pre-failure baseline: the control plane had not converged by %v; use a longer -dur\n", failAt)
 			return
 		}
 		fmt.Printf("  pre-failure rate  : %v\n", horse.Rate(pre))
-		if dip, ok := rx.MinBetween(failAt, healAt); ok {
-			fmt.Printf("  dip               : %v at %v (-%.1f%%)\n",
-				horse.Rate(dip.Value), dip.At, 100*(pre-dip.Value)/pre)
-			// Repair latency: time from failure until the control plane
-			// reaches the degraded topology's steady rate. Anchored at
-			// the dip, not failAt, so a shallow failure (post-failure
-			// rate already at the degraded mean) is not reported as an
-			// instant repair.
-			if rec, ok := rx.FirstAtLeast(dip.At, 0.98*degraded); ok && rec.At < healAt {
-				fmt.Printf("  repaired          : %v at %v (%v after failure, before link-up)\n",
-					horse.Rate(rec.Value), rec.At, rec.At-failAt)
-			}
+		fmt.Printf("  dip               : %v at %v (-%.1f%%)\n",
+			horse.Rate(rep.Dip.Value), rep.Dip.At, 100*(pre-rep.Dip.Value)/pre)
+		if rep.Recovered {
+			fmt.Printf("  repaired          : %v at %v (%v after failure, before link-up)\n",
+				horse.Rate(rep.Rec.Value), rep.Rec.At, rep.Latency)
 		}
-		fmt.Printf("  degraded steady   : %v (%.1f%% of pre-failure)\n", horse.Rate(degraded), 100*degraded/pre)
+		fmt.Printf("  degraded steady   : %v (%.1f%% of pre-failure)\n", horse.Rate(rep.Degraded), 100*rep.Degraded/pre)
 		fmt.Printf("  post-repair rate  : %v (%.1f%% of pre-failure)\n", horse.Rate(post), 100*post/pre)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	horse "repro"
+	"repro/internal/stats"
 )
 
 const (
@@ -64,25 +65,24 @@ func run(name string, setup func(*horse.Experiment) error) {
 
 	rx := res.AggregateRx
 	pre := rx.MeanBetween(failAt-horse.Second, failAt)
-	degraded := rx.MeanBetween(healAt-horse.Second, healAt)
 	post := rx.MeanBetween(endAt-horse.Second, endAt)
-	dip, dipOK := rx.MinBetween(failAt, healAt)
+	rep, repOK := rx.RepairAfter(failAt, healAt, stats.DefaultRepairFrac)
 
 	fmt.Printf("== %s ==\n", name)
 	fmt.Printf("  wall time        : %v for %v virtual\n",
 		res.Sim.WallTotal.Round(time.Millisecond), res.Sim.VirtualEnd)
-	if pre <= 0 || degraded <= 0 || !dipOK {
+	if pre <= 0 || !repOK {
 		fmt.Printf("  control plane had not converged before the failure; nothing to measure\n\n")
 		return
 	}
 	fmt.Printf("  pre-failure      : %v aggregate rx\n", horse.Rate(pre))
 	fmt.Printf("  dip              : %v at %v (-%.1f%%)\n",
-		horse.Rate(dip.Value), dip.At, 100*(pre-dip.Value)/pre)
-	if rec, ok := rx.FirstAtLeast(dip.At, 0.98*degraded); ok && rec.At < healAt {
+		horse.Rate(rep.Dip.Value), rep.Dip.At, 100*(pre-rep.Dip.Value)/pre)
+	if rep.Recovered {
 		fmt.Printf("  repair latency   : %v (control plane reroutes to %v)\n",
-			rec.At-failAt, horse.Rate(rec.Value))
+			rep.Latency, horse.Rate(rep.Rec.Value))
 	}
-	fmt.Printf("  degraded steady  : %v (%.1f%% of pre)\n", horse.Rate(degraded), 100*degraded/pre)
+	fmt.Printf("  degraded steady  : %v (%.1f%% of pre)\n", horse.Rate(rep.Degraded), 100*rep.Degraded/pre)
 	fmt.Printf("  after link-up    : %v (%.1f%% of pre)\n", horse.Rate(post), 100*post/pre)
 	fmt.Printf("  control activity : %d withdraws, %d flowmods, %d injections\n\n",
 		res.RouteWithdraws, res.FlowModsApplied, res.Injections)

@@ -2,6 +2,7 @@ package horse
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cm"
@@ -155,6 +156,11 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 	if e.cfg.NaiveSolver {
 		e.net.Flows.SetNaive(true)
 	}
+	workers := e.cfg.SolverWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.net.Flows.SetWorkers(workers)
 	e.mgr = cm.New(e.engine, e.net, e.cfg.Logf)
 	defer e.mgr.Stop()
 
@@ -258,6 +264,8 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 	}
 	result.Sim = simStats
 	result.Solves = e.net.Flows.Solves()
+	result.Solver = e.net.Flows.Totals()
+	result.SolverWorkers = e.net.Flows.Workers()
 	result.Injections = e.mgr.Stats.Injections.Load()
 	result.ControlBytes = e.mgr.Stats.ControlBytes.Load()
 	result.ControlWrites = e.mgr.Stats.ControlWrites.Load()
@@ -297,6 +305,13 @@ type Result struct {
 	// storms are batched, so this tracks control plane event granularity
 	// rather than per-flow mutations.
 	Solves int
+
+	// Solver aggregates per-solve statistics (dirty-region sizes,
+	// independent components, parallel fan-outs), accumulated once per
+	// solve regardless of Defer/Resume batching.
+	Solver fluid.Totals
+	// SolverWorkers is the effective worker count the run used.
+	SolverWorkers int
 
 	ControlBytes    uint64
 	ControlWrites   uint64

@@ -78,6 +78,12 @@ type Config struct {
 	// it exists as an ablation/benchmark baseline (BenchmarkSolveScale)
 	// and should stay off in normal experiments.
 	NaiveSolver bool
+	// SolverWorkers is how many goroutines the rate solver may fan
+	// independent dirty components out to (disjoint pods, disjoint WAN
+	// regions solve in parallel). 0 (the default) uses GOMAXPROCS; 1
+	// reproduces the sequential solver. Rates are bit-identical at any
+	// worker count — see the determinism guarantee in internal/fluid.
+	SolverWorkers int
 	// Logf, when set, receives debug logging from every subsystem.
 	Logf func(format string, args ...any)
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/topo"
 )
 
@@ -43,6 +44,16 @@ type Config struct {
 	// QueueTokens is the per-port queue depth; tokens beyond it drop
 	// (UDP has no congestion control). Default 16.
 	QueueTokens int
+	// RepairDelay is the emulated control plane's reconvergence time
+	// after a failure injection: tokens forwarded into a dead cable drop
+	// immediately, and this long afterwards the routing tables are
+	// recomputed over the surviving topology. It stands in for the
+	// Mininet controller/daemon repair latency the paper's baseline
+	// would pay in real time. Default 200ms.
+	RepairDelay time.Duration
+	// SampleInterval is the delivered-bytes sampling period during Run
+	// (used to measure dip depth and repair latency). Default 25ms.
+	SampleInterval time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -58,6 +69,12 @@ func (c *Config) setDefaults() {
 	if c.QueueTokens <= 0 {
 		c.QueueTokens = 16
 	}
+	if c.RepairDelay <= 0 {
+		c.RepairDelay = 200 * time.Millisecond
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 25 * time.Millisecond
+	}
 }
 
 // token is one emulated packet.
@@ -67,13 +84,18 @@ type token struct {
 	bytes int
 }
 
+// ecmpTables maps (forwarding node, destination host) to candidate
+// egress ports. Tables are immutable once published; repairs build a
+// fresh set and swap the pointer, so forwarding loops read lock-free.
+type ecmpTables map[core.NodeID]map[core.NodeID][]core.PortID
+
 // Emulator is a running emulated network.
 type Emulator struct {
 	cfg Config
 	g   *topo.Graph
 
-	// ecmp[node][dstHost] -> candidate egress ports
-	ecmp map[core.NodeID]map[core.NodeID][]core.PortID
+	// ecmp holds the current routing tables (see ecmpTables).
+	ecmp atomic.Pointer[ecmpTables]
 	// in[node] is the node process's ingress queue.
 	in map[core.NodeID]chan token
 
@@ -82,6 +104,9 @@ type Emulator struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	timers []*time.Timer // pending repair/injection timers
 
 	SetupTime time.Duration
 }
@@ -94,17 +119,43 @@ func New(g *topo.Graph, cfg Config) (*Emulator, error) {
 	e := &Emulator{
 		cfg:  cfg,
 		g:    g,
-		ecmp: make(map[core.NodeID]map[core.NodeID][]core.PortID),
 		in:   make(map[core.NodeID]chan token),
 		stop: make(chan struct{}),
 	}
-	hosts := g.Hosts()
 	// Routing state: ECMP next hops per (forwarding node, destination
 	// host) — the converged network Mininet would reach after its own
-	// control plane set up.
+	// control plane set up. Setup pays the per-element costs; repairs
+	// (rebuildTables) do not.
 	for _, n := range g.Nodes {
 		time.Sleep(cfg.PerNodeSetup)
 		e.in[n.ID] = make(chan token, cfg.QueueTokens)
+	}
+	e.rebuildTables()
+	for range g.Links {
+		time.Sleep(cfg.PerLinkSetup / 2) // half per direction
+	}
+	// Node processes.
+	for _, n := range g.Nodes {
+		n := n
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.nodeProc(n)
+		}()
+	}
+	e.SetupTime = time.Since(start)
+	return e, nil
+}
+
+// rebuildTables recomputes the ECMP routing state over the surviving
+// (live-link) topology and publishes it atomically. New calls it during
+// setup; SetCableState schedules it RepairDelay after an injection, the
+// emulated control plane's reconvergence.
+func (e *Emulator) rebuildTables() {
+	g := e.g
+	hosts := g.Hosts()
+	tables := make(ecmpTables, len(g.Nodes))
+	for _, n := range g.Nodes {
 		if n.Kind == topo.Host {
 			continue
 		}
@@ -127,22 +178,50 @@ func New(g *topo.Graph, cfg Config) (*Emulator, error) {
 				table[h.ID] = ports
 			}
 		}
-		e.ecmp[n.ID] = table
+		tables[n.ID] = table
 	}
-	for range g.Links {
-		time.Sleep(cfg.PerLinkSetup / 2) // half per direction
+	e.ecmp.Store(&tables)
+}
+
+// SetCableState mirrors netmodel.SetCableState for the packet-level
+// baseline: it fails (down=true) or restores (down=false) the cable
+// containing the directed link ab. Tokens forwarded into a dead cable
+// drop immediately (the throughput dip); RepairDelay later the routing
+// tables are recomputed over the surviving topology (the emulated
+// control plane's repair). It reports whether the state changed.
+func (e *Emulator) SetCableState(ab core.LinkID, down bool) bool {
+	l := e.g.Link(ab)
+	if l == nil {
+		return false
 	}
-	// Node processes.
-	for _, n := range g.Nodes {
-		n := n
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.nodeProc(n)
-		}()
+	rev := e.g.Link(l.Reverse)
+	if l.Down() == down && rev.Down() == down {
+		return false
 	}
-	e.SetupTime = time.Since(start)
-	return e, nil
+	l.SetDown(down)
+	rev.SetDown(down)
+	e.afterFunc(e.cfg.RepairDelay, e.rebuildTables)
+	return true
+}
+
+// afterFunc schedules f unless the emulator is closed, tracking the
+// timer so Close can cancel it.
+func (e *Emulator) afterFunc(d time.Duration, f func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-e.stop:
+		return
+	default:
+	}
+	e.timers = append(e.timers, time.AfterFunc(d, func() {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		f()
+	}))
 }
 
 // nodeProc is one emulated node's forwarding loop.
@@ -161,7 +240,7 @@ func (e *Emulator) nodeProc(n *topo.Node) {
 				}
 				continue
 			}
-			ports := e.ecmp[n.ID][tk.dst]
+			ports := (*e.ecmp.Load())[n.ID][tk.dst]
 			if len(ports) == 0 {
 				e.dropped.Add(uint64(tk.bytes))
 				continue
@@ -169,7 +248,9 @@ func (e *Emulator) nodeProc(n *topo.Node) {
 			h := tk.tuple.Hash()
 			port := ports[int(h%uint32(len(ports)))]
 			p := e.g.Port(n.ID, port)
-			if p == nil {
+			if p == nil || !e.g.LinkAlive(p.Link) {
+				// Dead cable: the token is lost until the emulated
+				// control plane repairs the tables.
 				e.dropped.Add(uint64(tk.bytes))
 				continue
 			}
@@ -190,11 +271,31 @@ type FlowSpec struct {
 	Rate  core.Rate
 }
 
+// Injection schedules a cable state change At into a Run — the baseline
+// mirror of horse's LinkDown/LinkUp scripting, so Horse-vs-baseline
+// comparisons can cover failure scenarios.
+type Injection struct {
+	At   time.Duration // offset from Run start, in REAL time
+	Link core.LinkID   // either direction of the cable
+	Down bool
+}
+
+// Sample is one point of the delivered-bytes timeline Run records.
+type Sample struct {
+	At             time.Duration
+	DeliveredBytes uint64
+}
+
 // Run emulates the given flows for duration of REAL time (emulation runs
-// 1:1 with the wall clock, which is the whole point of the comparison)
-// and returns the delivered bytes.
-func (e *Emulator) Run(flows []FlowSpec, duration time.Duration) RunStats {
+// 1:1 with the wall clock, which is the whole point of the comparison),
+// applying any scheduled injections, and returns the delivered bytes
+// plus a sampled delivery timeline.
+func (e *Emulator) Run(flows []FlowSpec, duration time.Duration, injs ...Injection) RunStats {
 	start := time.Now()
+	for _, inj := range injs {
+		inj := inj
+		e.afterFunc(inj.At, func() { e.SetCableState(inj.Link, inj.Down) })
+	}
 	var senders sync.WaitGroup
 	stopSend := make(chan struct{})
 	for _, f := range flows {
@@ -203,7 +304,7 @@ func (e *Emulator) Run(flows []FlowSpec, duration time.Duration) RunStats {
 		if src == nil || len(src.Ports) == 0 {
 			continue
 		}
-		firstHop := src.Ports[0].Peer
+		access := src.Ports[0]
 		interval := time.Duration(float64(e.cfg.TokenBytes*8) / float64(f.Rate) * float64(time.Second))
 		if interval <= 0 {
 			interval = time.Millisecond
@@ -219,8 +320,12 @@ func (e *Emulator) Run(flows []FlowSpec, duration time.Duration) RunStats {
 					return
 				case <-tick.C:
 					tk := token{tuple: f.Tuple, dst: f.Dst, bytes: e.cfg.TokenBytes}
+					if !e.g.LinkAlive(access.Link) {
+						e.dropped.Add(uint64(tk.bytes))
+						continue
+					}
 					select {
-					case e.in[firstHop] <- tk:
+					case e.in[access.Peer] <- tk:
 					default:
 						e.dropped.Add(uint64(tk.bytes))
 					}
@@ -228,21 +333,48 @@ func (e *Emulator) Run(flows []FlowSpec, duration time.Duration) RunStats {
 			}
 		}()
 	}
+	// Delivery timeline sampling, for dip/repair measurement.
+	var (
+		samples  []Sample
+		sampleWG sync.WaitGroup
+	)
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(e.cfg.SampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSend:
+				return
+			case <-tick.C:
+				samples = append(samples, Sample{At: time.Since(start), DeliveredBytes: e.delivered.Load()})
+			}
+		}
+	}()
 	timer := time.NewTimer(duration)
 	<-timer.C
 	close(stopSend)
 	senders.Wait()
+	sampleWG.Wait()
 	elapsed := time.Since(start)
 	return RunStats{
 		Wall:           elapsed,
 		DeliveredBytes: e.delivered.Load(),
 		DroppedBytes:   e.dropped.Load(),
+		Samples:        samples,
 	}
 }
 
 // Close shuts the emulated network down.
 func (e *Emulator) Close() {
 	close(e.stop)
+	e.mu.Lock()
+	for _, t := range e.timers {
+		t.Stop()
+	}
+	e.timers = nil
+	e.mu.Unlock()
 	e.wg.Wait()
 }
 
@@ -251,6 +383,42 @@ type RunStats struct {
 	Wall           time.Duration
 	DeliveredBytes uint64
 	DroppedBytes   uint64
+	// Samples is the delivered-bytes timeline (cumulative), recorded
+	// every Config.SampleInterval.
+	Samples []Sample
+}
+
+// RateSeries converts the sampled cumulative-bytes timeline into a
+// delivered-rate series (one point per sampling interval, stamped at the
+// interval's end).
+func (s RunStats) RateSeries() *stats.Series {
+	out := &stats.Series{Name: "baseline-rx"}
+	for i := 1; i < len(s.Samples); i++ {
+		a, b := s.Samples[i-1], s.Samples[i]
+		if b.At <= a.At {
+			continue
+		}
+		r := float64((b.DeliveredBytes-a.DeliveredBytes)*8) / (b.At - a.At).Seconds()
+		out.Add(core.FromDuration(b.At), r)
+	}
+	return out
+}
+
+// RepairLatency measures, from the sampled timeline, how long after the
+// failure at failAt the delivered rate recovered. It delegates to
+// stats.Series.RepairAfter — the same dip/degraded/recovery extraction
+// cmd/tedemo and cmd/fig3 apply to Horse's aggregate-rx series — so the
+// two systems' repair numbers use one definition. ok is false when the
+// timeline is too sparse or the rate never recovered before healAt.
+func (s RunStats) RepairLatency(failAt, healAt time.Duration, frac float64) (time.Duration, bool) {
+	if len(s.Samples) < 3 || healAt <= failAt {
+		return 0, false
+	}
+	rep, ok := s.RateSeries().RepairAfter(core.FromDuration(failAt), core.FromDuration(healAt), frac)
+	if !ok || !rep.Recovered {
+		return 0, false
+	}
+	return rep.Latency.Duration(), true
 }
 
 // AggregateRx converts delivered bytes over the run into a mean rate.

@@ -146,3 +146,90 @@ func TestMisroutedTokenDropped(t *testing.T) {
 		t.Fatal("empty stats string")
 	}
 }
+
+func TestFailureDipAndRepair(t *testing.T) {
+	// A diamond with two disjoint switch paths: failing one of them drops
+	// the tokens hashed onto it until the emulated control plane repairs
+	// the tables over the surviving path (RepairDelay later), after which
+	// delivery recovers — the baseline mirror of netmodel.SetCableState.
+	g := topo.New()
+	h0 := g.AddHost("h0")
+	h0.IP = netip.MustParseAddr("10.0.0.1")
+	h1 := g.AddHost("h1")
+	h1.IP = netip.MustParseAddr("10.0.0.2")
+	in := g.AddSwitch("in")
+	up := g.AddSwitch("up")
+	down := g.AddSwitch("down")
+	out := g.AddSwitch("out")
+	g.Connect(h0, in, core.Gbps, 0)
+	g.Connect(in, up, core.Gbps, 0)
+	g.Connect(in, down, core.Gbps, 0)
+	g.Connect(up, out, core.Gbps, 0)
+	g.Connect(down, out, core.Gbps, 0)
+	g.Connect(out, h1, core.Gbps, 0)
+
+	cfg := fastCfg()
+	cfg.TokenBytes = 12_500 // 1000 tokens/s per 100 Mbps flow
+	cfg.RepairDelay = 60 * time.Millisecond
+	cfg.SampleInterval = 10 * time.Millisecond
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Many flows with distinct ports so both diamond arms carry traffic.
+	var flows []FlowSpec
+	for i := 0; i < 16; i++ {
+		flows = append(flows, FlowSpec{
+			Tuple: core.FiveTuple{Src: h0.IP, Dst: h1.IP, Proto: core.ProtoUDP,
+				SrcPort: uint16(100 + i), DstPort: 2},
+			Src: h0.ID, Dst: h1.ID, Rate: 100 * core.Mbps,
+		})
+	}
+	cable := g.CableBetween(in.ID, up.ID)
+	failAt, healAt := 250*time.Millisecond, 600*time.Millisecond
+	st := e.Run(flows, 800*time.Millisecond,
+		Injection{At: failAt, Link: cable.ID, Down: true},
+		Injection{At: healAt, Link: cable.ID, Down: false})
+	if st.DeliveredBytes == 0 {
+		t.Fatalf("nothing delivered: %v", st)
+	}
+	if st.DroppedBytes == 0 {
+		t.Fatal("the failure dropped nothing — dead-cable check not applied")
+	}
+	if len(st.Samples) < 10 {
+		t.Fatalf("timeline too sparse: %d samples", len(st.Samples))
+	}
+	lat, ok := st.RepairLatency(failAt, healAt, 0.8)
+	if !ok {
+		t.Fatalf("no repair detected; samples=%d delivered=%d", len(st.Samples), st.DeliveredBytes)
+	}
+	// Repair cannot precede the emulated reconvergence delay by more than
+	// one sampling interval, and must happen well before the heal.
+	if lat < cfg.RepairDelay-2*cfg.SampleInterval {
+		t.Fatalf("repair latency %v earlier than the %v reconvergence delay", lat, cfg.RepairDelay)
+	}
+	if lat > healAt-failAt {
+		t.Fatalf("repair latency %v after the heal", lat)
+	}
+}
+
+func TestSetCableStateNoChange(t *testing.T) {
+	g, err := topo.Star(2, topo.Switch, core.Gbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	l := g.Links[0]
+	if e.SetCableState(l.ID, false) {
+		t.Fatal("restoring an up cable reported a change")
+	}
+	if !e.SetCableState(l.ID, true) || e.SetCableState(l.ID, true) {
+		t.Fatal("down transition misreported")
+	}
+}

@@ -13,20 +13,38 @@
 // The set keeps persistent per-link state — capacity, the list of active
 // flows crossing the link, and the granted load — updated incrementally on
 // Add, Remove and SetPath rather than rebuilt inside Solve. A mutation
-// seeds its links into a dirty set; Solve expands the seeds into the
-// connected component of links and flows reachable through shared links
-// and re-solves only that region, leaving every other allocation (and
-// link load) untouched. Within a region, rates are computed by sorted
-// water-filling: links sit in a min-heap keyed by the fill level at which
-// they saturate, and each round freezes a whole saturated link (all its
-// unfrozen flows at the current level) or a batch of demand-limited flows
-// — never one epsilon increment at a time. The re-solve path performs no
-// heap allocations in steady state; all scratch storage is reused.
+// seeds its links into a per-shard dirty set (shards are topology
+// partition labels supplied by SetShardOf; netmodel wires them to the
+// incremental topo.Components index). Solve expands each shard's seeds
+// into connected components of links and flows reachable through shared
+// links and re-solves only those regions, leaving every other allocation
+// (and link load) untouched. Within a component, rates are computed by
+// sorted water-filling: links sit in a min-heap keyed by the fill level at
+// which they saturate, and each round freezes a whole saturated link (all
+// its unfrozen flows at the current level) or a batch of demand-limited
+// flows — never one epsilon increment at a time. The re-solve path
+// performs no heap allocations in steady state; all scratch storage is
+// reused per component.
+//
+// # Parallel component solves
+//
+// Explicit max–min rate allocation is bottleneck-local: two dirty
+// components sharing no link and no flow have independent water-filling
+// problems. Solve therefore fans the expanded components out to
+// SetWorkers goroutines (a work-stealing counter over a fixed task list)
+// and merges rates and SolveStats deterministically. Determinism
+// guarantee: component discovery is a sequential walk whose order depends
+// only on the mutation history, each component is water-filled by exactly
+// one goroutine with deterministically ordered inputs, and stats merge in
+// component order — so every rate (and every stat) is bit-identical at
+// any worker count. The single-component steady-state path runs inline on
+// the caller with zero synchronization and zero allocations.
 //
 // Complexity per solve, for a dirty component with F flows, L links and
-// total path length P: O(P + F log F + (L + P) log L). A full naive
-// recompute (kept behind SetNaive for benchmarking) is
-// O(rounds · (F + L) + P) with fresh map and slice allocations per solve.
+// total path length P: O(P + F log F + (L + P) log L), components running
+// concurrently. A full naive recompute (kept behind SetNaive for
+// benchmarking) is O(rounds · (F + L) + P) with fresh map and slice
+// allocations per solve.
 package fluid
 
 import (
@@ -34,6 +52,8 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -154,15 +174,64 @@ func (ls *linkState) sync(level core.Rate) {
 	ls.lastLevel = level
 }
 
-// SolveStats describes the work done by the most recent Solve.
+// SolveStats describes the work done by the most recent Solve. A solve
+// covering several independent dirty components reports their merged
+// totals; counters are accumulated in component order after all workers
+// finish, so the struct is identical at any worker count.
 type SolveStats struct {
-	// Flows and Links are the sizes of the re-solved dirty component.
+	// Flows and Links are the total sizes of the re-solved dirty
+	// components (Links includes memberless links whose load was reset).
 	Flows, Links int
-	// Rounds is the number of water-filling freeze rounds.
+	// Rounds is the number of water-filling freeze rounds, summed over
+	// components.
 	Rounds int
+	// Components is the number of independent dirty components
+	// water-filled by this solve.
+	Components int
+	// MaxComponentFlows is the flow count of the largest component — the
+	// critical path of a parallel solve.
+	MaxComponentFlows int
+	// Workers is how many goroutines the solve fanned out to (1 = inline
+	// on the caller).
+	Workers int
 	// Full reports whether the solve covered the whole set (MarkDirty or
 	// naive mode) rather than a dirty region.
 	Full bool
+}
+
+// Totals aggregates SolveStats over the lifetime of a Set. Accumulation
+// happens exactly once per solve, at the end of Solve — a Defer/Resume
+// batch therefore contributes a single sample no matter how many
+// mutations it coalesced, and callers no longer need to sum LastSolve
+// snapshots at every mutation site.
+type Totals struct {
+	// Solves counts solver runs (same value as Set.Solves).
+	Solves int
+	// Flows, Links and Rounds sum the per-solve dirty-region sizes.
+	Flows, Links, Rounds int
+	// Components sums per-solve independent component counts.
+	Components int
+	// MaxComponentFlows is the largest single component ever solved.
+	MaxComponentFlows int
+	// ParallelSolves counts solves that fanned out to more than one
+	// worker goroutine.
+	ParallelSolves int
+}
+
+// shardState buckets dirty seeds by topology partition label so a solve
+// walks coherent regions together and per-shard seed storage is reused.
+type shardState struct {
+	label int
+	seeds []*linkState
+}
+
+// solveTask is one independent dirty component plus its scratch storage,
+// reused across solves so the steady-state path allocates nothing.
+type solveTask struct {
+	flows []*Flow
+	links []*linkState
+	heap  []*linkState
+	stats SolveStats
 }
 
 // Set is the collection of flows sharing a network, responsible for rate
@@ -182,21 +251,28 @@ type Set struct {
 	solves    int
 	epsilon   core.Rate
 
-	links    map[core.LinkID]*linkState
-	seeds    []*linkState // links touched since the last solve
-	dirtyAll bool         // full re-solve needed (capacities changed)
-	epoch    uint64       // component-walk epoch counter
-	seedGen  uint64       // seed-dedup epoch counter
+	links map[core.LinkID]*linkState
+	// linkOrder holds every linkState in creation order; seedAll iterates
+	// it instead of the map so full solves are deterministic run to run.
+	linkOrder []*linkState
+	dirtyAll  bool   // full re-solve needed (capacities changed)
+	epoch     uint64 // component-walk epoch counter
+	seedGen   uint64 // seed-dedup epoch counter
+
+	// Sharding and the worker pool (see the package comment).
+	shardOf func(core.LinkID) int
+	shards  map[int]*shardState
+	dirty   []*shardState // shards holding seeds, in first-seed order
+	workers int
 
 	deferDepth int  // >0 suspends solving (batched mutations)
 	naive      bool // full-recompute baseline for benchmarks
 	last       SolveStats
+	totals     Totals
 
-	// Scratch reused across solves; the steady-state re-solve path
-	// allocates nothing.
-	compFlows []*Flow
-	compLinks []*linkState
-	heap      []*linkState
+	// Component tasks reused across solves; the steady-state re-solve
+	// path allocates nothing.
+	tasks []*solveTask
 }
 
 // NewSet creates a flow set over a network whose link capacities are
@@ -208,10 +284,35 @@ func NewSet(caps func(core.LinkID) core.Rate) *Set {
 		flows:   make(map[FlowID]*Flow),
 		linkB:   make(map[core.LinkID]uint64),
 		links:   make(map[core.LinkID]*linkState),
+		shards:  make(map[int]*shardState),
+		workers: 1,
 		epsilon: 1, // 1 bps resolution
 		seedGen: 1,
 	}
 }
+
+// SetWorkers sets how many goroutines a solve may fan independent dirty
+// components out to. 1 (the default) reproduces the sequential solver
+// exactly; any value yields bit-identical rates (see the package
+// comment's determinism guarantee). Call from the engine goroutine.
+func (s *Set) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers reports the configured solver worker count.
+func (s *Set) Workers() int { return s.workers }
+
+// SetShardOf installs the topology partition function used to bucket
+// dirty seeds (netmodel wires topo.Components.OfLink). The partition is a
+// routing hint, not a correctness requirement: component expansion walks
+// flow/link closure regardless of labels, so a stale label (e.g. a path
+// crossing a just-failed cable mid-batch) only changes which bucket a
+// seed sits in, never the solved result. nil (the default) buckets
+// everything under one shard.
+func (s *Set) SetShardOf(f func(core.LinkID) int) { s.shardOf = f }
 
 // SetNaive toggles the naive full-recompute solver, the pre-incremental
 // baseline kept for benchmarking (BenchmarkSolveScale) and differential
@@ -228,6 +329,10 @@ func (s *Set) Naive() bool { return s.naive }
 // LastSolve reports statistics about the most recent solver run; ablation
 // benchmarks and tests use it to observe the dirty-region cut.
 func (s *Set) LastSolve() SolveStats { return s.last }
+
+// Totals reports the cumulative solver statistics, accumulated exactly
+// once per solve regardless of Defer/Resume batching.
+func (s *Set) Totals() Totals { return s.totals }
 
 // Defer suspends rate recomputation so a batch of mutations (e.g. a
 // reroute storm after control plane convergence) pays for one solve
@@ -256,17 +361,33 @@ func (s *Set) link(id core.LinkID) *linkState {
 		}
 		ls = &linkState{id: id, cap: c}
 		s.links[id] = ls
+		s.linkOrder = append(s.linkOrder, ls)
 	}
 	return ls
 }
 
-// seed marks a link as a dirty-region seed for the next solve.
+// seed marks a link as a dirty-region seed for the next solve, routed to
+// the shard of its current partition label. Labels are re-read on every
+// (first-per-solve) seeding, so a topology change that relabels a region
+// is picked up the next time any of its links is dirtied.
 func (s *Set) seed(ls *linkState) {
 	if ls.seeded == s.seedGen {
 		return
 	}
 	ls.seeded = s.seedGen
-	s.seeds = append(s.seeds, ls)
+	label := 0
+	if s.shardOf != nil {
+		label = s.shardOf(ls.id)
+	}
+	sh := s.shards[label]
+	if sh == nil {
+		sh = &shardState{label: label}
+		s.shards[label] = sh
+	}
+	if len(sh.seeds) == 0 {
+		s.dirty = append(s.dirty, sh)
+	}
+	sh.seeds = append(sh.seeds, ls)
 }
 
 // attach inserts an active routed flow into the member list of every link
@@ -450,7 +571,7 @@ func (s *Set) Solve(now core.Time) {
 	if s.deferDepth > 0 {
 		return
 	}
-	if !s.dirtyAll && len(s.seeds) == 0 {
+	if !s.dirtyAll && len(s.dirty) == 0 {
 		return
 	}
 	s.solves++
@@ -460,17 +581,39 @@ func (s *Set) Solve(now core.Time) {
 		if s.dirtyAll {
 			s.seedAll()
 		}
-		s.solveRegion()
+		s.solveShards()
 	}
 	s.dirtyAll = false
-	s.seeds = s.seeds[:0]
+	for _, sh := range s.dirty {
+		sh.seeds = sh.seeds[:0]
+	}
+	s.dirty = s.dirty[:0]
 	s.seedGen++
+	s.accumulate()
+}
+
+// accumulate folds the finished solve's stats into the lifetime totals —
+// the single place they are recorded, so a Defer/Resume batch counts once.
+func (s *Set) accumulate() {
+	st := s.last
+	s.totals.Solves++
+	s.totals.Flows += st.Flows
+	s.totals.Links += st.Links
+	s.totals.Rounds += st.Rounds
+	s.totals.Components += st.Components
+	if st.MaxComponentFlows > s.totals.MaxComponentFlows {
+		s.totals.MaxComponentFlows = st.MaxComponentFlows
+	}
+	if st.Workers > 1 {
+		s.totals.ParallelSolves++
+	}
 }
 
 // seedAll refreshes every cached capacity from caps and seeds every known
-// link, turning the next region solve into a full one.
+// link (in creation order, for run-to-run determinism), turning the next
+// sharded solve into a full one.
 func (s *Set) seedAll() {
-	for _, ls := range s.links {
+	for _, ls := range s.linkOrder {
 		c := s.caps(ls.id)
 		if c < 0 {
 			c = 0
@@ -483,51 +626,132 @@ func (s *Set) seedAll() {
 	// blackholed flows already hold rate 0.
 }
 
-// solveRegion expands the dirty seeds into a connected component of links
-// and flows and water-fills it, leaving all other allocations untouched.
-func (s *Set) solveRegion() {
+// solveShards expands the per-shard dirty seeds into independent
+// connected components and water-fills them on the worker pool, leaving
+// all other allocations untouched.
+//
+// Component discovery is sequential and worker-count-independent: seeds
+// are visited in shard dirty order, and each unvisited seed's closure —
+// every flow on a component link joins and drags all links of its path in
+// — becomes one task. Because the closure is an equivalence class, a seed
+// already visited belongs entirely to an earlier task and is skipped, and
+// two tasks can never share a flow or a link: each task's water-fill
+// touches disjoint state, so tasks parallelize without locks.
+func (s *Set) solveShards() {
 	s.epoch++
-	compLinks := s.compLinks[:0]
-	compFlows := s.compFlows[:0]
-	for _, ls := range s.seeds {
-		if ls.visit != s.epoch {
-			ls.visit = s.epoch
-			compLinks = append(compLinks, ls)
-		}
-	}
-	// Closure: every flow on a component link joins, and drags all links
-	// of its path in. Consequently every member of a component link is a
-	// component flow, so loads outside the region are undisturbed.
-	for i := 0; i < len(compLinks); i++ {
-		for _, m := range compLinks[i].members {
-			f := m.f
-			if f.visit == s.epoch {
+	ntasks := 0
+	quietLinks := 0
+	for _, sh := range s.dirty {
+		for _, seed := range sh.seeds {
+			if seed.visit == s.epoch {
 				continue
 			}
-			f.visit = s.epoch
-			compFlows = append(compFlows, f)
-			for _, lid := range f.Path {
-				nl := s.links[lid]
-				if nl.visit != s.epoch {
-					nl.visit = s.epoch
-					compLinks = append(compLinks, nl)
+			if ntasks == len(s.tasks) {
+				s.tasks = append(s.tasks, &solveTask{})
+			}
+			t := s.tasks[ntasks]
+			t.links = t.links[:0]
+			t.flows = t.flows[:0]
+			seed.visit = s.epoch
+			t.links = append(t.links, seed)
+			for i := 0; i < len(t.links); i++ {
+				for _, m := range t.links[i].members {
+					f := m.f
+					if f.visit == s.epoch {
+						continue
+					}
+					f.visit = s.epoch
+					t.flows = append(t.flows, f)
+					for _, lid := range f.Path {
+						nl := s.links[lid]
+						if nl.visit != s.epoch {
+							nl.visit = s.epoch
+							t.links = append(t.links, nl)
+						}
+					}
 				}
 			}
+			if len(t.flows) == 0 {
+				// A memberless component (e.g. a capacity change on an
+				// idle link): reset loads inline, no water-fill needed.
+				for _, ls := range t.links {
+					ls.load = 0
+				}
+				quietLinks += len(t.links)
+				continue
+			}
+			ntasks++
 		}
 	}
-	s.last = SolveStats{Flows: len(compFlows), Links: len(compLinks), Full: s.dirtyAll}
-	s.waterfill(compFlows, compLinks)
-	s.compFlows = compFlows[:0]
-	s.compLinks = compLinks[:0]
+	workers := s.workers
+	if workers > ntasks {
+		workers = ntasks
+	}
+	if workers <= 1 {
+		for i := 0; i < ntasks; i++ {
+			s.waterfill(s.tasks[i])
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	} else {
+		s.runTasks(ntasks, workers)
+	}
+	s.last = SolveStats{
+		Links:      quietLinks,
+		Components: ntasks,
+		Workers:    workers,
+		Full:       s.dirtyAll,
+	}
+	for i := 0; i < ntasks; i++ {
+		st := s.tasks[i].stats
+		s.last.Flows += st.Flows
+		s.last.Links += st.Links
+		s.last.Rounds += st.Rounds
+		if st.Flows > s.last.MaxComponentFlows {
+			s.last.MaxComponentFlows = st.Flows
+		}
+	}
 }
 
-// waterfill computes max–min rates for one component by sorted
+// runTasks water-fills tasks[0:ntasks] on a pool of worker goroutines
+// pulling from a work-stealing counter. Which goroutine runs which task
+// does not affect the result: tasks touch disjoint state, and stats merge
+// afterwards in task order. Kept out of solveShards so the parallel
+// closure's captures cannot force heap allocations onto the inline
+// single-component steady-state path.
+func (s *Set) runTasks(ntasks, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ntasks {
+					return
+				}
+				s.waterfill(s.tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// waterfill computes max–min rates for one component task by sorted
 // water-filling: a min-heap orders links by the fill level at which they
 // saturate; each round raises the water level to the next event — a link
 // saturating (all its unfrozen flows freeze at the level) or the smallest
 // unmet demand (those flows freeze at their demand) — so whole links
 // freeze per round rather than epsilon steps.
-func (s *Set) waterfill(flows []*Flow, links []*linkState) {
+//
+// Safe to run concurrently for disjoint tasks: it writes only the task's
+// own flows, links and scratch, and reads shared Set state (the links map
+// in freeze, epsilon) without mutating it.
+func (s *Set) waterfill(t *solveTask) {
+	flows, links := t.flows, t.links
+	t.stats = SolveStats{Flows: len(flows), Links: len(links)}
 	inf := core.Rate(math.Inf(1))
 	for _, ls := range links {
 		ls.residual = ls.cap
@@ -567,7 +791,7 @@ func (s *Set) waterfill(flows []*Flow, links []*linkState) {
 			}
 		})
 	}
-	heap := s.heap[:0]
+	heap := t.heap[:0]
 	for _, ls := range links {
 		if ls.nactive > 0 {
 			ls.key = ls.satLevel()
@@ -652,8 +876,8 @@ func (s *Set) waterfill(flows []*Flow, links []*linkState) {
 			}
 		}
 	}
-	s.last.Rounds = rounds
-	s.heap = heap[:0]
+	t.stats.Rounds = rounds
+	t.heap = heap[:0]
 }
 
 // freeze finalizes a flow's rate and retires it from every link it

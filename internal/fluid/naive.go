@@ -49,7 +49,7 @@ func (s *Set) solveNaive() {
 			nl.active++
 		}
 	}
-	s.last = SolveStats{Flows: len(active), Links: len(links), Full: true}
+	s.last = SolveStats{Flows: len(active), Links: len(links), Components: 1, Workers: 1, Full: true}
 
 	// Progressive filling: raise all active flows together until a link
 	// saturates or a flow reaches its demand; freeze and repeat.

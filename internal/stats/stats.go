@@ -124,6 +124,55 @@ func (s *Series) FirstAtLeast(t core.Time, threshold float64) (Sample, bool) {
 	return Sample{}, false
 }
 
+// DefaultRepairFrac is the recovery threshold repair-latency metrics
+// use: a dipped rate counts as repaired when it re-reaches this fraction
+// of the degraded steady rate. Shared by cmd/tedemo, cmd/fig3,
+// examples/failures and the packet-level baseline so both systems'
+// repair numbers use one definition.
+const DefaultRepairFrac = 0.98
+
+// Repair summarizes a dip-and-recover episode of a rate series around a
+// failure at failAt healed at healAt.
+type Repair struct {
+	// Dip is the deepest sample in [failAt, healAt).
+	Dip Sample
+	// Degraded is the steady rate of the degraded topology: the mean
+	// over the second (or half the window, if shorter) before healAt.
+	Degraded float64
+	// Recovered reports whether the rate re-reached frac*Degraded after
+	// the dip and before the heal; Rec is the first sample doing so and
+	// Latency is Rec.At - failAt. Anchoring at the dip rather than
+	// failAt keeps a shallow failure from reading as an instant repair.
+	Recovered bool
+	Rec       Sample
+	Latency   core.Time
+}
+
+// RepairAfter extracts the dip-and-recover episode around a failure
+// window. ok is false when there is no measurable degraded baseline or
+// no samples in the window.
+func (s *Series) RepairAfter(failAt, healAt core.Time, frac float64) (Repair, bool) {
+	win := core.Second
+	if half := (healAt - failAt) / 2; win > half {
+		win = half
+	}
+	degraded := s.MeanBetween(healAt-win, healAt)
+	if degraded <= 0 {
+		return Repair{}, false
+	}
+	dip, ok := s.MinBetween(failAt, healAt)
+	if !ok {
+		return Repair{}, false
+	}
+	r := Repair{Dip: dip, Degraded: degraded}
+	if rec, ok := s.FirstAtLeast(dip.At, frac*degraded); ok && rec.At < healAt {
+		r.Recovered = true
+		r.Rec = rec
+		r.Latency = rec.At - failAt
+	}
+	return r, true
+}
+
 // TSV renders the series as "time<TAB>value" lines, with times in
 // seconds — directly gnuplot-able, as the demo's live graphs were.
 func (s *Series) TSV() string {

@@ -90,3 +90,55 @@ func TestWindowedHelpers(t *testing.T) {
 		t.Error("FirstAtLeast found unreachable threshold")
 	}
 }
+
+func TestRepairAfter(t *testing.T) {
+	s := &Series{Name: "rx"}
+	// 10 steady, failure at 5s dips to 2, control plane repairs to the
+	// degraded steady 8 at 5.3s, link heals at 8s back to 10.
+	for at := core.Time(0); at < 10*core.Second; at += 100 * core.Millisecond {
+		v := 10.0
+		switch {
+		case at >= 5*core.Second && at < 5300*core.Millisecond:
+			v = 2.0
+		case at >= 5300*core.Millisecond && at < 8*core.Second:
+			v = 8.0
+		}
+		s.Add(at, v)
+	}
+	rep, ok := s.RepairAfter(5*core.Second, 8*core.Second, DefaultRepairFrac)
+	if !ok {
+		t.Fatal("no repair episode extracted")
+	}
+	if rep.Dip.Value != 2.0 || rep.Dip.At != 5*core.Second {
+		t.Fatalf("dip = %+v, want 2.0 at 5s", rep.Dip)
+	}
+	if rep.Degraded != 8.0 {
+		t.Fatalf("degraded = %v, want 8.0", rep.Degraded)
+	}
+	if !rep.Recovered {
+		t.Fatal("recovery not detected")
+	}
+	if rep.Latency != 300*core.Millisecond {
+		t.Fatalf("latency = %v, want 300ms", rep.Latency)
+	}
+
+	// No recovery before the heal: the rate keeps declining after the
+	// failure, so it never climbs back to the degraded steady mean.
+	d := &Series{Name: "dead"}
+	for at := core.Time(0); at < 10*core.Second; at += 100 * core.Millisecond {
+		v := 10.0
+		if at >= 5*core.Second && at < 8*core.Second {
+			v = 10.0 * (8*core.Second - at).Seconds() / 3.0
+		}
+		d.Add(at, v)
+	}
+	rep, ok = d.RepairAfter(5*core.Second, 8*core.Second, DefaultRepairFrac)
+	if !ok || rep.Recovered {
+		t.Fatalf("ok=%v recovered=%v, want extracted-but-unrecovered", ok, rep.Recovered)
+	}
+
+	// Empty window.
+	if _, ok := (&Series{}).RepairAfter(core.Second, 2*core.Second, DefaultRepairFrac); ok {
+		t.Fatal("empty series extracted a repair")
+	}
+}

@@ -1,0 +1,243 @@
+package topo
+
+import "repro/internal/core"
+
+// Components is an incremental connected-component index over the *live*
+// links of a Graph (LinkAlive: link up and both endpoint nodes up). It is
+// the topology-partition layer under the sharded rate solver: the fluid
+// layer shards its dirty region by component label, so provably
+// independent regions (disjoint pods, disjoint WAN regions) can be solved
+// on separate worker goroutines.
+//
+// The index is maintained through failure injections — netmodel calls
+// OnCableState / OnNodeState after every liveness flip — rather than
+// recomputed per solve: each update walks only the affected component(s),
+// so a link flap in one pod never touches the labels of another.
+//
+// Labels are small ints, recycled through a freelist so long flapping runs
+// do not grow the label space (the fluid layer keys per-shard state by
+// label). Like the FIBs and flow tables, the index is engine-goroutine
+// state: mutate and read it only from the simulation engine goroutine.
+type Components struct {
+	g       *Graph
+	comp    []int32
+	next    int32
+	free    []int32
+	count   int
+	version uint64
+
+	// Walk scratch, reused across updates.
+	seen   []uint64
+	epoch  uint64
+	queue  []core.NodeID
+	absorb []int32
+}
+
+// NewComponents builds the index for a fully constructed graph. Nodes and
+// links must not be added afterwards (liveness may change; topology may
+// not).
+func NewComponents(g *Graph) *Components {
+	c := &Components{g: g}
+	c.Rebuild()
+	return c
+}
+
+// Rebuild recomputes every label from scratch. Incremental updates keep
+// the index exact, so this exists for construction and as a test oracle.
+func (c *Components) Rebuild() {
+	n := len(c.g.Nodes)
+	c.comp = make([]int32, n)
+	c.seen = make([]uint64, n)
+	c.free = c.free[:0]
+	c.next = 0
+	c.count = 0
+	c.epoch++
+	for i := range c.comp {
+		c.comp[i] = -1
+	}
+	for _, nd := range c.g.Nodes {
+		if c.comp[nd.ID] >= 0 {
+			continue
+		}
+		c.flood(nd.ID, c.alloc())
+		c.count++
+	}
+	c.version++
+}
+
+// Of reports the component label of a node.
+func (c *Components) Of(n core.NodeID) int { return int(c.comp[n]) }
+
+// OfLink reports the component label of a directed link (its From node's;
+// a live link's endpoints always agree). This is the fluid layer's shard
+// routing function.
+func (c *Components) OfLink(l core.LinkID) int {
+	return int(c.comp[c.g.Links[l].From])
+}
+
+// SameComponent reports whether two nodes share a component.
+func (c *Components) SameComponent(a, b core.NodeID) bool {
+	return c.comp[a] == c.comp[b]
+}
+
+// Count reports the number of connected components (a failed node is its
+// own singleton).
+func (c *Components) Count() int { return c.count }
+
+// Version increments on every update that changed at least one label;
+// consumers can cheaply detect partition changes.
+func (c *Components) Version() uint64 { return c.version }
+
+// OnCableState updates the index after the cable containing ab changed
+// liveness (both directions flip together; call after the down flags are
+// set). A repaired cable merges the endpoint components; a dead cable
+// splits them only if it was the last live connection.
+func (c *Components) OnCableState(ab core.LinkID) {
+	l := c.g.Link(ab)
+	if l == nil {
+		return
+	}
+	a, b := l.From, l.To
+	if c.g.LinkAlive(ab) {
+		if c.comp[a] == c.comp[b] {
+			return // a parallel live path already joined them
+		}
+		c.epoch++
+		c.flood(a, c.comp[a])
+		c.settle()
+		return
+	}
+	if c.comp[a] != c.comp[b] {
+		return // already split (e.g. an endpoint node is down)
+	}
+	c.split(a, b)
+}
+
+// OnNodeState updates the index after node id changed liveness (call
+// after the down flag is set). A failed node becomes a singleton and its
+// old component is re-walked from each surviving neighbor (one part keeps
+// the old label, further parts get fresh ones); a restored node re-merges
+// everything reachable over its live cables.
+func (c *Components) OnNodeState(id core.NodeID) {
+	n := c.g.Node(id)
+	if n == nil {
+		return
+	}
+	if !n.Down() {
+		c.epoch++
+		c.flood(id, c.comp[id])
+		c.settle()
+		return
+	}
+	old := c.comp[id]
+	c.epoch++
+	parts := 0
+	for _, p := range n.Ports {
+		peer := p.Peer
+		if c.comp[peer] != old || c.seen[peer] == c.epoch || c.g.Nodes[peer].Down() {
+			continue
+		}
+		label := old
+		if parts > 0 {
+			label = c.alloc()
+			c.count++
+		}
+		c.flood(peer, label)
+		parts++
+	}
+	if parts > 0 {
+		// The dead node leaves the component it anchored.
+		c.comp[id] = c.alloc()
+		c.count++
+		c.version++
+	}
+	// parts == 0: the node was already effectively a singleton (no live
+	// same-component neighbor); its old label simply becomes the
+	// singleton's label, nothing else referenced it.
+}
+
+// split checks whether removing the a-b cable disconnected its component
+// and, if so, relabels a's side.
+func (c *Components) split(a, b core.NodeID) {
+	c.epoch++
+	c.queue = c.queue[:0]
+	c.seen[a] = c.epoch
+	c.queue = append(c.queue, a)
+	for i := 0; i < len(c.queue); i++ {
+		for _, p := range c.g.Nodes[c.queue[i]].Ports {
+			if !c.g.LinkAlive(p.Link) || c.seen[p.Peer] == c.epoch {
+				continue
+			}
+			if p.Peer == b {
+				return // still connected through a surviving path
+			}
+			c.seen[p.Peer] = c.epoch
+			c.queue = append(c.queue, p.Peer)
+		}
+	}
+	label := c.alloc()
+	for _, n := range c.queue {
+		c.comp[n] = label
+	}
+	c.count++
+	c.version++
+}
+
+// flood BFS-walks live links from start, assigning label to every reached
+// node, and records absorbed foreign labels in c.absorb. Callers bump
+// c.epoch first; floods sharing an epoch never re-walk each other's nodes.
+func (c *Components) flood(start core.NodeID, label int32) {
+	c.queue = c.queue[:0]
+	c.absorb = c.absorb[:0]
+	c.seen[start] = c.epoch
+	c.recordAbsorb(c.comp[start], label)
+	c.comp[start] = label
+	c.queue = append(c.queue, start)
+	for i := 0; i < len(c.queue); i++ {
+		for _, p := range c.g.Nodes[c.queue[i]].Ports {
+			if !c.g.LinkAlive(p.Link) || c.seen[p.Peer] == c.epoch {
+				continue
+			}
+			c.seen[p.Peer] = c.epoch
+			c.recordAbsorb(c.comp[p.Peer], label)
+			c.comp[p.Peer] = label
+			c.queue = append(c.queue, p.Peer)
+		}
+	}
+}
+
+func (c *Components) recordAbsorb(old, label int32) {
+	if old == label || old < 0 {
+		return
+	}
+	for _, l := range c.absorb {
+		if l == old {
+			return
+		}
+	}
+	c.absorb = append(c.absorb, old)
+}
+
+// settle accounts for the labels a merge flood absorbed.
+func (c *Components) settle() {
+	if len(c.absorb) == 0 {
+		return
+	}
+	for _, l := range c.absorb {
+		c.free = append(c.free, l)
+	}
+	c.count -= len(c.absorb)
+	c.absorb = c.absorb[:0]
+	c.version++
+}
+
+func (c *Components) alloc() int32 {
+	if n := len(c.free); n > 0 {
+		l := c.free[n-1]
+		c.free = c.free[:n-1]
+		return l
+	}
+	l := c.next
+	c.next++
+	return l
+}

@@ -1,0 +1,154 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// samePartition checks that two labelings induce the same equivalence
+// classes (labels themselves may differ).
+func samePartition(t *testing.T, g *Graph, a, b *Components) {
+	t.Helper()
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for _, n := range g.Nodes {
+		la, lb := a.Of(n.ID), b.Of(n.ID)
+		if m, ok := fwd[la]; ok && m != lb {
+			t.Fatalf("node %s: label %d maps to both %d and %d", n.Name, la, m, lb)
+		}
+		if m, ok := rev[lb]; ok && m != la {
+			t.Fatalf("node %s: label %d mapped from both %d and %d", n.Name, lb, m, rev[lb])
+		}
+		fwd[la] = lb
+		rev[lb] = la
+	}
+	if a.Count() != b.Count() {
+		t.Fatalf("component counts diverge: incremental %d, rebuilt %d", a.Count(), b.Count())
+	}
+}
+
+func TestComponentsLinear(t *testing.T) {
+	g, err := Linear(4, Switch, core.Gbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewComponents(g)
+	if c.Count() != 1 {
+		t.Fatalf("connected linear topology has %d components, want 1", c.Count())
+	}
+	s0, _ := g.NodeByName("s0")
+	s1, _ := g.NodeByName("s1")
+	s3, _ := g.NodeByName("s3")
+	cable := g.CableBetween(s0.ID, s1.ID)
+
+	// Cutting s0-s1 splits {h0,s0} from the rest.
+	cable.SetDown(true)
+	g.Link(cable.Reverse).SetDown(true)
+	v := c.Version()
+	c.OnCableState(cable.ID)
+	if c.Count() != 2 {
+		t.Fatalf("after cut: %d components, want 2", c.Count())
+	}
+	if c.Version() == v {
+		t.Fatal("split did not bump the version")
+	}
+	if c.SameComponent(s0.ID, s1.ID) {
+		t.Fatal("s0 and s1 still share a component across the dead cable")
+	}
+	if !c.SameComponent(s1.ID, s3.ID) {
+		t.Fatal("s1 and s3 were split spuriously")
+	}
+
+	// Repair merges them back.
+	cable.SetDown(false)
+	g.Link(cable.Reverse).SetDown(false)
+	c.OnCableState(cable.ID)
+	if c.Count() != 1 || !c.SameComponent(s0.ID, s3.ID) {
+		t.Fatalf("after repair: %d components, s0~s3=%v", c.Count(), c.SameComponent(s0.ID, s3.ID))
+	}
+}
+
+func TestComponentsNodeOutage(t *testing.T) {
+	// A star's hub failure shatters the topology into singletons.
+	g, err := Star(4, Switch, core.Gbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := g.Switches()[0]
+	c := NewComponents(g)
+	if c.Count() != 1 {
+		t.Fatalf("star has %d components, want 1", c.Count())
+	}
+	hub.SetDown(true)
+	c.OnNodeState(hub.ID)
+	// 4 hosts + the dead hub, each alone.
+	if c.Count() != 5 {
+		t.Fatalf("after hub failure: %d components, want 5", c.Count())
+	}
+	hub.SetDown(false)
+	c.OnNodeState(hub.ID)
+	if c.Count() != 1 {
+		t.Fatalf("after hub repair: %d components, want 1", c.Count())
+	}
+	samePartition(t, g, c, NewComponents(g))
+}
+
+// TestComponentsIncrementalMatchesRebuild drives random cable and node
+// liveness flips through the incremental index and checks the partition
+// against a from-scratch rebuild after every event.
+func TestComponentsIncrementalMatchesRebuild(t *testing.T) {
+	g, err := FatTree(FatTreeOpts{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cables []*Link
+	for _, l := range g.Links {
+		if l.ID < l.Reverse {
+			cables = append(cables, l)
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Fresh liveness state per seed.
+			for _, l := range g.Links {
+				l.SetDown(false)
+			}
+			for _, n := range g.Nodes {
+				n.SetDown(false)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			c := NewComponents(g)
+			for op := 0; op < 120; op++ {
+				if rng.Float64() < 0.7 {
+					cable := cables[rng.Intn(len(cables))]
+					down := rng.Float64() < 0.5
+					cable.SetDown(down)
+					g.Link(cable.Reverse).SetDown(down)
+					c.OnCableState(cable.ID)
+				} else {
+					n := g.Nodes[rng.Intn(len(g.Nodes))]
+					n.SetDown(!n.Down())
+					c.OnNodeState(n.ID)
+				}
+				samePartition(t, g, c, NewComponents(g))
+			}
+		})
+	}
+}
+
+func TestComponentsOfLink(t *testing.T) {
+	g, err := Linear(3, Switch, core.Gbps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewComponents(g)
+	for _, l := range g.Links {
+		if c.OfLink(l.ID) != c.Of(l.From) {
+			t.Fatalf("link %v label %d != its From node's %d", l.ID, c.OfLink(l.ID), c.Of(l.From))
+		}
+	}
+}
