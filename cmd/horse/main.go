@@ -24,8 +24,8 @@ import (
 
 func main() {
 	var (
-		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers")
-		scenario    = flag.String("scenario", "ecmp5", "control plane: bgp, bgp-ecmp, ecmp5, hedera, reactive")
+		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME (abilene, tier1), wan:mesh:SEED[:POPS]")
+		scenario    = flag.String("scenario", "ecmp5", "control plane: bgp, bgp-ecmp, bgp-rr, ecmp5, hedera, reactive")
 		trafficSpec = flag.String("traffic", "permutation:42", "workload: permutation:SEED, stride:N, none")
 		rate        = flag.Float64("rate", 1.0, "per-flow rate in Gbps")
 		dur         = flag.Duration("dur", 20*time.Second, "virtual duration")
@@ -34,14 +34,24 @@ func main() {
 		tsv         = flag.Bool("tsv", false, "dump aggregate rx series as TSV")
 		naive       = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
 		workers     = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		delayScale  = flag.Float64("delay-scale", 1.0, "scale WAN geographic link delays (0 = zero-latency ablation)")
+		dampening   = flag.Bool("dampening", false, "enable BGP route flap dampening")
 	)
 	flag.Parse()
 
 	bgpWanted := strings.HasPrefix(*scenario, "bgp")
-	g, err := buildTopo(*topoSpec, bgpWanted)
+	g, err := buildTopo(*topoSpec, bgpWanted, *delayScale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	isWAN := strings.HasPrefix(*topoSpec, "wan:")
+	if isWAN && !bgpWanted {
+		fmt.Fprintln(os.Stderr, "wan topologies are BGP router meshes; use -scenario bgp-rr")
+		os.Exit(2)
+	}
+	if isWAN && *scenario != "bgp-rr" {
+		fmt.Fprintln(os.Stderr, "note: single-AS WAN without -scenario bgp-rr runs plain iBGP (no reflection); expect partial convergence")
 	}
 
 	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers}
@@ -51,11 +61,23 @@ func main() {
 	exp := horse.NewExperiment(cfg)
 	exp.SetTopology(g)
 
+	var damp *horse.Dampening
+	if *dampening {
+		damp = &horse.Dampening{}
+	}
 	switch *scenario {
 	case "bgp":
-		exp.UseBGP(horse.BGPOptions{})
+		exp.UseBGP(horse.BGPOptions{Dampening: damp})
 	case "bgp-ecmp":
-		exp.UseBGP(horse.BGPOptions{ECMP: true})
+		exp.UseBGP(horse.BGPOptions{ECMP: true, Dampening: damp})
+	case "bgp-rr":
+		// The WAN scenario: iBGP route reflection with latency-delayed
+		// control plane delivery.
+		exp.UseBGP(horse.BGPOptions{
+			RouteReflection: true,
+			LinkLatency:     true,
+			Dampening:       damp,
+		})
 	case "ecmp5":
 		exp.UseSDN(horse.AppECMP5())
 	case "hedera":
@@ -105,15 +127,38 @@ func main() {
 	fmt.Printf("rate solver: %d solves, %d components (largest %d flows), %d parallel, workers=%d (naive=%v)\n",
 		res.Solves, res.Solver.Components, res.Solver.MaxComponentFlows,
 		res.Solver.ParallelSolves, res.SolverWorkers, *naive)
+	if res.MeanPathLatency > 0 {
+		fmt.Printf("path latency: %v rate-weighted mean one-way\n", res.MeanPathLatency)
+	}
+	if conv, ok := res.ConvergedAt(0.95); ok {
+		fmt.Printf("converged: aggregate rx reached 95%% of steady at t=%v\n", conv)
+	}
 }
 
-func buildTopo(spec string, routers bool) (*horse.Topology, error) {
+func buildTopo(spec string, routers bool, delayScale float64) (*horse.Topology, error) {
 	kind, rest, _ := strings.Cut(spec, ":")
 	opt := horse.SDN()
 	if routers {
 		opt = horse.BGP()
 	}
 	switch kind {
+	case "wan":
+		name, arg, _ := strings.Cut(rest, ":")
+		if name == "mesh" {
+			parts := strings.Split(arg, ":")
+			seed, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("wan:mesh needs a seed: %w", err)
+			}
+			pops := 16
+			if len(parts) > 1 {
+				if pops, err = strconv.Atoi(parts[1]); err != nil {
+					return nil, fmt.Errorf("wan:mesh PoP count: %w", err)
+				}
+			}
+			return horse.WANMesh(pops, seed, horse.DelayScale(delayScale))
+		}
+		return horse.WAN(name, horse.DelayScale(delayScale))
 	case "fattree":
 		k, err := strconv.Atoi(rest)
 		if err != nil {

@@ -118,6 +118,9 @@ func main() {
 	fmt.Printf("rate solver         : %d solves, %d components (largest %d flows), %d parallel, workers=%d (naive=%v)\n",
 		res.Solves, res.Solver.Components, res.Solver.MaxComponentFlows,
 		res.Solver.ParallelSolves, res.SolverWorkers, *naive)
+	if res.MeanPathLatency > 0 {
+		fmt.Printf("path latency        : %v rate-weighted mean one-way\n", res.MeanPathLatency)
+	}
 	if *fail {
 		rx := res.AggregateRx
 		pre := rx.MeanBetween(failAt-horse.Second, failAt)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bgp"
 	"repro/internal/cm"
 	"repro/internal/core"
 	"repro/internal/fluid"
@@ -32,7 +33,27 @@ type BGPOptions struct {
 	ECMP bool
 	// HoldTime for all sessions (default 90s wall time).
 	HoldTime time.Duration
+	// RouteReflection runs same-AS adjacencies as iBGP with RFC 4456
+	// route reflection; reflector roles come from the topology
+	// (topo.Node.RouteReflector, set by the WAN generators). Required
+	// for single-AS WAN topologies, a no-op on all-eBGP ones.
+	RouteReflection bool
+	// LinkLatency delays control plane message delivery by each link's
+	// propagation delay in virtual time, so BGP convergence interacts
+	// with geography (see docs/WAN.md). Zero-delay links behave exactly
+	// as without the flag.
+	LinkLatency bool
+	// Dampening, when non-nil, enables route flap dampening with the
+	// given parameters (zero fields take RFC 2439-flavoured defaults;
+	// see Dampening). Decay and reuse run on the experiment's virtual
+	// clock — a 15s HalfLife spans 15s of the experiment timeline
+	// regardless of Pacing or DES fast-forward — so size it against
+	// the scenario's flap cadence, not the wall clock.
+	Dampening *Dampening
 }
+
+// Dampening re-exports the BGP route flap dampening parameters.
+type Dampening = bgp.Dampening
 
 // Experiment is a single Horse run: a topology, a control plane scenario
 // and a workload.
@@ -170,7 +191,14 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 	// processes at experiment start.
 	switch e.kind {
 	case scenarioBGP:
-		if err := e.mgr.WireBGP(cm.BGPConfig{ECMP: e.bgpOpts.ECMP, HoldTime: e.bgpOpts.HoldTime}); err != nil {
+		bgpCfg := cm.BGPConfig{
+			ECMP:            e.bgpOpts.ECMP,
+			HoldTime:        e.bgpOpts.HoldTime,
+			RouteReflection: e.bgpOpts.RouteReflection,
+			LinkLatency:     e.bgpOpts.LinkLatency,
+		}
+		bgpCfg.Dampening = e.bgpOpts.Dampening
+		if err := e.mgr.WireBGP(bgpCfg); err != nil {
 			return nil, err
 		}
 	case scenarioSDN:
@@ -260,8 +288,12 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 		if until > 0 {
 			fr.AvgRate = Rate(float64(f.Bytes*8) / until.Seconds())
 		}
+		if lat, ok := e.net.Flows.PathLatency(f.ID); ok {
+			fr.PathLatency = lat
+		}
 		result.Flows = append(result.Flows, fr)
 	}
+	result.MeanPathLatency = e.net.Flows.MeanPathLatency()
 	result.Sim = simStats
 	result.Solves = e.net.Flows.Solves()
 	result.Solver = e.net.Flows.Totals()
@@ -313,6 +345,12 @@ type Result struct {
 	// SolverWorkers is the effective worker count the run used.
 	SolverWorkers int
 
+	// MeanPathLatency is the rate-weighted mean one-way propagation
+	// latency of the active flows' final paths — nonzero only on
+	// topologies with link delay (WANs). The latency an average
+	// delivered bit experienced at the end of the run.
+	MeanPathLatency Time
+
 	ControlBytes    uint64
 	ControlWrites   uint64
 	RouteInstalls   uint64
@@ -333,6 +371,27 @@ type FlowResult struct {
 	Bytes   uint64
 	AvgRate Rate
 	State   string
+	// PathLatency is the one-way propagation latency of the flow's
+	// final path (zero for blackholed flows and delay-free topologies).
+	PathLatency Time
+}
+
+// ConvergedAt reports the virtual time at which the aggregate receive
+// rate first reached frac (e.g. 0.95) of its steady value — the
+// experiment's convergence time. On WANs with LinkLatency this grows
+// with propagation delay, which is the latency-aware convergence metric
+// docs/WAN.md describes. ok is false when the run never converged (or
+// delivered nothing).
+func (r *Result) ConvergedAt(frac float64) (Time, bool) {
+	steady := r.SteadyAggregateRx()
+	if steady <= 0 {
+		return 0, false
+	}
+	sample, ok := r.AggregateRx.FirstAtLeast(0, frac*float64(steady))
+	if !ok {
+		return 0, false
+	}
+	return sample.At, true
 }
 
 // SteadyAggregateRx reports the mean aggregate receive rate over the

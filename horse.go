@@ -92,16 +92,43 @@ type Config struct {
 type TopoOption func(*topoOpts)
 
 type topoOpts struct {
-	linkRate  Rate
-	linkDelay Time
-	routers   bool
+	linkRate    Rate
+	linkRateSet bool
+	linkDelay   Time
+	routers     bool
+	delayScale  float64
+	zeroLatency bool
 }
 
-// LinkRate sets the capacity of every generated link (default 1 Gbps).
-func LinkRate(r Rate) TopoOption { return func(o *topoOpts) { o.linkRate = r } }
+// LinkRate sets the capacity of every generated link (default 1 Gbps;
+// WAN and WANMesh default to 10 Gbps backbones).
+func LinkRate(r Rate) TopoOption {
+	return func(o *topoOpts) { o.linkRate = r; o.linkRateSet = true }
+}
+
+// wanLinkRate is the rate passed to the WAN generators: an explicit
+// LinkRate wins, otherwise 0 lets topo.WANOpts apply its own 10 Gbps
+// backbone default (the generic 1 Gbps seed here is a LAN-ish default
+// that would misrepresent a WAN core).
+func (o topoOpts) wanLinkRate() Rate {
+	if o.linkRateSet {
+		return o.linkRate
+	}
+	return 0
+}
 
 // LinkDelay sets the per-direction propagation delay (default 10µs).
 func LinkDelay(d Time) TopoOption { return func(o *topoOpts) { o.linkDelay = d } }
+
+// DelayScale multiplies the geographic propagation delays of WAN
+// topologies (WAN, WANMesh); 0 zeroes them — the zero-latency ablation
+// used by the parity tests. Non-WAN generators ignore it.
+func DelayScale(f float64) TopoOption {
+	return func(o *topoOpts) {
+		o.delayScale = f
+		o.zeroLatency = f == 0
+	}
+}
 
 // BGP makes the generated forwarding nodes BGP routers.
 func BGP() TopoOption { return func(o *topoOpts) { o.routers = true } }
@@ -149,6 +176,37 @@ func TwoRouters(opts ...TopoOption) (*Topology, error) {
 func WANRing(n, chord int, opts ...TopoOption) (*Topology, error) {
 	o := applyTopoOpts(opts)
 	return topo.WANRing(n, chord, o.linkRate, o.linkDelay)
+}
+
+// WAN builds one of the embedded measured WAN backbones ("abilene",
+// "tier1"; see topo.WANNames): one single-AS BGP router plus host per
+// PoP, link latency from great-circle city distance, and a route
+// reflector hierarchy chosen as a connected dominating set. Run it with
+// BGPOptions{RouteReflection: true, LinkLatency: true}. LinkDelay is
+// ignored — WAN delay comes from geography, scaled by DelayScale.
+func WAN(name string, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	return topo.WANNamed(name, topo.WANOpts{
+		LinkRate:    o.wanLinkRate(),
+		DelayScale:  o.delayScale,
+		ZeroLatency: o.zeroLatency,
+	})
+}
+
+// WANMesh generates a seeded Rocketfuel-style WAN of pops PoPs:
+// degree-weighted, distance-penalized preferential attachment with
+// shortcut chords, latency from geographic distance. The same seed
+// reproduces the identical topology. LinkDelay is ignored — WAN delay
+// comes from geography, scaled by DelayScale.
+func WANMesh(pops int, seed int64, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	return topo.WANGraph(topo.WANOpts{
+		PoPs:        pops,
+		Seed:        seed,
+		LinkRate:    o.wanLinkRate(),
+		DelayScale:  o.delayScale,
+		ZeroLatency: o.zeroLatency,
+	})
 }
 
 func applyTopoOpts(opts []TopoOption) topoOpts {

@@ -2,7 +2,10 @@
 // emulate datacenter and WAN routing control planes: OPEN / UPDATE /
 // KEEPALIVE / NOTIFICATION wire codecs, the session finite state machine,
 // Adj-RIB-In / Loc-RIB with the standard decision process, ECMP multipath
-// selection, and route propagation with AS-path loop prevention.
+// selection, and route propagation with AS-path loop prevention. WAN
+// scenarios add iBGP with route reflection (RFC 4456: client sessions,
+// ORIGINATOR_ID / CLUSTER_LIST loop prevention — see speaker.go) and
+// route flap dampening (RFC 2439 subset — see dampening.go).
 //
 // In the original Horse the routers run Quagga; here the speaker is
 // native Go but still exchanges real RFC 4271 bytes over a real duplex
@@ -33,13 +36,16 @@ const (
 	bgpVersion = 4
 )
 
-// Path attribute type codes (RFC 4271 §4.3 / §5).
+// Path attribute type codes (RFC 4271 §4.3 / §5, plus the RFC 4456
+// route-reflection attributes).
 const (
-	attrOrigin    = 1
-	attrASPath    = 2
-	attrNextHop   = 3
-	attrMED       = 4
-	attrLocalPref = 5
+	attrOrigin       = 1
+	attrASPath       = 2
+	attrNextHop      = 3
+	attrMED          = 4
+	attrLocalPref    = 5
+	attrOriginatorID = 9
+	attrClusterList  = 10
 )
 
 // Origin values.
@@ -90,6 +96,16 @@ type PathAttrs struct {
 	LocalPref uint32
 	HasMED    bool
 	HasLP     bool
+
+	// OriginatorID (RFC 4456) is the router ID of the speaker that
+	// first injected the route into the iBGP mesh; set by a route
+	// reflector on reflection, invalid when absent. A speaker that sees
+	// its own router ID here drops the route (reflection loop).
+	OriginatorID netip.Addr
+	// ClusterList (RFC 4456) records the reflection clusters the route
+	// has traversed, most recent first. A reflector that finds its own
+	// cluster ID in the list drops the route.
+	ClusterList []netip.Addr
 }
 
 // Notification is the NOTIFICATION message body.
@@ -99,6 +115,7 @@ type Notification struct {
 	Data    []byte
 }
 
+// Error makes Notification usable as the error a session dies with.
 func (n Notification) Error() string {
 	return fmt.Sprintf("bgp: notification code=%d subcode=%d", n.Code, n.Subcode)
 }
@@ -210,6 +227,21 @@ func EncodeUpdate(u Update) ([]byte, error) {
 		if u.Attrs.HasLP {
 			attrs = append(attrs, 0x40, attrLocalPref, 4)
 			attrs = binary.BigEndian.AppendUint32(attrs, u.Attrs.LocalPref)
+		}
+		if u.Attrs.OriginatorID.Is4() {
+			oid := u.Attrs.OriginatorID.As4()
+			attrs = append(attrs, 0x80, attrOriginatorID, 4) // optional non-transitive
+			attrs = append(attrs, oid[:]...)
+		}
+		if len(u.Attrs.ClusterList) > 0 {
+			// Extended length: a deep reflection hierarchy can push the
+			// list past the 255-byte short form.
+			attrs = append(attrs, 0x90, attrClusterList)
+			attrs = binary.BigEndian.AppendUint16(attrs, uint16(4*len(u.Attrs.ClusterList)))
+			for _, c := range u.Attrs.ClusterList {
+				c4 := c.As4()
+				attrs = append(attrs, c4[:]...)
+			}
 		}
 	}
 	var nlri []byte
@@ -389,6 +421,18 @@ func decodeUpdate(body []byte) (*Message, error) {
 			}
 			u.Attrs.LocalPref = binary.BigEndian.Uint32(val)
 			u.Attrs.HasLP = true
+		case attrOriginatorID:
+			if len(val) != 4 {
+				return nil, Notification{Code: NotifUpdateError, Subcode: 5}
+			}
+			u.Attrs.OriginatorID = netip.AddrFrom4([4]byte(val))
+		case attrClusterList:
+			if len(val)%4 != 0 {
+				return nil, Notification{Code: NotifUpdateError, Subcode: 5}
+			}
+			for i := 0; i+4 <= len(val); i += 4 {
+				u.Attrs.ClusterList = append(u.Attrs.ClusterList, netip.AddrFrom4([4]byte(val[i:i+4])))
+			}
 		default:
 			// Unrecognized optional attributes are ignored (we do not
 			// propagate unknown transitives: Horse's scenarios are

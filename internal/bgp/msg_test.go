@@ -84,6 +84,58 @@ func TestUpdateRoundTrip(t *testing.T) {
 	}
 }
 
+func TestUpdateReflectionAttrsRoundTrip(t *testing.T) {
+	// RFC 4456 attributes: ORIGINATOR_ID and a multi-entry CLUSTER_LIST
+	// (encoded with extended length) must survive the wire.
+	u := Update{
+		Attrs: PathAttrs{
+			Origin:       OriginIGP,
+			NextHop:      netip.MustParseAddr("172.16.0.1"),
+			HasLP:        true,
+			LocalPref:    100,
+			OriginatorID: netip.MustParseAddr("9.9.9.9"),
+			ClusterList: []netip.Addr{
+				netip.MustParseAddr("1.1.1.1"),
+				netip.MustParseAddr("2.2.2.2"),
+				netip.MustParseAddr("3.3.3.3"),
+			},
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.0.1.0/24")},
+	}
+	b, err := EncodeUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := msg.Upd
+	if got.Attrs.OriginatorID != u.Attrs.OriginatorID {
+		t.Fatalf("originator = %v", got.Attrs.OriginatorID)
+	}
+	if len(got.Attrs.ClusterList) != 3 ||
+		got.Attrs.ClusterList[0] != u.Attrs.ClusterList[0] ||
+		got.Attrs.ClusterList[2] != u.Attrs.ClusterList[2] {
+		t.Fatalf("cluster list = %v", got.Attrs.ClusterList)
+	}
+	// Absent attributes must stay absent.
+	plain, err := EncodeUpdate(Update{
+		Attrs: PathAttrs{NextHop: netip.MustParseAddr("172.16.0.1")},
+		NLRI:  []netip.Prefix{netip.MustParsePrefix("10.0.2.0/24")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg2, err := Decode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg2.Upd.Attrs.OriginatorID.IsValid() || len(msg2.Upd.Attrs.ClusterList) != 0 {
+		t.Fatalf("phantom reflection attrs: %+v", msg2.Upd.Attrs)
+	}
+}
+
 func TestUpdateWithdrawOnly(t *testing.T) {
 	u := Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}
 	b, err := EncodeUpdate(u)

@@ -21,6 +21,14 @@ type Path struct {
 	Port core.PortID
 	// Local marks locally originated routes.
 	Local bool
+	// IBGP marks paths learned over an internal (same-AS) session;
+	// they lose to eBGP paths in the decision process and are subject
+	// to the RFC 4456 reflection rules on re-advertisement.
+	IBGP bool
+	// FromClient marks iBGP paths learned from one of our route
+	// reflection clients; a reflector re-advertises them to every
+	// session, client or not.
+	FromClient bool
 }
 
 // pathBetter compares two candidate paths per the RFC 4271 decision
@@ -75,16 +83,36 @@ func pathCompare(a, b *Path) int {
 		}
 		return 1
 	}
+	// eBGP-learned beats iBGP-learned (RFC 4271 §9.1.2.2 step d).
+	if a.IBGP != b.IBGP {
+		if !a.IBGP {
+			return -1
+		}
+		return 1
+	}
 	return 0
 }
 
-// tieBreak orders ECMP-equal paths deterministically (router ID, then
-// peer address).
+// tieBreak orders ECMP-equal paths deterministically per the RFC 4456
+// refinements: shorter CLUSTER_LIST first, then the originator's router
+// ID (ORIGINATOR_ID when reflected, else the peer's), then peer address.
 func tieBreak(a, b *Path) bool {
-	if c := a.PeerRouterID.Compare(b.PeerRouterID); c != 0 {
+	if la, lb := len(a.Attrs.ClusterList), len(b.Attrs.ClusterList); la != lb {
+		return la < lb
+	}
+	if c := originatorOf(a).Compare(originatorOf(b)); c != 0 {
 		return c < 0
 	}
 	return a.PeerAddr.Compare(b.PeerAddr) < 0
+}
+
+// originatorOf is the router ID used for decision tie-breaks: the
+// ORIGINATOR_ID a reflector stamped, or the peer's own router ID.
+func originatorOf(p *Path) netip.Addr {
+	if p.Attrs.OriginatorID.Is4() {
+		return p.Attrs.OriginatorID
+	}
+	return p.PeerRouterID
 }
 
 // RIB holds Adj-RIB-In entries per peer plus locally originated routes,
@@ -260,6 +288,8 @@ func pathSetEqual(a, b []*Path) bool {
 			// advertisements.
 			if a[i].PeerAddr != b[i].PeerAddr || a[i].Port != b[i].Port ||
 				a[i].Attrs.NextHop != b[i].Attrs.NextHop ||
+				a[i].Attrs.OriginatorID != b[i].Attrs.OriginatorID ||
+				len(a[i].Attrs.ClusterList) != len(b[i].Attrs.ClusterList) ||
 				len(a[i].Attrs.ASPath) != len(b[i].Attrs.ASPath) {
 				return false
 			}

@@ -26,6 +26,7 @@ const (
 	StateClosed
 )
 
+// String names the FSM state ("Idle", "OpenSent", ...).
 func (s SessionState) String() string {
 	switch s {
 	case StateIdle:
@@ -59,6 +60,21 @@ type PeerConfig struct {
 	RemoteAddr netip.Addr // peer /31 interface address
 	RemoteAS   uint32     // expected peer ASN (0 = accept any)
 	Port       core.PortID
+
+	// IBGP marks an internal (same-AS) session: the local AS is not
+	// prepended on advertisements, LOCAL_PREF is attached, and the
+	// RFC 4456 reflection rules govern what may be re-advertised. The
+	// speaker always applies next-hop-self (NEXT_HOP = LocalAddr) —
+	// Horse has no IGP to recursively resolve a far next hop, so each
+	// hop rewrites the next hop to its own interface, exactly as an
+	// RR deployment with next-hop-self configured per session.
+	IBGP bool
+	// RRClient marks the peer as one of our route reflection clients
+	// (we are a reflector for it). Routes learned from clients are
+	// reflected to every session; routes learned from non-clients are
+	// reflected only to clients. Reflected routes carry ORIGINATOR_ID
+	// and our cluster ID prepended to CLUSTER_LIST.
+	RRClient bool
 }
 
 // Config configures a speaker.
@@ -69,6 +85,22 @@ type Config struct {
 	HoldTime  time.Duration // default 90s; 0 disables keepalives
 	Multipath bool          // ECMP across equal-cost paths (multipath-relax)
 	Networks  []netip.Prefix
+
+	// ClusterID identifies this speaker's reflection cluster when it
+	// acts as a route reflector (RFC 4456); defaults to RouterID.
+	ClusterID netip.Addr
+	// Dampening, when non-nil, enables route flap dampening
+	// (RFC 2439 subset): withdrawals accrue a per-(peer,prefix)
+	// penalty that decays exponentially; while the penalty exceeds the
+	// suppress threshold, re-announcements are parked instead of
+	// installed, and the route returns once the penalty decays below
+	// the reuse threshold.
+	Dampening *Dampening
+	// DampeningClock drives the dampening decay and reuse wakeups
+	// (default: wall clock). The Connection Manager installs the
+	// experiment's virtual clock so dampening horizons live on the
+	// experiment timeline.
+	DampeningClock Clock
 
 	// OnRoute receives Loc-RIB changes for FIB installation.
 	OnRoute func(RouteEvent)
@@ -89,17 +121,25 @@ type Stats struct {
 	UpdatesSent, UpdatesRecv             atomic.Uint64
 	KeepalivesSent, KeepalivesRecv       atomic.Uint64
 	NotificationsSent, NotificationsRecv atomic.Uint64
+	// RoutesSuppressed counts announcements parked by flap dampening;
+	// RoutesReused counts parked routes restored after penalty decay.
+	RoutesSuppressed, RoutesReused atomic.Uint64
+	// ReflectionLoops counts updates dropped by ORIGINATOR_ID /
+	// CLUSTER_LIST loop prevention.
+	ReflectionLoops atomic.Uint64
 }
 
 // Speaker is one emulated BGP routing daemon.
 type Speaker struct {
-	cfg   Config
-	asn16 uint16
-	hold  uint16 // configured hold time, seconds
+	cfg       Config
+	asn16     uint16
+	hold      uint16 // configured hold time, seconds
+	dampClock Clock
 
 	mu       sync.Mutex
 	rib      *RIB
 	sessions map[netip.Addr]*session
+	damp     map[dampKey]*dampState
 	closed   bool
 	wg       sync.WaitGroup
 
@@ -145,12 +185,24 @@ func NewSpeaker(cfg Config) (*Speaker, error) {
 	if cfg.AdvertiseDelay == 0 {
 		cfg.AdvertiseDelay = 2 * time.Millisecond
 	}
+	if !cfg.ClusterID.IsValid() {
+		cfg.ClusterID = cfg.RouterID
+	}
+	if cfg.Dampening != nil {
+		d := cfg.Dampening.withDefaults()
+		cfg.Dampening = &d
+	}
 	s := &Speaker{
-		cfg:      cfg,
-		asn16:    asn16,
-		hold:     uint16(cfg.HoldTime / time.Second),
-		rib:      NewRIB(cfg.Multipath),
-		sessions: make(map[netip.Addr]*session),
+		cfg:       cfg,
+		asn16:     asn16,
+		hold:      uint16(cfg.HoldTime / time.Second),
+		dampClock: cfg.DampeningClock,
+		rib:       NewRIB(cfg.Multipath),
+		sessions:  make(map[netip.Addr]*session),
+		damp:      make(map[dampKey]*dampState),
+	}
+	if s.dampClock == nil {
+		s.dampClock = wallClock{}
 	}
 	for _, p := range cfg.Networks {
 		s.rib.SetLocal(p, PathAttrs{Origin: OriginIGP})
@@ -495,6 +547,15 @@ func (x *session) down(cause error) {
 	x.state = StateClosed
 	delete(s.sessions, x.cfg.RemoteAddr)
 	affected := s.rib.DropPeer(x.cfg.RemoteAddr)
+	// A session loss withdraws everything learned from the peer; each
+	// of those counts as a flap toward dampening, so a flapping cable
+	// suppresses its neighbor's routes after repeated resets. Parked
+	// announcements die with the session — whether the re-peered
+	// session still advertises them is for it to say.
+	for _, p := range affected {
+		s.dampWithdrawLocked(x.cfg.RemoteAddr, p)
+	}
+	s.dampDropPeerLocked(x.cfg.RemoteAddr)
 	s.redecideLocked(affected)
 	s.mu.Unlock()
 	x.close()
@@ -507,21 +568,42 @@ func (x *session) down(cause error) {
 }
 
 // queueAdvLocked schedules an announcement (path != nil) or withdrawal
-// for the peer; the batch flushes after AdvertiseDelay. Caller holds s.mu.
+// for the peer; the batch flushes after AdvertiseDelay. Paths the
+// session's advertisement policy forbids are queued as withdrawals so
+// stale state clears. Caller holds s.mu.
 func (x *session) queueAdvLocked(p netip.Prefix, path *Path) {
-	// Sender-side loop check: do not announce a path already containing
-	// the peer's AS; send a withdraw instead so stale state clears.
-	if path != nil && x.cfg.RemoteAS != 0 && hasASN(path.Attrs.ASPath, uint16(x.cfg.RemoteAS)) {
-		path = nil
-	}
-	// Split horizon: never re-advertise toward the originating session.
-	if path != nil && !path.Local && path.PeerAddr == x.cfg.RemoteAddr {
+	if path != nil && !x.mayAdvertise(path) {
 		path = nil
 	}
 	x.pending[p] = path
 	if x.advTimer == nil {
 		x.advTimer = time.AfterFunc(x.sp.cfg.AdvertiseDelay, x.flushAdv)
 	}
+}
+
+// mayAdvertise applies the per-session advertisement policy: split
+// horizon, the eBGP sender-side AS loop check, and the RFC 4456 iBGP
+// reflection rules.
+func (x *session) mayAdvertise(path *Path) bool {
+	if path.Local {
+		return true
+	}
+	// Split horizon: never re-advertise toward the originating session.
+	if path.PeerAddr == x.cfg.RemoteAddr {
+		return false
+	}
+	if !x.cfg.IBGP {
+		// Sender-side loop check: do not announce a path already
+		// containing the eBGP peer's AS.
+		return x.cfg.RemoteAS == 0 || !hasASN(path.Attrs.ASPath, uint16(x.cfg.RemoteAS))
+	}
+	// Toward an iBGP peer: eBGP-learned routes go to everyone;
+	// iBGP-learned routes are only re-advertised by reflectors —
+	// client routes to every session, non-client routes to clients.
+	if !path.IBGP {
+		return true
+	}
+	return path.FromClient || x.cfg.RRClient
 }
 
 // flushAdv sends the batched UPDATEs: withdrawals plus announcements
@@ -546,11 +628,7 @@ func (x *session) flushAdv() {
 			withdrawn = append(withdrawn, p)
 			continue
 		}
-		out := PathAttrs{
-			Origin:  path.Attrs.Origin,
-			ASPath:  append([]uint16{s.asn16}, path.Attrs.ASPath...),
-			NextHop: x.cfg.LocalAddr,
-		}
+		out := x.outgoingAttrs(path)
 		key := attrsKey(out)
 		groups[key] = append(groups[key], p)
 		attrsOf[key] = out
@@ -582,11 +660,59 @@ func (x *session) flushAdv() {
 	}
 }
 
+// outgoingAttrs computes the attributes a path is advertised with on
+// this session. eBGP prepends the local AS and strips internal
+// attributes; iBGP keeps the AS path, attaches LOCAL_PREF, applies
+// next-hop-self, and — when reflecting an iBGP-learned path — stamps
+// ORIGINATOR_ID and prepends the local cluster ID to CLUSTER_LIST.
+func (x *session) outgoingAttrs(path *Path) PathAttrs {
+	s := x.sp
+	out := PathAttrs{
+		Origin:  path.Attrs.Origin,
+		NextHop: x.cfg.LocalAddr,
+	}
+	if !x.cfg.IBGP {
+		out.ASPath = append([]uint16{s.asn16}, path.Attrs.ASPath...)
+		return out
+	}
+	out.ASPath = append([]uint16(nil), path.Attrs.ASPath...)
+	out.HasLP = true
+	out.LocalPref = 100
+	if path.Attrs.HasLP {
+		out.LocalPref = path.Attrs.LocalPref
+	}
+	if path.IBGP {
+		// Reflection (mayAdvertise only lets iBGP-learned paths
+		// through toward iBGP peers when reflection applies).
+		out.OriginatorID = path.Attrs.OriginatorID
+		if !out.OriginatorID.Is4() {
+			out.OriginatorID = path.PeerRouterID
+		}
+		out.ClusterList = append([]netip.Addr{s.cfg.ClusterID}, path.Attrs.ClusterList...)
+	}
+	return out
+}
+
 func attrsKey(a PathAttrs) string {
-	b := make([]byte, 0, 8+2*len(a.ASPath))
+	b := make([]byte, 0, 16+2*len(a.ASPath)+4*len(a.ClusterList))
 	b = append(b, a.Origin)
 	nh := a.NextHop.As4()
 	b = append(b, nh[:]...)
+	if a.HasLP {
+		b = append(b, 1, byte(a.LocalPref>>24), byte(a.LocalPref>>16), byte(a.LocalPref>>8), byte(a.LocalPref))
+	} else {
+		b = append(b, 0)
+	}
+	var oid [4]byte
+	if a.OriginatorID.Is4() {
+		oid = a.OriginatorID.As4()
+	}
+	b = append(b, oid[:]...)
+	b = append(b, byte(len(a.ClusterList)))
+	for _, c := range a.ClusterList {
+		c4 := c.As4()
+		b = append(b, c4[:]...)
+	}
 	for _, asn := range a.ASPath {
 		b = append(b, byte(asn>>8), byte(asn))
 	}
@@ -600,27 +726,60 @@ func (s *Speaker) processUpdateLocked(x *session, u *Update) {
 	for _, p := range u.Withdrawn {
 		if s.rib.UpdateAdjIn(x.cfg.RemoteAddr, p, nil) {
 			affected = append(affected, p)
+			s.dampWithdrawLocked(x.cfg.RemoteAddr, p)
+		} else {
+			// The route may be parked under suppression rather than
+			// installed; the withdrawal must still discard it (and
+			// count as a flap) or reuse would resurrect a route the
+			// peer no longer advertises.
+			s.dampParkedWithdrawLocked(x.cfg.RemoteAddr, p)
 		}
 	}
-	if len(u.NLRI) > 0 {
-		// Receiver-side AS loop rejection.
-		if hasASN(u.Attrs.ASPath, s.asn16) {
-			s.logf("rejecting %d prefixes from %v: own AS in path", len(u.NLRI), x.cfg.RemoteAddr)
-		} else {
-			for _, p := range u.NLRI {
-				path := &Path{
-					Attrs:        u.Attrs,
-					PeerAddr:     x.cfg.RemoteAddr,
-					PeerRouterID: x.peerRouterID,
-					Port:         x.cfg.Port,
-				}
-				if s.rib.UpdateAdjIn(x.cfg.RemoteAddr, p, path) {
-					affected = append(affected, p)
-				}
+	if len(u.NLRI) > 0 && s.acceptLocked(x, &u.Attrs, len(u.NLRI)) {
+		for _, p := range u.NLRI {
+			path := &Path{
+				Attrs:        u.Attrs,
+				PeerAddr:     x.cfg.RemoteAddr,
+				PeerRouterID: x.peerRouterID,
+				Port:         x.cfg.Port,
+				IBGP:         x.cfg.IBGP,
+				FromClient:   x.cfg.RRClient,
+			}
+			if s.dampSuppressLocked(x.cfg.RemoteAddr, p, path) {
+				continue
+			}
+			if s.rib.UpdateAdjIn(x.cfg.RemoteAddr, p, path) {
+				affected = append(affected, p)
 			}
 		}
 	}
 	s.redecideLocked(affected)
+}
+
+// acceptLocked runs the receive-side loop checks: the AS-path check on
+// every session, and the RFC 4456 ORIGINATOR_ID / CLUSTER_LIST checks
+// on iBGP sessions. Caller holds s.mu.
+func (s *Speaker) acceptLocked(x *session, a *PathAttrs, nlri int) bool {
+	if hasASN(a.ASPath, s.asn16) {
+		s.logf("rejecting %d prefixes from %v: own AS in path", nlri, x.cfg.RemoteAddr)
+		return false
+	}
+	if !x.cfg.IBGP {
+		return true
+	}
+	if a.OriginatorID.Is4() && a.OriginatorID == s.cfg.RouterID {
+		s.Stats.ReflectionLoops.Add(1)
+		s.logf("rejecting %d prefixes from %v: own router ID as ORIGINATOR_ID", nlri, x.cfg.RemoteAddr)
+		return false
+	}
+	for _, c := range a.ClusterList {
+		if c == s.cfg.ClusterID {
+			s.Stats.ReflectionLoops.Add(1)
+			s.logf("rejecting %d prefixes from %v: own cluster ID in CLUSTER_LIST", nlri, x.cfg.RemoteAddr)
+			return false
+		}
+	}
+	return true
 }
 
 // redecideLocked re-runs the decision process for the given prefixes,

@@ -57,6 +57,7 @@ type Manager struct {
 	speakers map[core.NodeID]*bgp.Speaker
 	agents   map[core.NodeID]*openflow.Agent
 	ctl      *controller.Controller
+	bgpCfg   BGPConfig // retained for re-peering after link repair
 
 	// flushArmed coalesces reroute flushes; engine goroutine only.
 	flushArmed bool
@@ -151,6 +152,57 @@ func (m *Manager) TappedPipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
 	return tap{a, m}, tap{b, m}
 }
 
+// delayTap is one end of a latency-delayed control channel: a write is
+// counted as control activity immediately (the sender is active now),
+// but the bytes become readable at the peer only after the link's
+// propagation delay in virtual time. Delivery is an engine event that
+// itself marks control activity, so the hybrid clock stays in (or
+// returns to) FTI while a delayed message lands and the receiver
+// reacts — a convergence wave crossing a continental WAN holds the
+// clock for every RTT it takes.
+//
+// Ordering: the engine's post queue is FIFO and its event heap breaks
+// timestamp ties by insertion order, so two writes on the same
+// direction always deliver in write order — BGP's framing survives.
+type delayTap struct {
+	io.ReadWriteCloser // underlying pipe end: reads (and Close) pass through
+	m                  *Manager
+	delay              core.Time
+}
+
+func (t delayTap) Write(p []byte) (int, error) {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	t.m.Stats.ControlBytes.Add(uint64(len(p)))
+	t.m.Stats.ControlWrites.Add(1)
+	end := t.ReadWriteCloser
+	delay := t.delay
+	m := t.m
+	m.Engine.Post(func() {
+		m.Engine.After(delay, func() {
+			m.Engine.MarkControl()
+			// The pipe write never blocks (unbounded buffer); a closed
+			// pipe (session torn down while the message was in flight)
+			// just swallows it, like a packet arriving at a dead
+			// interface.
+			_, _ = end.Write(cp)
+		})
+	})
+	return len(p), nil
+}
+
+// tappedPipeDelayed returns a duplex control channel whose two
+// directions deliver after the given per-direction propagation delays.
+// Zero-delay directions use the plain tap (byte-for-byte the pre-latency
+// behaviour).
+func (m *Manager) tappedPipeDelayed(delayAB, delayBA core.Time) (io.ReadWriteCloser, io.ReadWriteCloser) {
+	if delayAB <= 0 && delayBA <= 0 {
+		return m.TappedPipe()
+	}
+	a, b := emu.Pipe()
+	return delayTap{a, m, delayAB}, delayTap{b, m, delayBA}
+}
+
 // ---------------------------------------------------------------------------
 // Virtual clock for emulated apps
 // ---------------------------------------------------------------------------
@@ -189,17 +241,43 @@ type BGPConfig struct {
 	HoldTime time.Duration
 	// AdvertiseDelay batches updates (default 2ms).
 	AdvertiseDelay time.Duration
+
+	// LinkLatency delivers control plane messages with each cable's
+	// propagation delay in virtual time: a BGP UPDATE crossing a 2000km
+	// WAN span arrives 10ms of virtual time after it was sent, so
+	// convergence ripples across the topology at fiber speed instead of
+	// instantaneously. Cables with zero delay keep the undelayed path —
+	// a zero-latency topology behaves identically with or without this
+	// flag (see TestWANZeroLatencyParity).
+	LinkLatency bool
+	// RouteReflection enables RFC 4456 route reflection on iBGP
+	// sessions (same-AS adjacencies are always iBGP; different-AS ones
+	// are always eBGP): a reflector (topo.Node.RouteReflector) treats
+	// its neighbors as clients — including neighboring reflectors, so a
+	// connected reflector backbone forms a hierarchical mutually-client
+	// mesh with CLUSTER_LIST breaking reflection cycles. Without this
+	// flag, same-AS adjacencies run plain non-client iBGP, which never
+	// re-advertises iBGP-learned routes and therefore only converges on
+	// full-mesh or two-router single-AS topologies — the ablation that
+	// shows why reflection exists.
+	RouteReflection bool
+	// Dampening enables per-(peer,prefix) route flap dampening on
+	// every speaker.
+	Dampening *bgp.Dampening
 }
 
 // WireBGP launches one BGP speaker per Router node, peers them across
 // every router-router link, originates each router's host subnets, and
 // installs connected host routes into the simulated FIBs (as Quagga's
-// "connected" routes would be).
+// "connected" routes would be). Same-AS adjacencies become iBGP
+// (reflector-aware when cfg.RouteReflection is set); different-AS
+// adjacencies are eBGP.
 func (m *Manager) WireBGP(cfg BGPConfig) error {
 	routers := m.G.Routers()
 	if len(routers) == 0 {
 		return fmt.Errorf("cm: topology has no routers")
 	}
+	m.bgpCfg = cfg
 	for _, r := range routers {
 		node := r.ID
 		speaker, err := bgp.NewSpeaker(bgp.Config{
@@ -209,7 +287,10 @@ func (m *Manager) WireBGP(cfg BGPConfig) error {
 			Multipath:      cfg.ECMP,
 			HoldTime:       cfg.HoldTime,
 			AdvertiseDelay: cfg.AdvertiseDelay,
+			Dampening:      cfg.Dampening,
+			DampeningClock: m.Clock(),
 			Networks:       m.originatedPrefixes(r),
+			Logf:           m.Logf,
 			OnRoute: func(ev bgp.RouteEvent) {
 				m.applyRoute(node, ev)
 			},
@@ -235,26 +316,42 @@ func (m *Manager) WireBGP(cfg BGPConfig) error {
 }
 
 // peerCable opens one BGP session across a router-router cable over a
-// fresh tapped transport; used at wiring time and again when a failed
-// link is repaired. Non-router cables are ignored.
+// fresh tapped transport (latency-delayed when BGPConfig.LinkLatency is
+// set); used at wiring time and again when a failed link is repaired.
+// Non-router cables are ignored.
 func (m *Manager) peerCable(l *topo.Link) error {
 	from := m.G.Node(l.From)
 	to := m.G.Node(l.To)
 	if from.Kind != topo.Router || to.Kind != topo.Router {
 		return nil
 	}
-	ca, cb := m.TappedPipe()
+	var delayAB, delayBA core.Time
+	if m.bgpCfg.LinkLatency {
+		delayAB = l.Delay
+		if rev := m.G.Link(l.Reverse); rev != nil {
+			delayBA = rev.Delay
+		}
+	}
+	ca, cb := m.tappedPipeDelayed(delayAB, delayBA)
 	pa := m.G.Port(l.From, l.FromPort)
 	pb := m.G.Port(l.To, l.ToPort)
+	// A same-AS adjacency is iBGP by definition (an eBGP session would
+	// prepend the shared AS and every receiver would reject the routes
+	// as loops); RouteReflection additionally honors the topology's
+	// reflector roles so sparse single-AS WANs converge.
+	ibgp := from.ASN == to.ASN
+	rr := ibgp && m.bgpCfg.RouteReflection
 	if err := m.speakers[from.ID].AddPeer(bgp.PeerConfig{
 		Conn: ca, LocalAddr: pa.IP, RemoteAddr: pb.IP,
 		RemoteAS: to.ASN, Port: pa.ID,
+		IBGP: ibgp, RRClient: rr && from.RouteReflector,
 	}); err != nil {
 		return err
 	}
 	if err := m.speakers[to.ID].AddPeer(bgp.PeerConfig{
 		Conn: cb, LocalAddr: pb.IP, RemoteAddr: pa.IP,
 		RemoteAS: from.ASN, Port: pb.ID,
+		IBGP: ibgp, RRClient: rr && to.RouteReflector,
 	}); err != nil {
 		return err
 	}

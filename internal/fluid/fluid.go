@@ -238,8 +238,9 @@ type solveTask struct {
 // allocation and byte accounting. Not safe for concurrent use; all access
 // happens on the simulation engine goroutine.
 type Set struct {
-	caps  func(core.LinkID) core.Rate
-	flows map[FlowID]*Flow
+	caps    func(core.LinkID) core.Rate
+	delayOf func(core.LinkID) core.Time // per-link propagation delay (nil = 0)
+	flows   map[FlowID]*Flow
 	// order preserves insertion order for deterministic iteration.
 	// Removed flows leave flowTombstone entries that are compacted once
 	// they outnumber live ones, so Remove is O(1) amortized instead of
@@ -313,6 +314,60 @@ func (s *Set) Workers() int { return s.workers }
 // seed sits in, never the solved result. nil (the default) buckets
 // everything under one shard.
 func (s *Set) SetShardOf(f func(core.LinkID) int) { s.shardOf = f }
+
+// SetDelayOf installs the per-link propagation delay function (netmodel
+// wires it to the topology's link delays). It feeds PathLatency and
+// MeanPathLatency; rate allocation is unaffected — in the fluid model
+// latency shifts when bytes arrive, not how many can be in flight.
+func (s *Set) SetDelayOf(f func(core.LinkID) core.Time) { s.delayOf = f }
+
+// PathLatency reports the one-way propagation latency of a flow's
+// current path (zero for blackholed flows or when no delay function is
+// installed), and whether the flow exists.
+func (s *Set) PathLatency(id FlowID) (core.Time, bool) {
+	f, ok := s.flows[id]
+	if !ok {
+		return 0, false
+	}
+	return s.pathLatency(f), true
+}
+
+func (s *Set) pathLatency(f *Flow) core.Time {
+	if s.delayOf == nil {
+		return 0
+	}
+	var total core.Time
+	for _, l := range f.Path {
+		total += s.delayOf(l)
+	}
+	return total
+}
+
+// MeanPathLatency is the rate-weighted mean one-way path latency over
+// active flows — the latency an average delivered bit experiences. Zero
+// when nothing is flowing.
+func (s *Set) MeanPathLatency() core.Time {
+	if s.delayOf == nil {
+		return 0
+	}
+	var weighted float64
+	var total core.Rate
+	for _, id := range s.order {
+		if id == flowTombstone {
+			continue
+		}
+		f := s.flows[id]
+		if f == nil || f.State != Active || f.Rate <= 0 {
+			continue
+		}
+		weighted += float64(f.Rate) * float64(s.pathLatency(f))
+		total += f.Rate
+	}
+	if total <= 0 {
+		return 0
+	}
+	return core.Time(weighted / float64(total))
+}
 
 // SetNaive toggles the naive full-recompute solver, the pre-incremental
 // baseline kept for benchmarking (BenchmarkSolveScale) and differential

@@ -827,3 +827,43 @@ func TestSetCapacityParity(t *testing.T) {
 		}
 	}
 }
+
+func TestPathLatency(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	// Per-link delay: link id in milliseconds.
+	s.SetDelayOf(func(l core.LinkID) core.Time { return core.Time(l) * core.Millisecond })
+	f1 := mkFlow(1, 100*core.Mbps, 1, 2, 3) // 6ms total
+	f2 := mkFlow(2, 300*core.Mbps, 10)      // 10ms
+	s.Add(f1, 0)
+	s.Add(f2, 0)
+	if lat, ok := s.PathLatency(1); !ok || lat != 6*core.Millisecond {
+		t.Fatalf("f1 latency = %v/%v, want 6ms", lat, ok)
+	}
+	if lat, ok := s.PathLatency(2); !ok || lat != 10*core.Millisecond {
+		t.Fatalf("f2 latency = %v/%v, want 10ms", lat, ok)
+	}
+	if _, ok := s.PathLatency(99); ok {
+		t.Fatal("latency reported for unknown flow")
+	}
+	// Rate-weighted mean: (100M*6ms + 300M*10ms) / 400M = 9ms.
+	if got := s.MeanPathLatency(); got != 9*core.Millisecond {
+		t.Fatalf("mean latency = %v, want 9ms", got)
+	}
+	// A blackholed flow contributes nothing.
+	s.SetPath(1, nil, 0)
+	if got := s.MeanPathLatency(); got != 10*core.Millisecond {
+		t.Fatalf("mean latency after blackhole = %v, want 10ms", got)
+	}
+}
+
+func TestPathLatencyWithoutDelayFunc(t *testing.T) {
+	s := NewSet(capsConst(1 * core.Gbps))
+	f := mkFlow(1, 100*core.Mbps, 1, 2)
+	s.Add(f, 0)
+	if lat, ok := s.PathLatency(1); !ok || lat != 0 {
+		t.Fatalf("latency without delay func = %v/%v, want 0", lat, ok)
+	}
+	if got := s.MeanPathLatency(); got != 0 {
+		t.Fatalf("mean latency without delay func = %v", got)
+	}
+}

@@ -92,6 +92,12 @@ func New(g *topo.Graph) *Network {
 		}
 	}
 	n.Flows = fluid.NewSet(func(l core.LinkID) core.Rate { return n.effectiveRate(l) })
+	n.Flows.SetDelayOf(func(l core.LinkID) core.Time {
+		if link := g.Link(l); link != nil {
+			return link.Delay
+		}
+		return 0
+	})
 	n.comps = topo.NewComponents(g)
 	n.Flows.SetShardOf(n.comps.OfLink)
 	return n

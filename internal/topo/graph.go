@@ -1,7 +1,10 @@
 // Package topo models experiment topologies: nodes (hosts, OpenFlow
 // switches, BGP routers), ports, and directed links, plus generators for
-// the topologies used in the paper's demonstration (fat-trees) and in
-// examples (linear, star, WAN rings).
+// the topologies used in the paper's demonstration (fat-trees), in
+// examples (linear, star, WAN rings), and for WAN scenarios (seeded
+// Rocketfuel-style meshes and embedded measured backbones with
+// geographic link latency and route reflector roles — see wan.go and
+// docs/WAN.md).
 //
 // The graph is plane-agnostic: the simulated data plane walks it to route
 // fluid flows, and the emulation harness walks it to wire up control plane
@@ -32,6 +35,7 @@ const (
 	Router
 )
 
+// String names the kind ("host", "switch", "router").
 func (k Kind) String() string {
 	switch k {
 	case Host:
@@ -92,6 +96,13 @@ type Node struct {
 	// ASN is the autonomous system number for Router nodes in BGP
 	// scenarios (assigned by the scenario builder; 0 if unset).
 	ASN uint32
+
+	// RouteReflector marks a router as an iBGP route reflector in WAN
+	// scenarios (see topo.WANGraph and cm.BGPConfig.RouteReflection).
+	// Reflector sets chosen by the WAN generators form a connected
+	// dominating set, so every client router is physically adjacent to
+	// at least one reflector and the reflector backbone is connected.
+	RouteReflector bool
 
 	// down marks a failed node: it neither forwards nor originates
 	// traffic, and every attached link behaves as dead. Atomic for the
@@ -180,9 +191,13 @@ func (g *Graph) AddNode(name string, kind Kind) *Node {
 	return n
 }
 
-// AddHost, AddSwitch and AddRouter are convenience wrappers.
-func (g *Graph) AddHost(name string) *Node   { return g.AddNode(name, Host) }
+// AddHost adds a node of kind Host.
+func (g *Graph) AddHost(name string) *Node { return g.AddNode(name, Host) }
+
+// AddSwitch adds a node of kind Switch.
 func (g *Graph) AddSwitch(name string) *Node { return g.AddNode(name, Switch) }
+
+// AddRouter adds a node of kind Router.
 func (g *Graph) AddRouter(name string) *Node { return g.AddNode(name, Router) }
 
 // Node returns the node with the given ID, or nil if out of range.
@@ -427,6 +442,18 @@ func (g *Graph) AllShortestPaths(src, dst core.NodeID) [][]core.LinkID {
 	}
 	walk(src, nil)
 	return paths
+}
+
+// PathDelay sums the per-link propagation delay along a directed-link
+// path (the one-way latency a packet following it would see).
+func (g *Graph) PathDelay(path []core.LinkID) core.Time {
+	var total core.Time
+	for _, id := range path {
+		if l := g.Link(id); l != nil {
+			total += l.Delay
+		}
+	}
+	return total
 }
 
 // Stats summarises graph size.

@@ -1,0 +1,229 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fingerprint reduces a graph to a comparable structural summary: node
+// names/kinds/flags plus every cable's endpoints, rate and delay.
+func fingerprint(g *Graph) string {
+	out := ""
+	for _, n := range g.Nodes {
+		out += n.Name + "/" + n.Kind.String()
+		if n.RouteReflector {
+			out += "*"
+		}
+		out += ";"
+	}
+	for _, l := range g.Links {
+		if l.ID > l.Reverse {
+			continue
+		}
+		out += g.Nodes[l.From].Name + "-" + g.Nodes[l.To].Name +
+			"@" + l.Delay.String() + "/" + l.Rate().String() + ";"
+	}
+	return out
+}
+
+func TestWANGraphDeterminism(t *testing.T) {
+	a, err := WANGraph(WANOpts{PoPs: 24, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WANGraph(WANOpts{PoPs: 24, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("same seed produced different WAN graphs")
+	}
+	c, err := WANGraph(WANOpts{PoPs: 24, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(c) {
+		t.Fatal("different seeds produced identical WAN graphs")
+	}
+}
+
+// routerReachable counts routers reachable from id over live links,
+// ignoring hosts.
+func routerReachable(g *Graph, id core.NodeID) int {
+	seen := map[core.NodeID]bool{id: true}
+	queue := []core.NodeID{id}
+	count := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		count++
+		for _, p := range g.Nodes[cur].Ports {
+			peer := g.Nodes[p.Peer]
+			if peer.Kind != Router || seen[peer.ID] {
+				continue
+			}
+			seen[peer.ID] = true
+			queue = append(queue, peer.ID)
+		}
+	}
+	return count
+}
+
+func checkWANInvariants(t *testing.T, g *Graph, wantDelay bool) {
+	t.Helper()
+	routers := g.Routers()
+	if n := routerReachable(g, routers[0].ID); n != len(routers) {
+		t.Fatalf("WAN not connected: %d of %d routers reachable", n, len(routers))
+	}
+	// Reflector invariants: the RR subgraph is connected and every
+	// client is adjacent to a reflector.
+	var firstRR *Node
+	rrCount := 0
+	for _, r := range routers {
+		if r.RouteReflector {
+			rrCount++
+			if firstRR == nil {
+				firstRR = r
+			}
+		}
+	}
+	if rrCount == 0 {
+		t.Fatal("no route reflectors chosen")
+	}
+	rrSeen := map[core.NodeID]bool{firstRR.ID: true}
+	queue := []core.NodeID{firstRR.ID}
+	rrReach := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		rrReach++
+		for _, p := range g.Nodes[cur].Ports {
+			peer := g.Nodes[p.Peer]
+			if peer.Kind != Router || !peer.RouteReflector || rrSeen[peer.ID] {
+				continue
+			}
+			rrSeen[peer.ID] = true
+			queue = append(queue, peer.ID)
+		}
+	}
+	if rrReach != rrCount {
+		t.Fatalf("reflector backbone disconnected: %d of %d reachable", rrReach, rrCount)
+	}
+	for _, r := range routers {
+		if r.RouteReflector {
+			continue
+		}
+		adjacent := false
+		for _, p := range r.Ports {
+			if peer := g.Nodes[p.Peer]; peer.Kind == Router && peer.RouteReflector {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Fatalf("client %s has no adjacent reflector", r.Name)
+		}
+	}
+	// Latency: backbone links carry geographic delay (unless the
+	// zero-latency ablation was requested).
+	anyDelay := false
+	for _, l := range g.Links {
+		if g.Nodes[l.From].Kind == Router && g.Nodes[l.To].Kind == Router && l.Delay > 0 {
+			anyDelay = true
+			break
+		}
+	}
+	if anyDelay != wantDelay {
+		t.Fatalf("backbone delay present=%v, want %v", anyDelay, wantDelay)
+	}
+}
+
+func TestWANGraphInvariants(t *testing.T) {
+	for _, pops := range []int{3, 12, 40, 120} {
+		g, err := WANGraph(WANOpts{PoPs: pops, Seed: int64(pops)})
+		if err != nil {
+			t.Fatalf("PoPs=%d: %v", pops, err)
+		}
+		checkWANInvariants(t, g, true)
+		if got := len(g.Routers()); got != pops {
+			t.Fatalf("PoPs=%d: %d routers", pops, got)
+		}
+		if got := len(g.Hosts()); got != pops {
+			t.Fatalf("PoPs=%d: %d hosts", pops, got)
+		}
+	}
+	if _, err := WANGraph(WANOpts{PoPs: 2, Seed: 1}); err == nil {
+		t.Fatal("2-PoP WAN accepted")
+	}
+	if _, err := WANGraph(WANOpts{PoPs: 1000, Seed: 1}); err == nil {
+		t.Fatal("1000-PoP WAN accepted")
+	}
+	if _, err := WANGraph(WANOpts{PoPs: 10, Seed: 1, DelayScale: -1}); err == nil {
+		t.Fatal("negative delay scale accepted")
+	}
+}
+
+func TestWANNamedTopologies(t *testing.T) {
+	for _, name := range WANNames() {
+		g, err := WANNamed(name, WANOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkWANInvariants(t, g, true)
+		// Continental backbones: the longest cable must be hundreds of
+		// km of fiber, i.e. >= 1ms one-way.
+		var maxDelay core.Time
+		for _, l := range g.Links {
+			if l.Delay > maxDelay {
+				maxDelay = l.Delay
+			}
+		}
+		if maxDelay < core.Millisecond {
+			t.Fatalf("%s: max link delay %v, want >= 1ms", name, maxDelay)
+		}
+	}
+	if _, err := WANNamed("nonesuch", WANOpts{}); err == nil {
+		t.Fatal("unknown WAN name accepted")
+	}
+}
+
+func TestWANZeroLatencyAblation(t *testing.T) {
+	g, err := WANNamed("abilene", WANOpts{ZeroLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWANInvariants(t, g, false)
+	for _, l := range g.Links {
+		if l.Delay != 0 {
+			t.Fatalf("zero-latency WAN has delayed link %v", l.Delay)
+		}
+	}
+	// Structure must be identical to the delayed build.
+	d, err := WANNamed("abilene", WANOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Links) != len(g.Links) || len(d.Nodes) != len(g.Nodes) {
+		t.Fatal("zero-latency ablation changed topology structure")
+	}
+}
+
+func TestPathDelay(t *testing.T) {
+	g, err := WANNamed("abilene", WANOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sea, _ := g.NodeByName("sea")
+	nyc, _ := g.NodeByName("nyc")
+	paths := g.AllShortestPaths(sea.ID, nyc.ID)
+	if len(paths) == 0 {
+		t.Fatal("no sea->nyc path")
+	}
+	if d := g.PathDelay(paths[0]); d < core.Millisecond {
+		t.Fatalf("sea->nyc path delay %v, want coast-to-coast >= 1ms", d)
+	}
+	if g.PathDelay(nil) != 0 {
+		t.Fatal("empty path has nonzero delay")
+	}
+}
