@@ -1,0 +1,85 @@
+package horse
+
+import (
+	"testing"
+
+	"repro/internal/capture"
+)
+
+// validateCapture walks and fully decodes every trace the run wrote.
+func validateCapture(t *testing.T, files []string) *capture.Summary {
+	t.Helper()
+	if len(files) == 0 {
+		t.Fatal("experiment wrote no capture files")
+	}
+	var traces []*capture.Trace
+	for _, f := range files {
+		tr, err := capture.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	sum, err := capture.Summarize(traces...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestCaptureBGPEndToEnd runs the Figure 1 scenario with capture
+// enabled and asserts the trace tells the same story the Result does:
+// a decodable BGP conversation with at least one UPDATE, delivered on
+// the experiment timeline.
+func TestCaptureBGPEndToEnd(t *testing.T) {
+	topo, err := TwoRouters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.CaptureTo(t.TempDir())
+	exp.UseBGP(BGPOptions{})
+	if err := exp.AddFlow("h1", "h2", 500*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(10 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := validateCapture(t, res.CaptureFiles)
+	if sum.Updates == 0 {
+		t.Errorf("no BGP UPDATE in the capture (summary: %v)", sum)
+	}
+	if sum.Last > res.Sim.VirtualEnd {
+		t.Errorf("capture timestamp %v beyond the run's virtual end %v", sum.Last, res.Sim.VirtualEnd)
+	}
+}
+
+// TestCaptureSDNEndToEnd runs the proactive ECMP app with capture
+// enabled: every switch-controller session must decode, including at
+// least one FLOW_MOD.
+func TestCaptureSDNEndToEnd(t *testing.T) {
+	topo, err := FatTree(4, SDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(testConfig())
+	exp.SetTopology(topo)
+	exp.CaptureTo(t.TempDir())
+	exp.UseSDN(AppECMP5())
+	if err := exp.SendPermutation(1, 1*Gbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(5 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := validateCapture(t, res.CaptureFiles)
+	if sum.FlowMods == 0 {
+		t.Errorf("no FLOW_MOD in the capture (summary: %v)", sum)
+	}
+	if got, want := len(res.CaptureFiles), len(topo.Switches()); got != want {
+		t.Errorf("capture files = %d, want one per switch-controller pair (%d)", got, want)
+	}
+}

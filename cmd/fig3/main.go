@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +55,7 @@ func main() {
 		naive        = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
 		workers      = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		fail         = flag.Bool("fail", false, "inject an agg-core link failure at dur/3 (repair at 2*dur/3) into every run and report repair latency")
+		pcapDir      = flag.String("pcap", "", "record each Horse run's control plane as pcapng traces under DIR/k<K>-<te>/")
 	)
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad k %q: %v\n", ks, err)
 			os.Exit(1)
 		}
-		horseSetup, horseExec, horseRepair := runHorseSuite(k, *dur, *pacing, *seed, *naive, *workers, *fail)
+		horseSetup, horseExec, horseRepair := runHorseSuite(k, *dur, *pacing, *seed, *naive, *workers, *fail, *pcapDir)
 		line := fmt.Sprintf("%-4d %-14v %-14v", k, horseSetup.Round(time.Millisecond), horseExec.Round(time.Millisecond))
 		if *fail {
 			line += fmt.Sprintf(" %-13v", horseRepair.Round(time.Millisecond))
@@ -94,10 +96,17 @@ func main() {
 		if *fail {
 			line += fmt.Sprintf(" %-13v", baseRepair.Round(time.Millisecond))
 		}
-		line += fmt.Sprintf(" %-8.2f", float64(baseExec)/float64(horseExec))
+		// The denominators can legitimately be zero (no repair observed,
+		// a degenerate run); the shared stats.Ratio guard keeps NaN/Inf
+		// out of the table.
+		if r, ok := stats.Ratio(float64(baseExec), float64(horseExec)); ok {
+			line += fmt.Sprintf(" %-8.2f", r)
+		} else {
+			line += fmt.Sprintf(" %-8s", "n/a")
+		}
 		if *fail {
-			if horseRepair > 0 && baseRepair > 0 {
-				line += fmt.Sprintf(" %-12.2f", float64(baseRepair)/float64(horseRepair))
+			if r, ok := stats.Ratio(float64(baseRepair), float64(horseRepair)); ok && baseRepair > 0 {
+				line += fmt.Sprintf(" %-12.2f", r)
 			} else {
 				line += fmt.Sprintf(" %-12s", "n/a")
 			}
@@ -109,7 +118,7 @@ func main() {
 // runHorseSuite executes the three TE experiments on Horse and returns
 // (topology setup, execution) wall times plus — under -fail — the mean
 // repair latency in virtual time.
-func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive bool, workers int, fail bool) (setup, exec, repair time.Duration) {
+func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive bool, workers int, fail bool, pcapDir string) (setup, exec, repair time.Duration) {
 	until := core.FromDuration(dur)
 	failAt, healAt := until/3, 2*until/3
 	var repairs, repaired int
@@ -121,6 +130,9 @@ func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive b
 			cfg.SampleInterval = 10 * horse.Millisecond
 		}
 		exp := horse.NewExperiment(cfg)
+		if pcapDir != "" {
+			exp.CaptureTo(filepath.Join(pcapDir, fmt.Sprintf("k%d-%s", k, te)))
+		}
 		var (
 			g   *horse.Topology
 			err error

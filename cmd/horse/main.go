@@ -36,6 +36,7 @@ func main() {
 		workers     = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		delayScale  = flag.Float64("delay-scale", 1.0, "scale WAN geographic link delays (0 = zero-latency ablation)")
 		dampening   = flag.Bool("dampening", false, "enable BGP route flap dampening")
+		pcapDir     = flag.String("pcap", "", "record control plane traffic as pcapng traces in DIR (one file per speaker pair; open them in Wireshark)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,9 @@ func main() {
 	}
 	exp := horse.NewExperiment(cfg)
 	exp.SetTopology(g)
+	if *pcapDir != "" {
+		exp.CaptureTo(*pcapDir)
+	}
 
 	var damp *horse.Dampening
 	if *dampening {
@@ -132,6 +136,10 @@ func main() {
 	}
 	if conv, ok := res.ConvergedAt(0.95); ok {
 		fmt.Printf("converged: aggregate rx reached 95%% of steady at t=%v\n", conv)
+	}
+	if len(res.CaptureFiles) > 0 {
+		fmt.Printf("capture: %d pcapng traces in %s (inspect with Wireshark or cmd/pcapcheck)\n",
+			len(res.CaptureFiles), *pcapDir)
 	}
 }
 

@@ -36,10 +36,11 @@ func main() {
 		naive   = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
 		fail    = flag.Bool("fail", false, "inject an agg-core link failure at dur/3, repair at 2*dur/3")
 		workers = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		pcapDir = flag.String("pcap", "", "record control plane traffic as pcapng traces in DIR")
 	)
 	flag.Parse()
 
-	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers}
+	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers, CaptureDir: *pcapDir}
 	if *fail {
 		// Sample finely enough to resolve the dip: control plane repair
 		// takes milliseconds of (FTI-paced) virtual time.
@@ -120,6 +121,9 @@ func main() {
 		res.Solver.ParallelSolves, res.SolverWorkers, *naive)
 	if res.MeanPathLatency > 0 {
 		fmt.Printf("path latency        : %v rate-weighted mean one-way\n", res.MeanPathLatency)
+	}
+	if len(res.CaptureFiles) > 0 {
+		fmt.Printf("capture             : %d pcapng traces in %s\n", len(res.CaptureFiles), *pcapDir)
 	}
 	if *fail {
 		rx := res.AggregateRx

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/capture"
 	"repro/internal/cm"
 	"repro/internal/core"
 	"repro/internal/fluid"
@@ -92,6 +93,18 @@ func (e *Experiment) SetTopology(g *Topology) {
 		e.injections = nil
 	}
 	e.g = g
+}
+
+// CaptureTo records the run's control plane as pcapng traces in dir:
+// one file per speaker pair (BGP session or switch-controller
+// connection), every message framed as a synthesized TCP conversation
+// and stamped with its *delivery* virtual time — on WAN links that is
+// write time plus propagation delay, so UPDATE arrival times in the
+// trace are the convergence timeline. The directory is created on Run;
+// Result.CaptureFiles lists what was written. Equivalent to setting
+// Config.CaptureDir.
+func (e *Experiment) CaptureTo(dir string) {
+	e.cfg.CaptureDir = dir
 }
 
 // UseBGP selects an emulated BGP control plane (requires a topology whose
@@ -184,6 +197,20 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 	e.net.Flows.SetWorkers(workers)
 	e.mgr = cm.New(e.engine, e.net, e.cfg.Logf)
 	defer e.mgr.Stop()
+
+	var pcap *capture.Capture
+	if e.cfg.CaptureDir != "" {
+		var err error
+		pcap, err = capture.New(e.cfg.CaptureDir)
+		if err != nil {
+			return nil, err
+		}
+		e.mgr.SetCapture(pcap)
+		// The deferred Close covers the wiring error paths (sessions may
+		// already hold open files); the success path closes explicitly
+		// below to surface write errors, and a second Close is a no-op.
+		defer pcap.Close()
+	}
 
 	// Wire the control plane. This launches the emulated processes; their
 	// first messages are already queued as control activity when the
@@ -307,6 +334,12 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 	result.PacketIns = e.mgr.Stats.PacketIns.Load()
 	result.StatsQueries = e.mgr.Stats.StatsQueries.Load()
 	result.Drops = e.net.Drops()
+	if pcap != nil {
+		result.CaptureFiles = pcap.Files()
+		if err := pcap.Close(); err != nil {
+			return result, fmt.Errorf("horse: closing capture: %w", err)
+		}
+	}
 	return result, nil
 }
 
@@ -363,6 +396,10 @@ type Result struct {
 	// Injections counts applied failure/dynamics events (LinkDown,
 	// LinkUp, SetLinkRate, node transitions, flaps).
 	Injections uint64
+
+	// CaptureFiles lists the pcapng traces the run wrote (empty unless
+	// CaptureTo/Config.CaptureDir was set).
+	CaptureFiles []string
 }
 
 // FlowResult summarizes one flow.

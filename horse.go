@@ -84,6 +84,12 @@ type Config struct {
 	// reproduces the sequential solver. Rates are bit-identical at any
 	// worker count — see the determinism guarantee in internal/fluid.
 	SolverWorkers int
+	// CaptureDir, when non-empty, records every control plane session
+	// as a pcapng trace in this directory (one file per speaker pair),
+	// stamped with delivery virtual time — Wireshark-dissectable BGP
+	// and OpenFlow conversations. See Experiment.CaptureTo and
+	// internal/capture.
+	CaptureDir string
 	// Logf, when set, receives debug logging from every subsystem.
 	Logf func(format string, args ...any)
 }

@@ -1,0 +1,315 @@
+package capture
+
+import (
+	"bufio"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Well-known control plane ports: the synthesized TCP conversations use
+// them so Wireshark's stock dissectors pick the right protocol.
+const (
+	// PortBGP is TCP/179, the IANA BGP port.
+	PortBGP uint16 = 179
+	// PortOpenFlow is TCP/6633, the classic OpenFlow 1.0 controller port.
+	PortOpenFlow uint16 = 6633
+)
+
+// firstEphemeral is where fabricated active-opener source ports start
+// (the IANA dynamic range), one per session so re-peered sessions in the
+// same file stay distinct TCP streams.
+const firstEphemeral uint16 = 49152
+
+// mss bounds a synthesized segment's payload: control plane writes
+// larger than an Ethernet-ish MSS are split into consecutive segments
+// with contiguous sequence numbers, as a real stack would send them.
+const mss = 1460
+
+// Endpoint identifies one side of an emulated control plane session in
+// the synthesized framing.
+type Endpoint struct {
+	Name string
+	MAC  core.MAC
+	IP   netip.Addr
+	// Port is the TCP port; the passive (well-known) side carries
+	// PortBGP or PortOpenFlow, 0 means "assign an ephemeral port".
+	Port uint16
+}
+
+// Dir names a transfer direction inside a session.
+type Dir int
+
+// Session directions: AtoB is a transfer from the session's first
+// endpoint to its second.
+const (
+	AtoB Dir = iota
+	BtoA
+)
+
+// Capture writes one pcapng file per speaker pair into a directory. It
+// is safe for concurrent use; per-file writes are serialized internally.
+type Capture struct {
+	mu        sync.Mutex
+	dir       string
+	files     map[string]*file
+	ephemeral uint16
+
+	// errMu guards err alone and is always innermost (fail is called
+	// with a file lock held, Close reads the error with c.mu held — a
+	// shared mutex would invert lock order and deadlock).
+	errMu sync.Mutex
+	err   error // first deferred I/O error, surfaced by Close
+}
+
+// file is one per-speaker-pair pcapng file; sessions (re-peered
+// incarnations included) append interfaces and packets under one lock.
+type file struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	buf  *bufio.Writer
+	w    *Writer
+}
+
+// New creates (or reuses) dir and returns a capture sink writing one
+// pcapng file per speaker pair into it.
+func New(dir string) (*Capture, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return &Capture{
+		dir:       dir,
+		files:     make(map[string]*file),
+		ephemeral: firstEphemeral,
+	}, nil
+}
+
+// nextEphemeral hands out the next fabricated source port, staying in
+// the dynamic range: past 65535 it wraps back to firstEphemeral (never
+// to 0 or a well-known port). A single pair re-peering >16384 times
+// could then reuse a port within one file; real stacks have the same
+// reuse horizon. c.mu held.
+func (c *Capture) nextEphemeral() uint16 {
+	p := c.ephemeral
+	c.ephemeral++
+	if c.ephemeral == 0 {
+		c.ephemeral = firstEphemeral
+	}
+	return p
+}
+
+// fileName flattens a speaker-pair name into a safe file stem.
+func fileName(pair string) string {
+	var b strings.Builder
+	for _, r := range pair {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	return b.String() + ".pcapng"
+}
+
+// Session opens a capture session between a and b in the pair's pcapng
+// file, declaring one capture interface for it. A zero Port on either
+// endpoint gets a fresh ephemeral port, so a re-peered session (same
+// pair name, new transport) becomes a distinct TCP stream in the same
+// file rather than a seq-number collision. Endpoint a is the active
+// opener of the fabricated handshake.
+func (c *Capture) Session(pair string, a, b Endpoint) (*Session, error) {
+	c.mu.Lock()
+	if a.Port == 0 {
+		a.Port = c.nextEphemeral()
+	}
+	if b.Port == 0 {
+		b.Port = c.nextEphemeral()
+	}
+	f := c.files[fileName(pair)]
+	if f == nil {
+		path := filepath.Join(c.dir, fileName(pair))
+		osf, err := os.Create(path)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("capture: %w", err)
+		}
+		buf := bufio.NewWriter(osf)
+		w, err := NewWriter(buf)
+		if err != nil {
+			osf.Close()
+			c.mu.Unlock()
+			return nil, err
+		}
+		f = &file{path: path, f: osf, buf: buf, w: w}
+		c.files[fileName(pair)] = f
+	}
+	c.mu.Unlock()
+
+	name := fmt.Sprintf("%s:%d <-> %s:%d", a.Name, a.Port, b.Name, b.Port)
+	f.mu.Lock()
+	iface, err := f.w.AddInterface(name)
+	f.mu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return nil, err
+	}
+	return &Session{cap: c, f: f, iface: iface, a: a, b: b}, nil
+}
+
+// fail records the first deferred write error for Close to surface.
+// Callers may hold a file lock; errMu is leaf-level so that is safe.
+func (c *Capture) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Files lists the capture files written so far, sorted.
+func (c *Capture) Files() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.files))
+	for _, f := range c.files {
+		out = append(out, f.path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dir reports the capture directory.
+func (c *Capture) Dir() string { return c.dir }
+
+// Close flushes and closes every capture file, returning the first
+// error any write encountered. Closing twice is safe (the second call
+// is a no-op that re-reports the same error).
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.files {
+		f.mu.Lock()
+		if err := f.buf.Flush(); err != nil {
+			c.fail(err)
+		}
+		if err := f.f.Close(); err != nil {
+			c.fail(err)
+		}
+		f.mu.Unlock()
+	}
+	c.files = make(map[string]*file)
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// Session synthesizes one TCP conversation: a fabricated three-way
+// handshake stamped at the first delivery, then one PSH/ACK data segment
+// per captured control plane write (split at MSS), with sequence and
+// acknowledgment numbers accumulated exactly as a real stack would — so
+// Wireshark's TCP reassembly (and this package's reader) can stitch the
+// multi-message BGP/OpenFlow byte streams back together.
+type Session struct {
+	cap   *Capture
+	f     *file
+	iface int
+	a, b  Endpoint
+
+	mu     sync.Mutex
+	opened bool
+	seq    [2]uint32 // next sequence number per direction (post-handshake: 1)
+	ipID   [2]uint16
+	lastTS core.Time
+}
+
+// Data records len(p) control plane bytes delivered in direction d at
+// virtual time at. Errors are deferred to Capture.Close — the taps that
+// call this have nowhere to report them.
+func (s *Session) Data(d Dir, p []byte, at core.Time) {
+	if s == nil || len(p) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Delivery stamps within one session never run backwards: the engine
+	// clock is monotone and all recording happens on the engine
+	// goroutine, but clamp defensively so a reordered hand-off can never
+	// corrupt the trace invariant the validator enforces.
+	if at < s.lastTS {
+		at = s.lastTS
+	}
+	s.lastTS = at
+
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	if !s.opened {
+		s.opened = true
+		s.handshake(at)
+	}
+	for len(p) > 0 {
+		n := len(p)
+		if n > mss {
+			n = mss
+		}
+		s.segment(d, wire.TCPPsh|wire.TCPAck, p[:n], at)
+		s.seq[d] += uint32(n)
+		p = p[n:]
+	}
+}
+
+// handshake fabricates SYN / SYN-ACK / ACK at the first delivery time;
+// endpoint a actively opens. File lock held.
+func (s *Session) handshake(at core.Time) {
+	s.segment(AtoB, wire.TCPSyn, nil, at)
+	s.seq[AtoB] = 1
+	s.segment(BtoA, wire.TCPSyn|wire.TCPAck, nil, at)
+	s.seq[BtoA] = 1
+	s.segment(AtoB, wire.TCPAck, nil, at)
+}
+
+// segment writes one synthesized Ethernet/IPv4/TCP frame. File lock held.
+func (s *Session) segment(d Dir, flags uint8, payload []byte, at core.Time) {
+	src, dst := s.a, s.b
+	if d == BtoA {
+		src, dst = s.b, s.a
+	}
+	// The ACK number is the peer's next expected sequence number; before
+	// the peer's SYN is counted it is 0 and the ACK flag is clear.
+	frame, err := wire.Serialize(
+		&wire.Ethernet{Dst: dst.MAC, Src: src.MAC, EtherType: wire.EtherTypeIPv4},
+		&wire.IPv4{Src: src.IP, Dst: dst.IP, Protocol: core.ProtoTCP, TTL: 64, ID: s.ipID[d]},
+		&wire.TCP{
+			SrcPort: src.Port, DstPort: dst.Port,
+			Seq: s.seq[d], Ack: s.ack(d, flags),
+			Flags: flags, Window: 65535,
+		},
+		wire.Payload(payload),
+	)
+	if err != nil {
+		s.cap.fail(err)
+		return
+	}
+	s.ipID[d]++
+	if err := s.f.w.WritePacket(s.iface, at, frame); err != nil {
+		s.cap.fail(err)
+	}
+}
+
+// ack computes the acknowledgment number for a segment in direction d:
+// everything received from the peer so far (0 on the opening SYN, which
+// carries no ACK flag).
+func (s *Session) ack(d Dir, flags uint8) uint32 {
+	if flags&wire.TCPAck == 0 {
+		return 0
+	}
+	return s.seq[1-d]
+}

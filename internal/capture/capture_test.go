@@ -1,0 +1,371 @@
+package capture
+
+import (
+	"net/netip"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/openflow"
+	"repro/internal/wire"
+)
+
+func bgpEndpoints() (Endpoint, Endpoint) {
+	a := Endpoint{
+		Name: "r1",
+		MAC:  core.MACFromUint64(0x11),
+		IP:   netip.MustParseAddr("10.0.0.1"),
+	}
+	b := Endpoint{
+		Name: "r2",
+		MAC:  core.MACFromUint64(0x22),
+		IP:   netip.MustParseAddr("10.0.0.2"),
+		Port: PortBGP,
+	}
+	return a, b
+}
+
+func mustUpdate(t *testing.T, announce, withdraw []netip.Prefix) []byte {
+	t.Helper()
+	u := bgp.Update{Withdrawn: withdraw, NLRI: announce}
+	if len(announce) > 0 {
+		u.Attrs = bgp.PathAttrs{
+			ASPath:  []uint16{65001},
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+		}
+	}
+	msg, err := bgp.EncodeUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+// TestSessionRoundTrip drives one synthesized BGP conversation through
+// the writer and back through the reader: fabricated handshake, both
+// directions, a message split across two fragmented writes, and a write
+// carrying two messages back to back.
+func TestSessionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bgpEndpoints()
+	sess, err := c.Session("bgp-r1-r2", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pfx := netip.MustParsePrefix("192.168.1.0/24")
+	upd := mustUpdate(t, []netip.Prefix{pfx}, nil)
+	wd := mustUpdate(t, nil, []netip.Prefix{pfx})
+	keep := bgp.EncodeKeepalive()
+
+	// A->B: an UPDATE split mid-message across two writes (the second
+	// write completes it, so its delivery time stamps the message).
+	sess.Data(AtoB, upd[:7], 10*core.Millisecond)
+	sess.Data(AtoB, upd[7:], 12*core.Millisecond)
+	// B->A: two messages in one write.
+	sess.Data(BtoA, append(append([]byte(nil), keep...), wd...), 15*core.Millisecond)
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := []string{filepath.Join(dir, "bgp-r1-r2.pcapng")}
+	tr, err := ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Interfaces) != 1 {
+		t.Fatalf("interfaces = %q, want one per session", tr.Interfaces)
+	}
+	// 3 handshake + 2 fragments + 1 data segment.
+	if len(tr.Packets) != 6 {
+		t.Fatalf("got %d packets, want 6", len(tr.Packets))
+	}
+	// The fabricated handshake is stamped at the first delivery.
+	for i, wantFlags := range []uint8{wire.TCPSyn, wire.TCPSyn | wire.TCPAck, wire.TCPAck} {
+		_, rest, err := wire.DecodeEthernet(tr.Packets[i].Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rest, err = wire.DecodeIPv4(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp, payload, err := wire.DecodeTCP(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tcp.Flags != wantFlags {
+			t.Errorf("handshake packet %d flags = %#02x, want %#02x", i, tcp.Flags, wantFlags)
+		}
+		if len(payload) != 0 {
+			t.Errorf("handshake packet %d carries %d payload bytes", i, len(payload))
+		}
+		if tr.Packets[i].Time != 10*core.Millisecond {
+			t.Errorf("handshake packet %d at %v, want first delivery time", i, tr.Packets[i].Time)
+		}
+	}
+
+	msgs, err := Validate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("decoded %d messages, want 3: %+v", len(msgs), msgs)
+	}
+	// The fragmented UPDATE is stamped with the completing segment.
+	if msgs[0].Type != "UPDATE" || msgs[0].Announced != 1 || msgs[0].Time != 12*core.Millisecond {
+		t.Errorf("msg 0 = %+v, want UPDATE announcing 1 at 12ms", msgs[0])
+	}
+	if msgs[1].Type != "KEEPALIVE" || msgs[1].Time != 15*core.Millisecond {
+		t.Errorf("msg 1 = %+v, want KEEPALIVE at 15ms", msgs[1])
+	}
+	if msgs[2].Type != "UPDATE" || msgs[2].Withdrawn != 1 {
+		t.Errorf("msg 2 = %+v, want withdraw", msgs[2])
+	}
+	// Directionality survives the round trip.
+	if msgs[0].Src != a.IP || msgs[0].Dst != b.IP || msgs[0].DstPort != PortBGP {
+		t.Errorf("msg 0 addressing = %+v", msgs[0])
+	}
+	if msgs[1].Src != b.IP || msgs[1].SrcPort != PortBGP {
+		t.Errorf("msg 1 addressing = %+v", msgs[1])
+	}
+}
+
+// TestSeqAckContinuity checks the synthesized sequence numbers byte for
+// byte: seq advances by exactly the payload carried, ack mirrors the
+// peer's progress, and a large write is split at the MSS with contiguous
+// seqs.
+func TestSeqAckContinuity(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bgpEndpoints()
+	sess, err := c.Session("pair", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keep := bgp.EncodeKeepalive() // 19 bytes
+	var big []byte
+	for i := 0; i < 100; i++ { // 1900 bytes: must split at mss=1460
+		big = append(big, keep...)
+	}
+	sess.Data(AtoB, big, core.Millisecond)
+	sess.Data(BtoA, keep, 2*core.Millisecond)
+	sess.Data(AtoB, keep, 3*core.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadFile(filepath.Join(dir, "pair.pcapng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 handshake + 2 MSS-split segments + 1 + 1.
+	if len(tr.Packets) != 7 {
+		t.Fatalf("got %d packets, want 7", len(tr.Packets))
+	}
+	type seg struct {
+		seq, ack uint32
+		flags    uint8
+		payload  int
+	}
+	var segs []seg
+	for _, p := range tr.Packets {
+		_, rest, _ := wire.DecodeEthernet(p.Data)
+		_, rest, _ = wire.DecodeIPv4(rest)
+		tcp, payload, err := wire.DecodeTCP(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, seg{tcp.Seq, tcp.Ack, tcp.Flags, len(payload)})
+	}
+	want := []seg{
+		{0, 0, wire.TCPSyn, 0},                              // SYN
+		{0, 1, wire.TCPSyn | wire.TCPAck, 0},                // SYN-ACK
+		{1, 1, wire.TCPAck, 0},                              // ACK
+		{1, 1, wire.TCPPsh | wire.TCPAck, mss},              // big, first MSS
+		{1 + mss, 1, wire.TCPPsh | wire.TCPAck, 1900 - mss}, // big, rest
+		{1, 1901, wire.TCPPsh | wire.TCPAck, 19},            // B->A acks all 1900
+		{1901, 20, wire.TCPPsh | wire.TCPAck, 19},           // A->B continues
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	// And the decoder agrees the streams are continuous: 102 keepalives.
+	msgs, err := Validate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 102 {
+		t.Errorf("decoded %d messages, want 102", len(msgs))
+	}
+}
+
+// TestRepeeredSessionSharesFile mirrors a link repair: a second session
+// for the same speaker pair lands in the same file as a new interface
+// and a distinct ephemeral port, so the two TCP streams stay separate.
+func TestRepeeredSessionSharesFile(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bgpEndpoints()
+	s1, err := c.Session("bgp-r1-r2", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := bgp.EncodeKeepalive()
+	s1.Data(AtoB, keep, core.Millisecond)
+	s2, err := c.Session("bgp-r1-r2", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Data(AtoB, keep, 5*core.Millisecond)
+	if files := c.Files(); len(files) != 1 {
+		t.Fatalf("files = %v, want one per speaker pair", files)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadFile(filepath.Join(dir, "bgp-r1-r2.pcapng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Interfaces) != 2 {
+		t.Fatalf("interfaces = %q, want one per session incarnation", tr.Interfaces)
+	}
+	if tr.Interfaces[0] == tr.Interfaces[1] {
+		t.Errorf("re-peered session reused interface name %q (ephemeral port must differ)", tr.Interfaces[0])
+	}
+	msgs, err := Validate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Errorf("decoded %d messages, want 2", len(msgs))
+	}
+}
+
+// TestOpenFlowDecode runs the OpenFlow side: HELLO and FLOW_MOD on
+// TCP/6633 decode with their wire names, and the Summary counts the
+// FLOW_MOD.
+func TestOpenFlowDecode(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := Endpoint{Name: "s1", MAC: core.MACFromUint64(1), IP: netip.MustParseAddr("172.16.0.1")}
+	ctl := Endpoint{Name: "ctl", MAC: core.MACFromUint64(2), IP: netip.MustParseAddr("172.16.0.2"), Port: PortOpenFlow}
+	sess, err := c.Session("openflow-s1", sw, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Data(AtoB, openflow.EncodeHello(1), core.Millisecond)
+	fm := openflow.EncodeFlowMod(2, openflow.FlowMod{
+		Priority: 10,
+		Actions:  []openflow.Action{{Output: 1}},
+	})
+	sess.Data(BtoA, fm, 2*core.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadFile(filepath.Join(dir, "openflow-s1.pcapng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Messages != 2 || sum.FlowMods != 1 {
+		t.Errorf("summary = %+v, want 2 messages incl. 1 flow-mod", sum)
+	}
+	msgs, err := Decode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].Type != "HELLO" || msgs[1].Type != "FLOW_MOD" {
+		t.Errorf("types = %s, %s; want HELLO, FLOW_MOD", msgs[0].Type, msgs[1].Type)
+	}
+}
+
+// TestTimestampClampMonotone: a delivery handed over out of order can
+// never write a backwards timestamp (Validate would reject the file).
+func TestTimestampClampMonotone(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bgpEndpoints()
+	sess, err := c.Session("pair", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := bgp.EncodeKeepalive()
+	sess.Data(AtoB, keep, 5*core.Millisecond)
+	sess.Data(BtoA, keep, 3*core.Millisecond) // "earlier" delivery: clamped
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadFile(filepath.Join(dir, "pair.pcapng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(tr); err != nil {
+		t.Fatalf("clamped trace failed validation: %v", err)
+	}
+	last := tr.Packets[len(tr.Packets)-1]
+	if last.Time != 5*core.Millisecond {
+		t.Errorf("clamped timestamp = %v, want 5ms", last.Time)
+	}
+}
+
+// TestSummaryEmptyWindowGuard: a capture whose messages share one
+// instant has a zero window; the shared stats guard must keep the
+// per-second rates at 0 instead of +Inf/NaN.
+func TestSummaryEmptyWindowGuard(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bgpEndpoints()
+	sess, err := c.Session("pair", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx := netip.MustParsePrefix("192.168.1.0/24")
+	sess.Data(AtoB, mustUpdate(t, []netip.Prefix{pfx}, nil), core.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadFile(filepath.Join(dir, "pair.pcapng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Updates != 1 || sum.Window() != 0 {
+		t.Fatalf("summary = %+v, want 1 update over a zero window", sum)
+	}
+	if r := sum.UpdatesPerSec(); r != 0 {
+		t.Errorf("UpdatesPerSec over empty window = %v, want 0", r)
+	}
+}

@@ -1,0 +1,129 @@
+package capture
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// SessionSummary aggregates one emulated session (one capture
+// interface) of a trace.
+type SessionSummary struct {
+	Trace string
+	Name  string
+	// First and Last are the delivery times of the session's first and
+	// last decoded control plane messages.
+	First, Last core.Time
+	Messages    int
+	Updates     int
+	Withdraws   int
+	FlowMods    int
+}
+
+// Summary aggregates the control plane conversation recorded across one
+// or more traces: message mix, per-second rates over the captured
+// window, and first/last-message times per session.
+type Summary struct {
+	Sessions []SessionSummary
+
+	Messages  int
+	Updates   int // BGP UPDATEs announcing at least one prefix
+	Withdraws int // BGP UPDATEs withdrawing at least one prefix
+	FlowMods  int
+
+	// First and Last bound the decoded messages across all sessions.
+	First, Last core.Time
+}
+
+// Summarize validates and aggregates a set of traces.
+func Summarize(traces ...*Trace) (*Summary, error) {
+	s := &Summary{}
+	for _, tr := range traces {
+		msgs, err := Validate(tr)
+		if err != nil {
+			return nil, err
+		}
+		per := make([]*SessionSummary, len(tr.Interfaces))
+		for i, name := range tr.Interfaces {
+			per[i] = &SessionSummary{Trace: tr.Path, Name: name}
+		}
+		for _, m := range msgs {
+			ss := per[m.Interface]
+			if ss.Messages == 0 || m.Time < ss.First {
+				ss.First = m.Time
+			}
+			if m.Time > ss.Last {
+				ss.Last = m.Time
+			}
+			ss.Messages++
+			if m.Announced > 0 {
+				ss.Updates++
+			}
+			if m.Withdrawn > 0 {
+				ss.Withdraws++
+			}
+			if m.Type == "FLOW_MOD" {
+				ss.FlowMods++
+			}
+		}
+		for _, ss := range per {
+			if ss.Messages == 0 {
+				continue
+			}
+			if s.Messages == 0 || ss.First < s.First {
+				s.First = ss.First
+			}
+			if ss.Last > s.Last {
+				s.Last = ss.Last
+			}
+			s.Messages += ss.Messages
+			s.Updates += ss.Updates
+			s.Withdraws += ss.Withdraws
+			s.FlowMods += ss.FlowMods
+			s.Sessions = append(s.Sessions, *ss)
+		}
+	}
+	return s, nil
+}
+
+// Window is the captured span between the first and last decoded
+// message (0 for empty or single-instant captures).
+func (s *Summary) Window() core.Time {
+	if s.Messages == 0 {
+		return 0
+	}
+	return s.Last - s.First
+}
+
+// UpdatesPerSec is the announce-UPDATE rate over the captured window;
+// 0 when the window is empty (shared stats.PerSecond guard — a
+// single-message trace must not report +Inf).
+func (s *Summary) UpdatesPerSec() float64 {
+	return stats.PerSecond(float64(s.Updates), s.Window())
+}
+
+// WithdrawsPerSec is the withdraw rate over the captured window.
+func (s *Summary) WithdrawsPerSec() float64 {
+	return stats.PerSecond(float64(s.Withdraws), s.Window())
+}
+
+// FlowModsPerSec is the FLOW_MOD rate over the captured window.
+func (s *Summary) FlowModsPerSec() float64 {
+	return stats.PerSecond(float64(s.FlowMods), s.Window())
+}
+
+// String renders the summary, one session per line.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d messages in [%v, %v]: %d updates (%.1f/s), %d withdraws (%.1f/s), %d flow-mods (%.1f/s)\n",
+		s.Messages, s.First, s.Last,
+		s.Updates, s.UpdatesPerSec(),
+		s.Withdraws, s.WithdrawsPerSec(),
+		s.FlowMods, s.FlowModsPerSec())
+	for _, ss := range s.Sessions {
+		fmt.Fprintf(&b, "  %-40s %4d msgs  first=%v last=%v\n", ss.Name, ss.Messages, ss.First, ss.Last)
+	}
+	return b.String()
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/capture"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -58,6 +59,11 @@ type Manager struct {
 	agents   map[core.NodeID]*openflow.Agent
 	ctl      *controller.Controller
 	bgpCfg   BGPConfig // retained for re-peering after link repair
+
+	// cap, when set, records every control plane session as a pcapng
+	// trace stamped with delivery virtual time (the third tap layer:
+	// tap -> delayTap -> capture).
+	cap *capture.Capture
 
 	// flushArmed coalesces reroute flushes; engine goroutine only.
 	flushArmed bool
@@ -121,6 +127,14 @@ func (m *Manager) Stop() {
 // Controller returns the SDN controller (nil in BGP scenarios).
 func (m *Manager) Controller() *controller.Controller { return m.ctl }
 
+// SetCapture attaches a pcapng capture sink. Must be called before
+// WireBGP/WireSDN; each session wired afterwards is recorded as a
+// synthesized TCP conversation whose packets carry the *delivery*
+// virtual time — for latency-delayed channels that is write time plus
+// the link's propagation delay, which is when the receiver actually
+// sees the bytes (docs/WAN.md "The latency model").
+func (m *Manager) SetCapture(c *capture.Capture) { m.cap = c }
+
 // Speaker returns the BGP speaker of a router (nil in SDN scenarios).
 func (m *Manager) Speaker(n core.NodeID) *bgp.Speaker { return m.speakers[n] }
 
@@ -129,10 +143,16 @@ func (m *Manager) Speaker(n core.NodeID) *bgp.Speaker { return m.speakers[n] }
 // ---------------------------------------------------------------------------
 
 // tap wraps one end of a control channel; every write is control plane
-// activity and wakes the hybrid clock into FTI mode.
+// activity and wakes the hybrid clock into FTI mode. When a capture
+// session is attached, each write is also recorded — an undelayed pipe
+// delivers instantly, so the record is stamped with the engine's
+// current virtual time, taken on the engine goroutine (the capture
+// layer sits under tap/delayTap and sees delivery, not write, time).
 type tap struct {
 	io.ReadWriteCloser
-	m *Manager
+	m    *Manager
+	sess *capture.Session
+	dir  capture.Dir
 }
 
 func (t tap) Write(p []byte) (int, error) {
@@ -140,6 +160,11 @@ func (t tap) Write(p []byte) (int, error) {
 	if n > 0 {
 		t.m.Stats.ControlBytes.Add(uint64(n))
 		t.m.Stats.ControlWrites.Add(1)
+		if t.sess != nil {
+			cp := append([]byte(nil), p[:n]...)
+			sess, dir, m := t.sess, t.dir, t.m
+			m.Engine.PostData(func() { sess.Data(dir, cp, m.Engine.Now()) })
+		}
 		t.m.Engine.NotifyControl()
 	}
 	return n, err
@@ -148,8 +173,14 @@ func (t tap) Write(p []byte) (int, error) {
 // TappedPipe returns a duplex channel pair whose writes (either
 // direction) notify the engine of control activity.
 func (m *Manager) TappedPipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	return m.tappedPipe(nil)
+}
+
+// tappedPipe is TappedPipe with an optional capture session: writes on
+// the first end are recorded as AtoB.
+func (m *Manager) tappedPipe(sess *capture.Session) (io.ReadWriteCloser, io.ReadWriteCloser) {
 	a, b := emu.Pipe()
-	return tap{a, m}, tap{b, m}
+	return tap{a, m, sess, capture.AtoB}, tap{b, m, sess, capture.BtoA}
 }
 
 // delayTap is one end of a latency-delayed control channel: a write is
@@ -168,6 +199,8 @@ type delayTap struct {
 	io.ReadWriteCloser // underlying pipe end: reads (and Close) pass through
 	m                  *Manager
 	delay              core.Time
+	sess               *capture.Session
+	dir                capture.Dir
 }
 
 func (t delayTap) Write(p []byte) (int, error) {
@@ -178,14 +211,21 @@ func (t delayTap) Write(p []byte) (int, error) {
 	end := t.ReadWriteCloser
 	delay := t.delay
 	m := t.m
+	sess, dir := t.sess, t.dir
 	m.Engine.Post(func() {
 		m.Engine.After(delay, func() {
 			m.Engine.MarkControl()
 			// The pipe write never blocks (unbounded buffer); a closed
 			// pipe (session torn down while the message was in flight)
 			// just swallows it, like a packet arriving at a dead
-			// interface.
-			_, _ = end.Write(cp)
+			// interface — in which case the capture, standing in for the
+			// receiver's NIC, never sees the packet either.
+			if _, err := end.Write(cp); err == nil && sess != nil {
+				// The capture stamp is delivery time: write time plus the
+				// link's propagation delay, read off the engine clock
+				// inside the delivery event itself.
+				sess.Data(dir, cp, m.Engine.Now())
+			}
 		})
 	})
 	return len(p), nil
@@ -195,12 +235,12 @@ func (t delayTap) Write(p []byte) (int, error) {
 // directions deliver after the given per-direction propagation delays.
 // Zero-delay directions use the plain tap (byte-for-byte the pre-latency
 // behaviour).
-func (m *Manager) tappedPipeDelayed(delayAB, delayBA core.Time) (io.ReadWriteCloser, io.ReadWriteCloser) {
+func (m *Manager) tappedPipeDelayed(delayAB, delayBA core.Time, sess *capture.Session) (io.ReadWriteCloser, io.ReadWriteCloser) {
 	if delayAB <= 0 && delayBA <= 0 {
-		return m.TappedPipe()
+		return m.tappedPipe(sess)
 	}
 	a, b := emu.Pipe()
-	return delayTap{a, m, delayAB}, delayTap{b, m, delayBA}
+	return delayTap{a, m, delayAB, sess, capture.AtoB}, delayTap{b, m, delayBA, sess, capture.BtoA}
 }
 
 // ---------------------------------------------------------------------------
@@ -332,9 +372,25 @@ func (m *Manager) peerCable(l *topo.Link) error {
 			delayBA = rev.Delay
 		}
 	}
-	ca, cb := m.tappedPipeDelayed(delayAB, delayBA)
 	pa := m.G.Port(l.From, l.FromPort)
 	pb := m.G.Port(l.To, l.ToPort)
+	var sess *capture.Session
+	if m.cap != nil {
+		// One pcapng file per speaker pair; a re-peer after link repair
+		// opens a fresh session (new interface, new ephemeral port) in
+		// the same file. The higher-named side passively listens on
+		// TCP/179, the lower actively opens from an ephemeral port.
+		var err error
+		sess, err = m.cap.Session(
+			fmt.Sprintf("bgp-%s-%s", from.Name, to.Name),
+			capture.Endpoint{Name: from.Name, MAC: pa.MAC, IP: pa.IP},
+			capture.Endpoint{Name: to.Name, MAC: pb.MAC, IP: pb.IP, Port: capture.PortBGP},
+		)
+		if err != nil {
+			return err
+		}
+	}
+	ca, cb := m.tappedPipeDelayed(delayAB, delayBA, sess)
 	// A same-AS adjacency is iBGP by definition (an eBGP session would
 	// prepend the shared AS and every receiver would reject the routes
 	// as loops); RouteReflection additionally honors the topology's
@@ -428,7 +484,24 @@ func (m *Manager) WireSDN(app controller.App) error {
 	m.ctl = controller.New(m.G, m.Clock(), app, m.Logf)
 	for _, sw := range switches {
 		node := sw.ID
-		swEnd, ctlEnd := m.TappedPipe()
+		var sess *capture.Session
+		if m.cap != nil {
+			// The OpenFlow management network is not part of the
+			// simulated topology, so fabricate one: the switch actively
+			// opens from a per-node management address to the controller
+			// on TCP/6633, exactly as a real deployment's control
+			// network would look in a capture.
+			var err error
+			sess, err = m.cap.Session(
+				fmt.Sprintf("openflow-%s", sw.Name),
+				capture.Endpoint{Name: sw.Name, MAC: mgmtMAC(uint64(node) + 1), IP: mgmtIP(uint32(node) + 1)},
+				capture.Endpoint{Name: "controller", MAC: mgmtMAC(0xC0), IP: mgmtIP(0xFFFE), Port: capture.PortOpenFlow},
+			)
+			if err != nil {
+				return err
+			}
+		}
+		swEnd, ctlEnd := m.tappedPipe(sess)
 		var ports []openflow.PhyPort
 		for _, p := range sw.Ports {
 			ports = append(ports, openflow.PhyPort{
@@ -448,6 +521,17 @@ func (m *Manager) WireSDN(app controller.App) error {
 	// Flow entry expiry sweep, once per virtual second.
 	m.Engine.PostData(func() { m.expireLoop() })
 	return nil
+}
+
+// mgmtIP synthesizes an address on the fabricated 172.16/12 OpenFlow
+// management network for capture framing.
+func mgmtIP(host uint32) netip.Addr {
+	return core.IPv4FromUint32(0xAC10_0000 | host&0xFFFF)
+}
+
+// mgmtMAC synthesizes a management-network MAC for capture framing.
+func mgmtMAC(v uint64) core.MAC {
+	return core.MACFromUint64(0x0F_0000_0000 | v)
 }
 
 func (m *Manager) expireLoop() {

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -171,6 +172,32 @@ func (s *Series) RepairAfter(failAt, healAt core.Time, frac float64) (Repair, bo
 		r.Latency = rec.At - failAt
 	}
 	return r, true
+}
+
+// Ratio returns num/den and reports whether the quotient is meaningful:
+// ok is false (and the ratio 0) when the denominator is zero or negative
+// or either operand is not finite. It is the shared guard for summary
+// arithmetic over possibly-empty measurement windows — cmd/fig3's
+// speedup and repair-ratio columns and capture.Summary's per-second
+// message rates (via PerSecond) both divide by quantities that
+// legitimately come out zero (no repair observed, an empty trace), and
+// must report "n/a" rather than NaN/Inf.
+func Ratio(num, den float64) (float64, bool) {
+	if den <= 0 || math.IsNaN(num) || math.IsInf(num, 0) || math.IsInf(den, 0) {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// PerSecond converts an event count over a virtual-time window into a
+// rate; 0 when the window is empty or inverted (a single-sample or
+// message-free trace has no meaningful rate).
+func PerSecond(count float64, window core.Time) float64 {
+	r, ok := Ratio(count, window.Seconds())
+	if !ok {
+		return 0
+	}
+	return r
 }
 
 // TSV renders the series as "time<TAB>value" lines, with times in

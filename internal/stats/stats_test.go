@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -140,5 +141,39 @@ func TestRepairAfter(t *testing.T) {
 	// Empty window.
 	if _, ok := (&Series{}).RepairAfter(core.Second, 2*core.Second, DefaultRepairFrac); ok {
 		t.Fatal("empty series extracted a repair")
+	}
+}
+
+func TestRatioGuards(t *testing.T) {
+	if r, ok := Ratio(6, 2); !ok || r != 3 {
+		t.Errorf("Ratio(6,2) = %v,%v; want 3,true", r, ok)
+	}
+	for name, den := range map[string]float64{
+		"zero": 0, "negative": -1, "inf": math.Inf(1),
+	} {
+		if r, ok := Ratio(1, den); ok || r != 0 {
+			t.Errorf("Ratio(1, %s) = %v,%v; want 0,false", name, r, ok)
+		}
+	}
+	if r, ok := Ratio(math.NaN(), 1); ok || r != 0 {
+		t.Errorf("Ratio(NaN, 1) = %v,%v; want 0,false", r, ok)
+	}
+	if r, ok := Ratio(math.Inf(1), 1); ok || r != 0 {
+		t.Errorf("Ratio(+Inf, 1) = %v,%v; want 0,false", r, ok)
+	}
+	if r, ok := Ratio(0, 5); !ok || r != 0 {
+		t.Errorf("Ratio(0,5) = %v,%v; want 0,true (zero numerator is fine)", r, ok)
+	}
+}
+
+func TestPerSecond(t *testing.T) {
+	if r := PerSecond(10, 2*core.Second); r != 5 {
+		t.Errorf("PerSecond(10, 2s) = %v, want 5", r)
+	}
+	if r := PerSecond(10, 0); r != 0 {
+		t.Errorf("PerSecond over empty window = %v, want 0", r)
+	}
+	if r := PerSecond(10, -core.Second); r != 0 {
+		t.Errorf("PerSecond over inverted window = %v, want 0", r)
 	}
 }

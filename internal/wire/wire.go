@@ -214,14 +214,25 @@ func DecodeUDP(data []byte) (*UDP, []byte, error) {
 	return u, data[8:], nil
 }
 
+// TCP flag bits.
+const (
+	TCPFin uint8 = 0x01
+	TCPSyn uint8 = 0x02
+	TCPRst uint8 = 0x04
+	TCPPsh uint8 = 0x08
+	TCPAck uint8 = 0x10
+)
+
 // TCP is a minimal (option-less) TCP header; Horse's BGP sessions ride on
-// emulated streams, but PACKET_IN bodies of TCP flows still need a header.
+// emulated streams, but PACKET_IN bodies of TCP flows need a header, and
+// the capture subsystem synthesizes whole segments (handshakes included)
+// so Wireshark can reassemble the emulated control plane conversations.
 type TCP struct {
 	SrcPort uint16
 	DstPort uint16
 	Seq     uint32
 	Ack     uint32
-	Flags   uint8 // SYN=0x02, ACK=0x10, FIN=0x01, RST=0x04
+	Flags   uint8 // see the TCPFin..TCPAck bits
 	Window  uint16
 }
 
@@ -282,7 +293,7 @@ func BuildFlowFrame(srcMAC, dstMAC core.MAC, ft core.FiveTuple, payload []byte) 
 	case core.ProtoUDP:
 		return Serialize(eth, ip, &UDP{SrcPort: ft.SrcPort, DstPort: ft.DstPort}, Payload(payload))
 	case core.ProtoTCP:
-		return Serialize(eth, ip, &TCP{SrcPort: ft.SrcPort, DstPort: ft.DstPort, Flags: 0x02, Window: 65535}, Payload(payload))
+		return Serialize(eth, ip, &TCP{SrcPort: ft.SrcPort, DstPort: ft.DstPort, Flags: TCPSyn, Window: 65535}, Payload(payload))
 	default:
 		return Serialize(eth, ip, Payload(payload))
 	}
