@@ -353,22 +353,45 @@ func BenchmarkAblationECMPHash(b *testing.B) {
 	}
 }
 
-// BenchmarkSolveScale measures the rate solver at production scale: a
-// fat-tree k=16 (1024 hosts, 6144 directed links) carrying 100k
-// concurrent flows under churn — every operation retires one flow and
-// admits a rerouted replacement, each triggering a re-solve. The
-// "incremental" mode is the persistent-state sorted water-filling solver;
-// "naive" is the from-scratch progressive-filling baseline kept behind
-// fluid.Set.SetNaive for exactly this comparison. Two workload shapes:
+// BenchmarkSolveScale measures the rate solver at production scale:
+// fat-trees from k=16 (1024 hosts, 100k concurrent flows) through k=32
+// (8192 hosts, 1M flows) to a k=48 smoke (27648 hosts, 1M flows, reduced
+// matrix) under churn — every operation retires one flow and admits a
+// rerouted replacement, each triggering a re-solve. The "incremental"
+// mode is the persistent-state sorted water-filling solver over the
+// struct-of-arrays store; "naive" is the from-scratch progressive-filling
+// baseline kept behind fluid.Set.SetNaive for exactly this comparison
+// (skipped at the million-flow scales, where a single from-scratch solve
+// takes minutes). Two workload shapes:
 //
 //   - crosscore: random host pairs, so ECMP spreads flows over the whole
 //     core and the dirty component spans the entire network;
 //   - podlocal: src and dst share a pod, so the network decomposes into
 //     k independent components and the dirty-region cut re-solves ~1/k of
 //     the flows per change.
+//
+// cmd/benchjson turns `go test -bench SolveScale -benchmem` output into
+// the BENCH_solve.json trajectory file CI archives.
 func BenchmarkSolveScale(b *testing.B) {
-	const k = 16
-	const nFlows = 100_000
+	for _, sc := range []struct {
+		k, nFlows int
+		smoke     bool
+	}{
+		{16, 100_000, false},
+		{32, 1_000_000, false},
+		{48, 1_000_000, true},
+	} {
+		b.Run(fmt.Sprintf("k=%d", sc.k), func(b *testing.B) {
+			benchSolveScale(b, sc.k, sc.nFlows, sc.smoke)
+		})
+	}
+}
+
+// benchSolveScale runs the churn benches on one fat-tree scale. smoke
+// trims the matrix to a single worker count and workload so the largest
+// topology stays a build-works/solve-converges check rather than a
+// measurement.
+func benchSolveScale(b *testing.B, k, nFlows int, smoke bool) {
 	g, err := topo.FatTree(topo.FatTreeOpts{K: k})
 	if err != nil {
 		b.Fatal(err)
@@ -421,7 +444,11 @@ func BenchmarkSolveScale(b *testing.B) {
 			aggEdge[from.Pod] = append(aggEdge[from.Pod], l)
 		}
 	}
-	for _, workers := range []int{1, 2, 4, 8} {
+	workerCounts := []int{1, 2, 4, 8}
+	if smoke {
+		workerCounts = []int{8}
+	}
+	for _, workers := range workerCounts {
 		b.Run(fmt.Sprintf("combined/workers=%d/flows=%d", workers, nFlows), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			s := fluid.NewSet(caps)
@@ -516,10 +543,18 @@ func BenchmarkSolveScale(b *testing.B) {
 		name     string
 		podLocal bool
 	}{{"crosscore", false}, {"podlocal", true}} {
+		if smoke && !workload.podLocal {
+			continue
+		}
 		for _, mode := range []struct {
 			name  string
 			naive bool
 		}{{"incremental", false}, {"naive", true}} {
+			if mode.naive && (smoke || nFlows > 150_000) {
+				// A single naive solve is O(rounds × flows × pathlen) from
+				// scratch; at 1M flows that is minutes per churn op.
+				continue
+			}
 			b.Run(fmt.Sprintf("%s/%s/flows=%d", workload.name, mode.name, nFlows), func(b *testing.B) {
 				rng := rand.New(rand.NewSource(1))
 				s := fluid.NewSet(caps)

@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// trajectory file. Each invocation parses one benchmark run from stdin
+// and appends it as a labelled entry to the output file (creating it if
+// absent), so successive runs — before/after a refactor, or one per CI
+// build — accumulate into a perf curve instead of overwriting each other.
+//
+// Usage:
+//
+//	go test -run xxx -bench SolveScale -benchmem . | benchjson -label after-soa -out BENCH_solve.json
+//
+// Entries with the same label are replaced in place (re-running a
+// configuration updates its numbers rather than duplicating them).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one result line: its name, iteration count and the
+// value-per-unit metrics go test reported (ns/op, B/op, allocs/op and any
+// b.ReportMetric extras).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Entry is one labelled benchmark run.
+type Entry struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Commit     string      `json:"commit,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		label  = flag.String("label", "", "entry label, e.g. before-soa / after-soa / ci (required)")
+		out    = flag.String("out", "BENCH_solve.json", "trajectory file to append to")
+		commit = flag.String("commit", "", "commit hash to record (optional)")
+	)
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	entry, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	entry.Label = *label
+	entry.Commit = *commit
+	entry.Date = time.Now().UTC().Format("2006-01-02")
+
+	entries, err := load(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	replaced := false
+	for i := range entries {
+		if entries[i].Label == entry.Label {
+			entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, entry)
+	}
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks recorded as %q in %s (%d entries)\n",
+		len(entry.Benchmarks), entry.Label, *out, len(entries))
+}
+
+// load reads an existing trajectory file; a missing file is an empty one.
+func load(path string) ([]Entry, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// parse reads `go test -bench` output: header lines (goos/goarch/pkg/cpu)
+// followed by result lines of the form
+//
+//	BenchmarkName-8   	  5	 1804695 ns/op	 3 B/op	 0 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parse(r *os.File) (Entry, error) {
+	var e Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			e.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			e.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so names are stable across hosts
+		// (only the final -N, which would also bite names ending in a
+		// number like .../flows=100000).
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		bm := Benchmark{
+			Name:       name,
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			bm.Metrics[fields[i+1]] = v
+		}
+		e.Benchmarks = append(e.Benchmarks, bm)
+	}
+	if err := sc.Err(); err != nil {
+		return e, err
+	}
+	if len(e.Benchmarks) == 0 {
+		return e, errors.New("no benchmark result lines on stdin")
+	}
+	return e, nil
+}

@@ -119,6 +119,10 @@ func main() {
 	fmt.Printf("rate solver         : %d solves, %d components (largest %d flows), %d parallel, workers=%d (naive=%v)\n",
 		res.Solves, res.Solver.Components, res.Solver.MaxComponentFlows,
 		res.Solver.ParallelSolves, res.SolverWorkers, *naive)
+	mem := res.Solver.Mem
+	fmt.Printf("solver memory       : %d flow slots (%d live, %d free), %d links, arenas %d B paths + %d B members, %d B scratch\n",
+		mem.FlowSlots, mem.LiveFlows, mem.FreeFlows, mem.LinkSlots,
+		mem.PathArenaBytes, mem.MemberArenaBytes, mem.ScratchBytes)
 	if res.MeanPathLatency > 0 {
 		fmt.Printf("path latency        : %v rate-weighted mean one-way\n", res.MeanPathLatency)
 	}

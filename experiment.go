@@ -2,6 +2,7 @@ package horse
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -243,7 +244,13 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 		SetupWall: setupWall,
 	}
 	result.AggregateRx = &stats.Series{Name: "aggregate-rx"}
-	var flowsDone []*fluid.Flow
+	result.MinHostRx = &stats.Series{Name: "min-host-rx"}
+	// flowSpecs keeps the scheduled specs for final reporting; finals
+	// records each stopped flow's last snapshot (the flow set recycles
+	// the slot on StopFlow, so the stop event is the only chance to read
+	// its delivered bytes).
+	var flowSpecs []*fluid.Flow
+	finals := make(map[fluid.FlowID]fluid.Flow)
 
 	e.engine.PostData(func() {
 		for i, spec := range specs {
@@ -261,7 +268,7 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 				},
 				Src: src.ID, Dst: dst.ID, Demand: spec.Rate,
 			}
-			flowsDone = append(flowsDone, f)
+			flowSpecs = append(flowSpecs, f)
 			start := spec.Start
 			dur := spec.Duration
 			e.engine.Schedule(start, func() {
@@ -269,7 +276,9 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 			})
 			if dur > 0 {
 				e.engine.Schedule(start+dur, func() {
-					e.net.StopFlow(f.ID, e.engine.Now())
+					if final, ok := e.net.StopFlow(f.ID, e.engine.Now()); ok {
+						finals[f.ID] = final
+					}
 				})
 			}
 		}
@@ -280,12 +289,24 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 			apply := inj.apply
 			e.engine.Schedule(inj.at, func() { apply(e.mgr) })
 		}
-		// Aggregate receive rate sampling.
+		// Aggregate receive rate sampling. RxRateByDst refills the
+		// network's reused per-destination map each tick (no per-tick
+		// allocation); its minimum is the fairness floor series.
 		var sample func()
 		sample = func() {
-			e.net.Flows.Integrate(e.engine.Now())
-			result.AggregateRx.Add(e.engine.Now(), float64(e.net.Flows.AggregateRx()))
-			if e.engine.Now() < until {
+			now := e.engine.Now()
+			rx := e.net.RxRateByDst(now) // integrates up to now
+			result.AggregateRx.Add(now, float64(e.net.Flows.AggregateRx()))
+			if len(rx) > 0 {
+				minRx := math.Inf(1)
+				for _, r := range rx {
+					if float64(r) < minRx {
+						minRx = float64(r)
+					}
+				}
+				result.MinHostRx.Add(now, minRx)
+			}
+			if now < until {
 				e.engine.After(e.cfg.SampleInterval, sample)
 			}
 		}
@@ -306,14 +327,20 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 			result.PerHostRxBytes[dst.Name] += f.Bytes
 		}
 	}
-	for _, f := range flowsDone {
+	for _, f := range flowSpecs {
+		snap, live := e.net.Flows.Flow(f.ID)
+		if !live {
+			// Stopped mid-run (final snapshot recorded at the stop
+			// event) or never started (zero value: pending, no bytes).
+			snap = finals[f.ID]
+		}
 		fr := FlowResult{
 			Tuple: f.Tuple,
-			Bytes: f.Bytes,
-			State: f.State.String(),
+			Bytes: snap.Bytes,
+			State: snap.State.String(),
 		}
 		if until > 0 {
-			fr.AvgRate = Rate(float64(f.Bytes*8) / until.Seconds())
+			fr.AvgRate = Rate(float64(snap.Bytes*8) / until.Seconds())
 		}
 		if lat, ok := e.net.Flows.PathLatency(f.ID); ok {
 			fr.PathLatency = lat
@@ -359,6 +386,12 @@ type Result struct {
 	// AggregateRx is the demo's headline series: total rate arriving at
 	// all hosts over virtual time.
 	AggregateRx *stats.Series
+
+	// MinHostRx is the fairness floor: per sampling tick, the lowest
+	// receive rate among destinations currently receiving anything.
+	// Destinations whose flows are all blackholed or stopped do not
+	// contribute (the series is empty while nothing flows).
+	MinHostRx *stats.Series
 
 	// PerHostRxBytes maps destination host name to bytes received by
 	// flows still live at the end of the run.

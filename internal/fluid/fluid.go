@@ -8,14 +8,32 @@
 // fast-forward (DES mode) at almost zero cost — this is precisely where
 // Horse's speedup over packet-level emulation comes from.
 //
+// # Storage layout
+//
+// The set stores flows and links in struct-of-arrays form: a dense integer
+// handle is assigned to each flow at Add (recycled through a freelist on
+// Remove) and to each link the first time it is seen, and every per-flow
+// and per-link attribute lives in its own parallel slice indexed by
+// handle. Paths and link membership lists are blocks carved out of two
+// shared pair arenas (see pairArena): a flow's path block holds, per hop,
+// the link handle and the flow's index in that link's member list; a
+// link's member block holds, per member, the flow handle and the hop index
+// within that flow's path. Both sides store *relative* indices, so a block
+// relocation (growth or compaction) never invalidates the back-references
+// and detach stays O(path length) via swap-remove.
+//
+// Public identifiers (FlowID, core.LinkID) are translated to handles at
+// the Set boundary; no handle ever escapes. Accessors return value
+// snapshots (Flow) rather than pointers into the store.
+//
 // # Solver architecture
 //
-// The set keeps persistent per-link state — capacity, the list of active
-// flows crossing the link, and the granted load — updated incrementally on
-// Add, Remove and SetPath rather than rebuilt inside Solve. A mutation
-// seeds its links into a per-shard dirty set (shards are topology
-// partition labels supplied by SetShardOf; netmodel wires them to the
-// incremental topo.Components index). Solve expands each shard's seeds
+// The set keeps persistent per-link state — capacity, the member list of
+// active flows crossing the link, and the granted load — updated
+// incrementally on Add, Remove and SetPath rather than rebuilt inside
+// Solve. A mutation seeds its links into a per-shard dirty set (shards are
+// topology partition labels supplied by SetShardOf; netmodel wires them to
+// the incremental topo.Components index). Solve expands each shard's seeds
 // into connected components of links and flows reachable through shared
 // links and re-solves only those regions, leaving every other allocation
 // (and link load) untouched. Within a component, rates are computed by
@@ -23,8 +41,10 @@
 // which they saturate, and each round freezes a whole saturated link (all
 // its unfrozen flows at the current level) or a batch of demand-limited
 // flows — never one epsilon increment at a time. The re-solve path
-// performs no heap allocations in steady state; all scratch storage is
-// reused per component.
+// performs no heap allocations in steady state: component discovery writes
+// flow and link handles into two grown-once scratch slices shared by all
+// tasks of a solve (a CSR over components), and each worker water-fills
+// with its own grown-once heap slice.
 //
 // # Parallel component solves
 //
@@ -36,9 +56,10 @@
 // guarantee: component discovery is a sequential walk whose order depends
 // only on the mutation history, each component is water-filled by exactly
 // one goroutine with deterministically ordered inputs, and stats merge in
-// component order — so every rate (and every stat) is bit-identical at
-// any worker count. The single-component steady-state path runs inline on
-// the caller with zero synchronization and zero allocations.
+// component order — so every rate (and every stat, including the memory
+// counters) is bit-identical at any worker count. The single-component
+// steady-state path runs inline on the caller with zero synchronization
+// and zero allocations.
 //
 // Complexity per solve, for a dirty component with F flows, L links and
 // total path length P: O(P + F log F + (L + P) log L), components running
@@ -61,12 +82,12 @@ import (
 // FlowID identifies a flow within one experiment.
 type FlowID uint64
 
-// flowTombstone marks a removed flow's slot in the insertion-order list;
-// the id is reserved and rejected by Add.
-const flowTombstone = ^FlowID(0)
+// flowReserved is a reserved id rejected by Add (historically the
+// insertion-order tombstone marker; kept reserved for compatibility).
+const flowReserved = ^FlowID(0)
 
 // State is the lifecycle of a flow.
-type State int
+type State uint8
 
 const (
 	// Pending flows have been requested but are not yet forwarded
@@ -76,6 +97,10 @@ const (
 	Active
 	// Done flows have finished.
 	Done
+
+	// stateFree marks a recycled flow slot in the store; it never escapes
+	// through the public API.
+	stateFree State = 0xFF
 )
 
 func (s State) String() string {
@@ -90,7 +115,11 @@ func (s State) String() string {
 	return fmt.Sprintf("state%d", int(s))
 }
 
-// Flow is one fluid flow.
+// Flow is the public view of one fluid flow: the spec a caller hands to
+// Add, and the value snapshot accessors return. The Set copies the spec
+// into its struct-of-arrays store; the caller's struct is not retained,
+// and later rate or state changes are observed through Flow/Flows/
+// AppendFlows, not through the struct passed to Add.
 type Flow struct {
 	ID    FlowID
 	Tuple core.FiveTuple
@@ -100,10 +129,11 @@ type Flow struct {
 	// Demand is the offered rate (the demo: 1 Gbps UDP per host).
 	Demand core.Rate
 
-	// Path is the current route as directed link IDs; nil/empty means
-	// the flow is blackholed (no route) and receives rate 0. Once the
-	// flow has been added to a Set, Path must only be changed through
-	// Set.SetPath so link membership stays consistent.
+	// Path is the route as directed link IDs; nil/empty means the flow is
+	// blackholed (no route) and receives rate 0. In a spec it is the
+	// initial route (changed later through Set.SetPath); in snapshots it
+	// is non-nil only where documented (Flows copies it, Flow and
+	// AppendFlows leave it nil — use AppendPath).
 	Path []core.LinkID
 
 	// Rate is the current max–min fair allocation.
@@ -113,65 +143,153 @@ type Flow struct {
 	Bytes uint64
 
 	State State
-
-	// linkPos[i] is this flow's index in the member list of links[Path[i]],
-	// enabling O(1) detach. Maintained by attach/detach.
-	linkPos []int
-	// orderIdx is this flow's position in Set.order, enabling O(1)
-	// tombstoning on Remove.
-	orderIdx int
-	// attached reports whether the flow currently holds link memberships.
-	attached bool
-	// visit is the solver's component-walk epoch marker.
-	visit uint64
 }
 
-// member is one entry of a link's flow-membership list. pathPos is the
-// index of the link within f.Path, so a swap-remove can fix the moved
-// flow's linkPos back-reference in O(1).
-type member struct {
-	f       *Flow
-	pathPos int
+// block is one allocation out of a pairArena: n live entries at off, with
+// room for cap before the block must be relocated.
+type block struct {
+	off, n, cap int32
 }
 
-// linkState is the persistent per-link solver state.
-type linkState struct {
-	id      core.LinkID
-	cap     core.Rate
-	members []member  // active flows crossing this link
-	load    core.Rate // sum of granted rates of member flows
-
-	visit  uint64 // component-walk epoch
-	seeded uint64 // dirty-seed epoch
-
-	// Water-filling transients, valid only during one solve. residual is
-	// the unallocated capacity as of fill level lastLevel; the level at
-	// which the link saturates (lastLevel + residual/nactive) is invariant
-	// under lazy sync while nactive is unchanged.
-	residual  core.Rate
-	lastLevel core.Rate
-	nactive   int
-	key       core.Rate // heap key: saturation level when pushed
+// pairArena is a block allocator over two parallel int32 payload slices —
+// the backing store for path blocks (link handle, member index) and
+// member blocks (flow handle, hop index). Blocks grow by relocation to
+// the end of the arena (doubling), abandoning their old region; the
+// abandoned volume is tracked in dead and reclaimed by compact, which
+// ping-pongs the payload into a spare backing so steady-state compaction
+// allocates nothing once both backings have grown to size.
+type pairArena struct {
+	a, b           []int32
+	spareA, spareB []int32
+	dead           int32
 }
 
-// satLevel is the fill level at which the link saturates given its current
-// unfrozen membership.
-func (ls *linkState) satLevel() core.Rate {
-	if ls.nactive == 0 {
-		return core.Rate(math.Inf(1))
+// grow ensures blk has capacity for need entries, relocating its n live
+// entries to the end of the arena if not.
+func (ar *pairArena) grow(blk *block, need int32) {
+	if blk.cap >= need {
+		return
 	}
-	return ls.lastLevel + ls.residual/core.Rate(ls.nactive)
+	ncap := blk.cap * 2
+	if ncap < need {
+		ncap = need
+	}
+	if ncap < 4 {
+		ncap = 4
+	}
+	off := int32(len(ar.a))
+	ar.a = append(ar.a, ar.a[blk.off:blk.off+blk.n]...)
+	ar.b = append(ar.b, ar.b[blk.off:blk.off+blk.n]...)
+	pad := ncap - blk.n
+	for i := int32(0); i < pad; i++ {
+		ar.a = append(ar.a, 0)
+		ar.b = append(ar.b, 0)
+	}
+	ar.dead += blk.cap
+	blk.off, blk.cap = off, ncap
 }
 
-// sync brings residual forward to the given fill level.
-func (ls *linkState) sync(level core.Rate) {
-	if ls.nactive > 0 && level > ls.lastLevel {
-		ls.residual -= (level - ls.lastLevel) * core.Rate(ls.nactive)
-		if ls.residual < 0 {
-			ls.residual = 0 // numeric dust
+// append1 appends one pair to blk and returns its index within the block.
+func (ar *pairArena) append1(blk *block, x, y int32) int32 {
+	if blk.n == blk.cap {
+		ar.grow(blk, blk.n+1)
+	}
+	i := blk.off + blk.n
+	ar.a[i], ar.b[i] = x, y
+	blk.n++
+	return blk.n - 1
+}
+
+// setLen resizes blk to n entries, reusing its region when it fits (the
+// common case under churn: a recycled flow slot whose new path is no
+// longer than the old one) and relocating otherwise. Contents are
+// unspecified afterwards; the caller rewrites them.
+func (ar *pairArena) setLen(blk *block, n int32) {
+	if n > blk.cap {
+		blk.n = 0 // old contents are dead; don't copy them
+		ar.grow(blk, n)
+	}
+	blk.n = n
+}
+
+// needCompact reports whether abandoned regions dominate the arena. The
+// absolute floor keeps tiny sets from compacting on every churn op.
+func (ar *pairArena) needCompact() bool {
+	return ar.dead > 1024 && int(ar.dead)*2 > len(ar.a)
+}
+
+// compact rewrites every owner block contiguously into the spare backing
+// and swaps backings. Blocks shrink to their live length; relative
+// indices stored in payloads stay valid because only offsets change.
+func (ar *pairArena) compact(blocks []block) {
+	da, db := ar.spareA[:0], ar.spareB[:0]
+	for i := range blocks {
+		blk := &blocks[i]
+		if blk.cap == 0 {
+			continue
 		}
+		off := int32(len(da))
+		da = append(da, ar.a[blk.off:blk.off+blk.n]...)
+		db = append(db, ar.b[blk.off:blk.off+blk.n]...)
+		blk.off, blk.cap = off, blk.n
 	}
-	ls.lastLevel = level
+	ar.spareA, ar.a = ar.a, da
+	ar.spareB, ar.b = ar.b, db
+	ar.dead = 0
+}
+
+// bytes reports the arena's resident size, both backings included.
+func (ar *pairArena) bytes() int {
+	return 4 * (cap(ar.a) + cap(ar.b) + cap(ar.spareA) + cap(ar.spareB))
+}
+
+// MemStats gauges the set's resident storage after a solve. Everything
+// here is a function of the mutation history alone — per-worker heap
+// scratch is deliberately excluded — so the struct is identical at any
+// worker count (part of the determinism guarantee).
+type MemStats struct {
+	// FlowSlots is the length of the dense flow table: live flows plus
+	// freelist slots awaiting reuse.
+	FlowSlots int
+	// LiveFlows is the number of live (pending or active) flows.
+	LiveFlows int
+	// FreeFlows is the freelist depth (slots recycled by Remove and not
+	// yet reused by Add).
+	FreeFlows int
+	// LinkSlots is the number of links ever seen (links are not freed).
+	LinkSlots int
+	// PathArenaBytes and MemberArenaBytes are the resident sizes of the
+	// two pair arenas (path blocks and link member blocks).
+	PathArenaBytes   int
+	MemberArenaBytes int
+	// ScratchBytes is the component-discovery CSR scratch (shared task
+	// flow/link handle slices), grown once and reused across solves.
+	ScratchBytes int
+}
+
+// max folds the elementwise maximum of o into m (peak tracking).
+func (m *MemStats) max(o MemStats) {
+	if o.FlowSlots > m.FlowSlots {
+		m.FlowSlots = o.FlowSlots
+	}
+	if o.LiveFlows > m.LiveFlows {
+		m.LiveFlows = o.LiveFlows
+	}
+	if o.FreeFlows > m.FreeFlows {
+		m.FreeFlows = o.FreeFlows
+	}
+	if o.LinkSlots > m.LinkSlots {
+		m.LinkSlots = o.LinkSlots
+	}
+	if o.PathArenaBytes > m.PathArenaBytes {
+		m.PathArenaBytes = o.PathArenaBytes
+	}
+	if o.MemberArenaBytes > m.MemberArenaBytes {
+		m.MemberArenaBytes = o.MemberArenaBytes
+	}
+	if o.ScratchBytes > m.ScratchBytes {
+		m.ScratchBytes = o.ScratchBytes
+	}
 }
 
 // SolveStats describes the work done by the most recent Solve. A solve
@@ -197,6 +315,8 @@ type SolveStats struct {
 	// Full reports whether the solve covered the whole set (MarkDirty or
 	// naive mode) rather than a dirty region.
 	Full bool
+	// Mem gauges resident storage as of this solve.
+	Mem MemStats
 }
 
 // Totals aggregates SolveStats over the lifetime of a Set. Accumulation
@@ -216,22 +336,24 @@ type Totals struct {
 	// ParallelSolves counts solves that fanned out to more than one
 	// worker goroutine.
 	ParallelSolves int
+	// Mem is the elementwise peak of the per-solve memory gauges.
+	Mem MemStats
 }
 
-// shardState buckets dirty seeds by topology partition label so a solve
-// walks coherent regions together and per-shard seed storage is reused.
+// shardState buckets dirty seeds (link handles) by topology partition
+// label so a solve walks coherent regions together and per-shard seed
+// storage is reused.
 type shardState struct {
 	label int
-	seeds []*linkState
+	seeds []int32
 }
 
-// solveTask is one independent dirty component plus its scratch storage,
-// reused across solves so the steady-state path allocates nothing.
-type solveTask struct {
-	flows []*Flow
-	links []*linkState
-	heap  []*linkState
-	stats SolveStats
+// taskRef is one independent dirty component: a slice of the shared
+// discovery CSR (taskFlows/taskLinks) plus its per-component stats.
+type taskRef struct {
+	fOff, fN int32 // flow handles: taskFlows[fOff : fOff+fN]
+	lOff, lN int32 // link handles: taskLinks[lOff : lOff+lN]
+	stats    SolveStats
 }
 
 // Set is the collection of flows sharing a network, responsible for rate
@@ -240,25 +362,51 @@ type solveTask struct {
 type Set struct {
 	caps    func(core.LinkID) core.Rate
 	delayOf func(core.LinkID) core.Time // per-link propagation delay (nil = 0)
-	flows   map[FlowID]*Flow
-	// order preserves insertion order for deterministic iteration.
-	// Removed flows leave flowTombstone entries that are compacted once
-	// they outnumber live ones, so Remove is O(1) amortized instead of
-	// an O(n) shift per removal.
-	order     []FlowID
-	orderDead int
-	lastAt    core.Time
-	linkB     map[core.LinkID]uint64 // delivered bytes per link
-	solves    int
-	epsilon   core.Rate
+	lastAt  core.Time
+	solves  int
+	epsilon core.Rate
 
-	links map[core.LinkID]*linkState
-	// linkOrder holds every linkState in creation order; seedAll iterates
-	// it instead of the map so full solves are deterministic run to run.
-	linkOrder []*linkState
-	dirtyAll  bool   // full re-solve needed (capacities changed)
-	epoch     uint64 // component-walk epoch counter
-	seedGen   uint64 // seed-dedup epoch counter
+	// Flow store: handle-indexed parallel slices plus the id boundary map
+	// and the freelist of recycled slots.
+	byID    map[FlowID]int32
+	free    []int32
+	fID     []FlowID
+	fTuple  []core.FiveTuple
+	fSrc    []core.NodeID
+	fDst    []core.NodeID
+	fDemand []core.Rate
+	fRate   []core.Rate
+	fBytes  []uint64
+	fState  []State
+	fAttach []bool   // holds link memberships
+	fVisit  []uint64 // component-walk epoch marker
+	fPath   []block  // into paths: (link handle, member index) per hop
+
+	// Link store: handle-indexed parallel slices (links are never freed).
+	// lResidual/lLast/lKey/lNact are water-filling transients valid only
+	// during one solve: lResidual is the unallocated capacity as of fill
+	// level lLast, and the level at which the link saturates
+	// (lLast + lResidual/lNact) is invariant under lazy sync while lNact
+	// is unchanged.
+	byLink    map[core.LinkID]int32
+	lID       []core.LinkID
+	lCap      []core.Rate
+	lLoad     []core.Rate // sum of granted rates of member flows
+	lBytes    []uint64    // delivered bytes (the former linkB map)
+	lVisit    []uint64    // component-walk epoch
+	lSeeded   []uint64    // dirty-seed epoch
+	lResidual []core.Rate
+	lLast     []core.Rate
+	lKey      []core.Rate // heap key: saturation level when pushed
+	lNact     []int32
+	lMem      []block // into members: (flow handle, hop index) per member
+
+	paths   pairArena
+	members pairArena
+
+	dirtyAll bool   // full re-solve needed (capacities changed)
+	epoch    uint64 // component-walk epoch counter
+	seedGen  uint64 // seed-dedup epoch counter
 
 	// Sharding and the worker pool (see the package comment).
 	shardOf func(core.LinkID) int
@@ -271,9 +419,13 @@ type Set struct {
 	last       SolveStats
 	totals     Totals
 
-	// Component tasks reused across solves; the steady-state re-solve
-	// path allocates nothing.
-	tasks []*solveTask
+	// Solve scratch, reused across solves; the steady-state re-solve path
+	// allocates nothing. tasks/taskFlows/taskLinks form the component
+	// CSR; heaps[w] is worker w's water-filling heap.
+	tasks     []taskRef
+	taskFlows []int32
+	taskLinks []int32
+	heaps     [][]int32
 }
 
 // NewSet creates a flow set over a network whose link capacities are
@@ -282,9 +434,8 @@ type Set struct {
 func NewSet(caps func(core.LinkID) core.Rate) *Set {
 	return &Set{
 		caps:    caps,
-		flows:   make(map[FlowID]*Flow),
-		linkB:   make(map[core.LinkID]uint64),
-		links:   make(map[core.LinkID]*linkState),
+		byID:    make(map[FlowID]int32),
+		byLink:  make(map[core.LinkID]int32),
 		shards:  make(map[int]*shardState),
 		workers: 1,
 		epsilon: 1, // 1 bps resolution
@@ -325,20 +476,21 @@ func (s *Set) SetDelayOf(f func(core.LinkID) core.Time) { s.delayOf = f }
 // current path (zero for blackholed flows or when no delay function is
 // installed), and whether the flow exists.
 func (s *Set) PathLatency(id FlowID) (core.Time, bool) {
-	f, ok := s.flows[id]
+	fh, ok := s.byID[id]
 	if !ok {
 		return 0, false
 	}
-	return s.pathLatency(f), true
+	return s.pathLatencyOf(fh), true
 }
 
-func (s *Set) pathLatency(f *Flow) core.Time {
+func (s *Set) pathLatencyOf(fh int32) core.Time {
 	if s.delayOf == nil {
 		return 0
 	}
 	var total core.Time
-	for _, l := range f.Path {
-		total += s.delayOf(l)
+	b := s.fPath[fh]
+	for i := int32(0); i < b.n; i++ {
+		total += s.delayOf(s.lID[s.paths.a[b.off+i]])
 	}
 	return total
 }
@@ -352,16 +504,12 @@ func (s *Set) MeanPathLatency() core.Time {
 	}
 	var weighted float64
 	var total core.Rate
-	for _, id := range s.order {
-		if id == flowTombstone {
+	for fh := range s.fID {
+		if s.fState[fh] != Active || s.fRate[fh] <= 0 {
 			continue
 		}
-		f := s.flows[id]
-		if f == nil || f.State != Active || f.Rate <= 0 {
-			continue
-		}
-		weighted += float64(f.Rate) * float64(s.pathLatency(f))
-		total += f.Rate
+		weighted += float64(s.fRate[fh]) * float64(s.pathLatencyOf(int32(fh)))
+		total += s.fRate[fh]
 	}
 	if total <= 0 {
 		return 0
@@ -406,33 +554,65 @@ func (s *Set) Resume(now core.Time) {
 	}
 }
 
-// link returns (creating if needed) the persistent state of link id.
-func (s *Set) link(id core.LinkID) *linkState {
-	ls := s.links[id]
-	if ls == nil {
-		c := s.caps(id)
-		if c < 0 {
-			c = 0
-		}
-		ls = &linkState{id: id, cap: c}
-		s.links[id] = ls
-		s.linkOrder = append(s.linkOrder, ls)
+// linkHandle returns (creating if needed) the dense handle of link id.
+func (s *Set) linkHandle(id core.LinkID) int32 {
+	if lh, ok := s.byLink[id]; ok {
+		return lh
 	}
-	return ls
+	c := s.caps(id)
+	if c < 0 {
+		c = 0
+	}
+	lh := int32(len(s.lID))
+	s.byLink[id] = lh
+	s.lID = append(s.lID, id)
+	s.lCap = append(s.lCap, c)
+	s.lLoad = append(s.lLoad, 0)
+	s.lBytes = append(s.lBytes, 0)
+	s.lVisit = append(s.lVisit, 0)
+	s.lSeeded = append(s.lSeeded, 0)
+	s.lResidual = append(s.lResidual, 0)
+	s.lLast = append(s.lLast, 0)
+	s.lKey = append(s.lKey, 0)
+	s.lNact = append(s.lNact, 0)
+	s.lMem = append(s.lMem, block{})
+	return lh
+}
+
+// allocFlow pops a recycled slot off the freelist or extends the store.
+func (s *Set) allocFlow() int32 {
+	if n := len(s.free); n > 0 {
+		fh := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fh
+	}
+	fh := int32(len(s.fID))
+	s.fID = append(s.fID, 0)
+	s.fTuple = append(s.fTuple, core.FiveTuple{})
+	s.fSrc = append(s.fSrc, 0)
+	s.fDst = append(s.fDst, 0)
+	s.fDemand = append(s.fDemand, 0)
+	s.fRate = append(s.fRate, 0)
+	s.fBytes = append(s.fBytes, 0)
+	s.fState = append(s.fState, stateFree)
+	s.fAttach = append(s.fAttach, false)
+	s.fVisit = append(s.fVisit, 0)
+	s.fPath = append(s.fPath, block{})
+	return fh
 }
 
 // seed marks a link as a dirty-region seed for the next solve, routed to
 // the shard of its current partition label. Labels are re-read on every
 // (first-per-solve) seeding, so a topology change that relabels a region
 // is picked up the next time any of its links is dirtied.
-func (s *Set) seed(ls *linkState) {
-	if ls.seeded == s.seedGen {
+func (s *Set) seed(lh int32) {
+	if s.lSeeded[lh] == s.seedGen {
 		return
 	}
-	ls.seeded = s.seedGen
+	s.lSeeded[lh] = s.seedGen
 	label := 0
 	if s.shardOf != nil {
-		label = s.shardOf(ls.id)
+		label = s.shardOf(s.lID[lh])
 	}
 	sh := s.shards[label]
 	if sh == nil {
@@ -442,106 +622,154 @@ func (s *Set) seed(ls *linkState) {
 	if len(sh.seeds) == 0 {
 		s.dirty = append(s.dirty, sh)
 	}
-	sh.seeds = append(sh.seeds, ls)
+	sh.seeds = append(sh.seeds, lh)
+}
+
+// storePath writes the flow's path into the path arena as link handles
+// (reusing the slot's block when it fits). Member indices are filled by
+// attach; an unattached (pending) flow's path keeps its hops for
+// PathLatency and snapshots without holding memberships.
+func (s *Set) storePath(fh int32, path []core.LinkID) {
+	b := &s.fPath[fh]
+	s.paths.setLen(b, int32(len(path)))
+	for i, lid := range path {
+		lh := s.linkHandle(lid)
+		s.paths.a[b.off+int32(i)] = lh
+		s.paths.b[b.off+int32(i)] = 0
+	}
 }
 
 // attach inserts an active routed flow into the member list of every link
-// on its path and seeds those links.
-func (s *Set) attach(f *Flow) {
-	if f.State != Active || len(f.Path) == 0 {
+// on its stored path and seeds those links.
+func (s *Set) attach(fh int32) {
+	b := s.fPath[fh]
+	if s.fState[fh] != Active || b.n == 0 {
 		return
 	}
-	if cap(f.linkPos) < len(f.Path) {
-		f.linkPos = make([]int, len(f.Path))
-	} else {
-		f.linkPos = f.linkPos[:len(f.Path)]
+	for i := int32(0); i < b.n; i++ {
+		lh := s.paths.a[b.off+i]
+		s.paths.b[b.off+i] = s.members.append1(&s.lMem[lh], fh, i)
+		s.seed(lh)
 	}
-	for i, lid := range f.Path {
-		ls := s.link(lid)
-		f.linkPos[i] = len(ls.members)
-		ls.members = append(ls.members, member{f: f, pathPos: i})
-		s.seed(ls)
-	}
-	f.attached = true
+	s.fAttach[fh] = true
 }
 
-// detach removes the flow from its links' member lists (O(path length))
-// and seeds them so the freed bandwidth is redistributed.
-func (s *Set) detach(f *Flow) {
-	if !f.attached {
+// detach removes the flow from its links' member lists (O(path length)
+// swap-removes, fixing the moved member's back-reference through its own
+// path block) and seeds them so the freed bandwidth is redistributed.
+func (s *Set) detach(fh int32) {
+	if !s.fAttach[fh] {
 		return
 	}
-	for i, lid := range f.Path {
-		ls := s.links[lid]
-		idx := f.linkPos[i]
-		last := len(ls.members) - 1
-		moved := ls.members[last]
-		ls.members[idx] = moved
-		moved.f.linkPos[moved.pathPos] = idx
-		ls.members[last] = member{}
-		ls.members = ls.members[:last]
-		s.seed(ls)
+	b := s.fPath[fh]
+	for i := int32(0); i < b.n; i++ {
+		lh := s.paths.a[b.off+i]
+		mi := s.paths.b[b.off+i]
+		mb := &s.lMem[lh]
+		last := mb.n - 1
+		mf, mp := s.members.a[mb.off+last], s.members.b[mb.off+last]
+		s.members.a[mb.off+mi] = mf
+		s.members.b[mb.off+mi] = mp
+		fb := s.fPath[mf]
+		s.paths.b[fb.off+mp] = mi
+		mb.n = last
+		s.seed(lh)
 	}
-	f.linkPos = f.linkPos[:0]
-	f.attached = false
+	s.fAttach[fh] = false
 }
 
-// Add inserts a flow and recomputes allocations. The flow's Path and
-// State must already be set by the caller (the routing layer).
+// maybeCompact reclaims arena garbage once abandoned regions dominate.
+// Compaction timing is a pure function of the mutation history, so the
+// memory gauges stay identical at any worker count.
+func (s *Set) maybeCompact() {
+	if s.paths.needCompact() {
+		s.paths.compact(s.fPath)
+	}
+	if s.members.needCompact() {
+		s.members.compact(s.lMem)
+	}
+}
+
+// Add inserts a flow (copying the spec into the store) and recomputes
+// allocations. The spec's Path and State must already be set by the
+// caller (the routing layer); its Rate and Bytes are ignored.
 func (s *Set) Add(f *Flow, now core.Time) {
-	if _, dup := s.flows[f.ID]; dup {
+	if _, dup := s.byID[f.ID]; dup {
 		panic(fmt.Sprintf("fluid: duplicate flow id %d", f.ID))
 	}
-	if f.ID == flowTombstone {
+	if f.ID == flowReserved {
 		panic("fluid: flow id ^uint64(0) is reserved")
 	}
 	s.Integrate(now)
-	s.flows[f.ID] = f
-	f.orderIdx = len(s.order)
-	s.order = append(s.order, f.ID)
-	f.visit = 0
-	f.attached = false
-	f.Rate = 0
-	s.attach(f)
+	fh := s.allocFlow()
+	s.byID[f.ID] = fh
+	s.fID[fh] = f.ID
+	s.fTuple[fh] = f.Tuple
+	s.fSrc[fh] = f.Src
+	s.fDst[fh] = f.Dst
+	s.fDemand[fh] = f.Demand
+	s.fRate[fh] = 0
+	s.fBytes[fh] = 0
+	s.fState[fh] = f.State
+	s.fAttach[fh] = false
+	s.fVisit[fh] = 0
+	s.storePath(fh, f.Path)
+	s.attach(fh)
+	s.maybeCompact()
 	s.Solve(now)
 }
 
-// Remove finishes a flow and recomputes allocations.
-func (s *Set) Remove(id FlowID, now core.Time) {
-	f, ok := s.flows[id]
-	if !ok {
-		return
+// Remove finishes a flow, recycles its slot and recomputes allocations.
+// It returns the flow's final snapshot (state Done, rate 0, bytes
+// integrated up to now; Path nil) — the last chance to read its byte
+// count, since the handle is recycled. ok is false if the flow did not
+// exist.
+func (s *Set) Remove(id FlowID, now core.Time) (final Flow, ok bool) {
+	fh, exists := s.byID[id]
+	if !exists {
+		return Flow{}, false
 	}
 	s.Integrate(now)
-	s.detach(f)
-	f.State = Done
-	f.Rate = 0
-	delete(s.flows, id)
-	s.order[f.orderIdx] = flowTombstone
-	s.orderDead++
-	if s.orderDead*2 > len(s.order) {
-		live := s.order[:0]
-		for _, fid := range s.order {
-			if fid == flowTombstone {
-				continue
-			}
-			s.flows[fid].orderIdx = len(live)
-			live = append(live, fid)
-		}
-		s.order = live
-		s.orderDead = 0
-	}
+	s.detach(fh)
+	final = s.snapshot(fh)
+	final.State = Done
+	final.Rate = 0
+	delete(s.byID, id)
+	s.fState[fh] = stateFree
+	s.fRate[fh] = 0
+	s.fPath[fh].n = 0 // keep the block's capacity for slot reuse
+	s.free = append(s.free, fh)
+	s.maybeCompact()
 	s.Solve(now)
+	return final, true
 }
 
-// Flow returns the flow with the given id.
-func (s *Set) Flow(id FlowID) (*Flow, bool) {
-	f, ok := s.flows[id]
-	return f, ok
+// snapshot builds the public value view of a flow slot (Path left nil).
+func (s *Set) snapshot(fh int32) Flow {
+	return Flow{
+		ID:     s.fID[fh],
+		Tuple:  s.fTuple[fh],
+		Src:    s.fSrc[fh],
+		Dst:    s.fDst[fh],
+		Demand: s.fDemand[fh],
+		Rate:   s.fRate[fh],
+		Bytes:  s.fBytes[fh],
+		State:  s.fState[fh],
+	}
+}
+
+// Flow returns a value snapshot of the flow with the given id. The
+// snapshot's Path is nil — use AppendPath or PathEqual for the route.
+func (s *Set) Flow(id FlowID) (Flow, bool) {
+	fh, ok := s.byID[id]
+	if !ok {
+		return Flow{}, false
+	}
+	return s.snapshot(fh), true
 }
 
 // Len reports the number of live flows (pending or active).
-func (s *Set) Len() int { return len(s.flows) }
+func (s *Set) Len() int { return len(s.byID) }
 
 // Solves reports how many times the rate solver has run; ablation
 // benchmarks use it to cost rate recomputation policies.
@@ -549,21 +777,61 @@ func (s *Set) Solves() int { return s.solves }
 
 // SetPath reroutes a flow (or blackholes it with nil) and recomputes.
 func (s *Set) SetPath(id FlowID, path []core.LinkID, now core.Time) {
-	f, ok := s.flows[id]
+	fh, ok := s.byID[id]
 	if !ok {
 		return
 	}
 	s.Integrate(now)
-	s.detach(f)
-	f.Path = path
-	f.Rate = 0
+	s.detach(fh)
+	s.storePath(fh, path)
+	s.fRate[fh] = 0
 	if len(path) == 0 {
-		f.State = Pending
+		s.fState[fh] = Pending
 	} else {
-		f.State = Active
+		s.fState[fh] = Active
 	}
-	s.attach(f)
+	s.attach(fh)
+	s.maybeCompact()
 	s.Solve(now)
+}
+
+// PathEqual reports whether the flow's stored route equals path (compared
+// hop by hop), without copying either. A missing flow never equals.
+func (s *Set) PathEqual(id FlowID, path []core.LinkID) bool {
+	fh, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	b := s.fPath[fh]
+	if int(b.n) != len(path) {
+		return false
+	}
+	for i, lid := range path {
+		lh, known := s.byLink[lid]
+		if !known || s.paths.a[b.off+int32(i)] != lh {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendPath appends the flow's current route to buf and returns it —
+// the allocation-free companion to the nil Path in snapshots. Missing
+// flows append nothing.
+func (s *Set) AppendPath(buf []core.LinkID, id FlowID) []core.LinkID {
+	fh, ok := s.byID[id]
+	if !ok {
+		return buf
+	}
+	return s.appendPathOf(buf, fh)
+}
+
+func (s *Set) appendPathOf(buf []core.LinkID, fh int32) []core.LinkID {
+	b := s.fPath[fh]
+	for i := int32(0); i < b.n; i++ {
+		buf = append(buf, s.lID[s.paths.a[b.off+i]])
+	}
+	return buf
 }
 
 // SetCapacity changes one link's capacity and recomputes the affected
@@ -573,7 +841,7 @@ func (s *Set) SetPath(id FlowID, path []core.LinkID, now core.Time) {
 // MarkDirty — which forces a full re-read and re-solve of every link —
 // SetCapacity seeds only the mutated link, so the next solve is confined
 // to the dirty component around the failure and performs no heap
-// allocations beyond the link state created the first time the link is
+// allocations beyond the link slot created the first time the link is
 // ever seen.
 //
 // Callers must keep the caps callback consistent with the new value
@@ -583,19 +851,19 @@ func (s *Set) SetCapacity(id core.LinkID, c core.Rate, now core.Time) {
 	if c < 0 {
 		c = 0
 	}
-	ls := s.link(id)
-	if ls.cap == c {
+	lh := s.linkHandle(id)
+	if s.lCap[lh] == c {
 		return
 	}
 	s.Integrate(now)
-	ls.cap = c
-	s.seed(ls)
+	s.lCap[lh] = c
+	s.seed(lh)
 	s.Solve(now)
 }
 
 // Capacity reports the solver's current cached capacity for a link (the
 // value from the caps callback or the last SetCapacity).
-func (s *Set) Capacity(id core.LinkID) core.Rate { return s.link(id).cap }
+func (s *Set) Capacity(id core.LinkID) core.Rate { return s.lCap[s.linkHandle(id)] }
 
 // Integrate accrues delivered bytes at the current rates up to now.
 // It must be called before any rate-affecting mutation.
@@ -605,15 +873,15 @@ func (s *Set) Integrate(now core.Time) {
 		s.lastAt = now
 		return
 	}
-	for _, id := range s.order {
-		f := s.flows[id]
-		if f == nil || f.State != Active || f.Rate <= 0 {
+	for fh := range s.fID {
+		if s.fState[fh] != Active || s.fRate[fh] <= 0 {
 			continue
 		}
-		b := f.Rate.BytesIn(dt)
-		f.Bytes += b
-		for _, l := range f.Path {
-			s.linkB[l] += b
+		bytes := s.fRate[fh].BytesIn(dt)
+		s.fBytes[fh] += bytes
+		pb := s.fPath[fh]
+		for i := int32(0); i < pb.n; i++ {
+			s.lBytes[s.paths.a[pb.off+i]] += bytes
 		}
 	}
 	s.lastAt = now
@@ -644,7 +912,23 @@ func (s *Set) Solve(now core.Time) {
 	}
 	s.dirty = s.dirty[:0]
 	s.seedGen++
+	s.last.Mem = s.memStats()
 	s.accumulate()
+}
+
+// memStats gauges resident storage. Worker heap scratch is excluded: it
+// is the only storage whose size depends on the worker count, and the
+// gauge must not (SolveStats are bit-compared across worker counts).
+func (s *Set) memStats() MemStats {
+	return MemStats{
+		FlowSlots:        len(s.fID),
+		LiveFlows:        len(s.byID),
+		FreeFlows:        len(s.free),
+		LinkSlots:        len(s.lID),
+		PathArenaBytes:   s.paths.bytes(),
+		MemberArenaBytes: s.members.bytes(),
+		ScratchBytes:     4 * (cap(s.taskFlows) + cap(s.taskLinks)),
+	}
 }
 
 // accumulate folds the finished solve's stats into the lifetime totals —
@@ -662,22 +946,23 @@ func (s *Set) accumulate() {
 	if st.Workers > 1 {
 		s.totals.ParallelSolves++
 	}
+	s.totals.Mem.max(st.Mem)
 }
 
 // seedAll refreshes every cached capacity from caps and seeds every known
-// link (in creation order, for run-to-run determinism), turning the next
+// link (in handle order, for run-to-run determinism), turning the next
 // sharded solve into a full one.
 func (s *Set) seedAll() {
-	for _, ls := range s.linkOrder {
-		c := s.caps(ls.id)
+	for lh := range s.lID {
+		c := s.caps(s.lID[lh])
 		if c < 0 {
 			c = 0
 		}
-		ls.cap = c
-		s.seed(ls)
+		s.lCap[lh] = c
+		s.seed(int32(lh))
 	}
 	// Flows whose whole path vanished from link state cannot exist:
-	// attach creates state for every active path link. Pending and
+	// storePath creates a slot for every path link. Pending and
 	// blackholed flows already hold rate 0.
 }
 
@@ -688,63 +973,71 @@ func (s *Set) seedAll() {
 // Component discovery is sequential and worker-count-independent: seeds
 // are visited in shard dirty order, and each unvisited seed's closure —
 // every flow on a component link joins and drags all links of its path in
-// — becomes one task. Because the closure is an equivalence class, a seed
-// already visited belongs entirely to an earlier task and is skipped, and
-// two tasks can never share a flow or a link: each task's water-fill
-// touches disjoint state, so tasks parallelize without locks.
+// — is appended to the shared task CSR (taskFlows/taskLinks) and becomes
+// one task. Because the closure is an equivalence class, a seed already
+// visited belongs entirely to an earlier task and is skipped, and two
+// tasks can never share a flow or a link: each task's water-fill touches
+// disjoint state, so tasks parallelize without locks.
 func (s *Set) solveShards() {
 	s.epoch++
-	ntasks := 0
 	quietLinks := 0
+	s.tasks = s.tasks[:0]
+	s.taskFlows = s.taskFlows[:0]
+	s.taskLinks = s.taskLinks[:0]
 	for _, sh := range s.dirty {
-		for _, seed := range sh.seeds {
-			if seed.visit == s.epoch {
+		for _, lh := range sh.seeds {
+			if s.lVisit[lh] == s.epoch {
 				continue
 			}
-			if ntasks == len(s.tasks) {
-				s.tasks = append(s.tasks, &solveTask{})
-			}
-			t := s.tasks[ntasks]
-			t.links = t.links[:0]
-			t.flows = t.flows[:0]
-			seed.visit = s.epoch
-			t.links = append(t.links, seed)
-			for i := 0; i < len(t.links); i++ {
-				for _, m := range t.links[i].members {
-					f := m.f
-					if f.visit == s.epoch {
+			fOff := int32(len(s.taskFlows))
+			lOff := int32(len(s.taskLinks))
+			s.lVisit[lh] = s.epoch
+			s.taskLinks = append(s.taskLinks, lh)
+			for i := lOff; i < int32(len(s.taskLinks)); i++ {
+				mb := s.lMem[s.taskLinks[i]]
+				for j := int32(0); j < mb.n; j++ {
+					fh := s.members.a[mb.off+j]
+					if s.fVisit[fh] == s.epoch {
 						continue
 					}
-					f.visit = s.epoch
-					t.flows = append(t.flows, f)
-					for _, lid := range f.Path {
-						nl := s.links[lid]
-						if nl.visit != s.epoch {
-							nl.visit = s.epoch
-							t.links = append(t.links, nl)
+					s.fVisit[fh] = s.epoch
+					s.taskFlows = append(s.taskFlows, fh)
+					pb := s.fPath[fh]
+					for p := int32(0); p < pb.n; p++ {
+						nl := s.paths.a[pb.off+p]
+						if s.lVisit[nl] != s.epoch {
+							s.lVisit[nl] = s.epoch
+							s.taskLinks = append(s.taskLinks, nl)
 						}
 					}
 				}
 			}
-			if len(t.flows) == 0 {
+			fN := int32(len(s.taskFlows)) - fOff
+			lN := int32(len(s.taskLinks)) - lOff
+			if fN == 0 {
 				// A memberless component (e.g. a capacity change on an
 				// idle link): reset loads inline, no water-fill needed.
-				for _, ls := range t.links {
-					ls.load = 0
+				for i := lOff; i < lOff+lN; i++ {
+					s.lLoad[s.taskLinks[i]] = 0
 				}
-				quietLinks += len(t.links)
+				quietLinks += int(lN)
+				s.taskLinks = s.taskLinks[:lOff]
 				continue
 			}
-			ntasks++
+			s.tasks = append(s.tasks, taskRef{fOff: fOff, fN: fN, lOff: lOff, lN: lN})
 		}
 	}
+	ntasks := len(s.tasks)
 	workers := s.workers
 	if workers > ntasks {
 		workers = ntasks
 	}
 	if workers <= 1 {
+		if len(s.heaps) == 0 {
+			s.heaps = append(s.heaps, nil)
+		}
 		for i := 0; i < ntasks; i++ {
-			s.waterfill(s.tasks[i])
+			s.heaps[0] = s.waterfill(&s.tasks[i], s.heaps[0])
 		}
 		if workers < 1 {
 			workers = 1
@@ -771,27 +1064,54 @@ func (s *Set) solveShards() {
 
 // runTasks water-fills tasks[0:ntasks] on a pool of worker goroutines
 // pulling from a work-stealing counter. Which goroutine runs which task
-// does not affect the result: tasks touch disjoint state, and stats merge
-// afterwards in task order. Kept out of solveShards so the parallel
-// closure's captures cannot force heap allocations onto the inline
-// single-component steady-state path.
+// does not affect the result: tasks touch disjoint state (each worker
+// water-fills with its own heap scratch), and stats merge afterwards in
+// task order. Kept out of solveShards so the parallel closure's captures
+// cannot force heap allocations onto the inline single-component
+// steady-state path.
 func (s *Set) runTasks(ntasks, workers int) {
+	for len(s.heaps) < workers {
+		s.heaps = append(s.heaps, nil)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			heap := s.heaps[w]
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= ntasks {
-					return
+					break
 				}
-				s.waterfill(s.tasks[i])
+				heap = s.waterfill(&s.tasks[i], heap)
 			}
-		}()
+			s.heaps[w] = heap
+		}(w)
 	}
 	wg.Wait()
+}
+
+// satLevel is the fill level at which the link saturates given its
+// current unfrozen membership.
+func (s *Set) satLevel(lh int32) core.Rate {
+	n := s.lNact[lh]
+	if n == 0 {
+		return core.Rate(math.Inf(1))
+	}
+	return s.lLast[lh] + s.lResidual[lh]/core.Rate(n)
+}
+
+// syncLink brings the link's residual forward to the given fill level.
+func (s *Set) syncLink(lh int32, level core.Rate) {
+	if s.lNact[lh] > 0 && level > s.lLast[lh] {
+		s.lResidual[lh] -= (level - s.lLast[lh]) * core.Rate(s.lNact[lh])
+		if s.lResidual[lh] < 0 {
+			s.lResidual[lh] = 0 // numeric dust
+		}
+	}
+	s.lLast[lh] = level
 }
 
 // waterfill computes max–min rates for one component task by sorted
@@ -799,58 +1119,61 @@ func (s *Set) runTasks(ntasks, workers int) {
 // saturate; each round raises the water level to the next event — a link
 // saturating (all its unfrozen flows freeze at the level) or the smallest
 // unmet demand (those flows freeze at their demand) — so whole links
-// freeze per round rather than epsilon steps.
+// freeze per round rather than epsilon steps. It water-fills with the
+// caller's heap scratch and returns it (possibly grown).
 //
 // Safe to run concurrently for disjoint tasks: it writes only the task's
-// own flows, links and scratch, and reads shared Set state (the links map
-// in freeze, epsilon) without mutating it.
-func (s *Set) waterfill(t *solveTask) {
-	flows, links := t.flows, t.links
+// own flows' and links' slots plus its CSR segments and the private heap,
+// and reads shared Set state (the arenas, epsilon) without mutating it.
+func (s *Set) waterfill(t *taskRef, heap []int32) []int32 {
+	flows := s.taskFlows[t.fOff : t.fOff+t.fN]
+	links := s.taskLinks[t.lOff : t.lOff+t.lN]
 	t.stats = SolveStats{Flows: len(flows), Links: len(links)}
 	inf := core.Rate(math.Inf(1))
-	for _, ls := range links {
-		ls.residual = ls.cap
-		ls.lastLevel = 0
-		ls.nactive = len(ls.members)
-		ls.load = 0
+	for _, lh := range links {
+		s.lResidual[lh] = s.lCap[lh]
+		s.lLast[lh] = 0
+		s.lNact[lh] = s.lMem[lh].n
+		s.lLoad[lh] = 0
 	}
 	remaining := len(flows)
 	uniform := true
 	var d0 core.Rate
-	for i, f := range flows {
+	for i, fh := range flows {
 		if i == 0 {
-			d0 = f.Demand
-		} else if f.Demand != d0 {
+			d0 = s.fDemand[fh]
+		} else if s.fDemand[fh] != d0 {
 			uniform = false
 		}
-		f.Rate = -1 // unfrozen marker
+		s.fRate[fh] = -1 // unfrozen marker
 	}
 	// Flows with no positive demand freeze at zero before filling starts.
-	for _, f := range flows {
-		if f.Demand <= 0 {
-			s.freeze(f, 0, 0)
+	for _, fh := range flows {
+		if s.fDemand[fh] <= 0 {
+			s.freeze(fh, 0, 0)
 			remaining--
 		}
 	}
 	// Demand-sorted order makes the smallest unmet demand a cursor scan;
 	// uniform demands (the demo workload) skip the sort entirely.
 	if !uniform {
-		slices.SortFunc(flows, func(a, b *Flow) int {
+		slices.SortFunc(flows, func(a, b int32) int {
+			da, db := s.fDemand[a], s.fDemand[b]
 			switch {
-			case a.Demand < b.Demand:
+			case da < db:
 				return -1
-			case a.Demand > b.Demand:
+			case da > db:
 				return 1
 			default:
 				return 0
 			}
 		})
 	}
-	heap := t.heap[:0]
-	for _, ls := range links {
-		if ls.nactive > 0 {
-			ls.key = ls.satLevel()
-			heap = heapPush(heap, ls)
+	heap = heap[:0]
+	for _, lh := range links {
+		if s.lNact[lh] > 0 {
+			s.lKey[lh] = s.satLevel(lh)
+			heap = s.heapPush(heap, lh)
 		}
 	}
 
@@ -859,12 +1182,12 @@ func (s *Set) waterfill(t *solveTask) {
 	rounds := 0
 	for remaining > 0 {
 		rounds++
-		for di < len(flows) && flows[di].Rate >= 0 {
+		for di < len(flows) && s.fRate[flows[di]] >= 0 {
 			di++
 		}
 		lambdaD := inf
 		if di < len(flows) {
-			lambdaD = flows[di].Demand
+			lambdaD = s.fDemand[flows[di]]
 		}
 		// Pop stale heap entries: keys only grow as flows freeze, so a
 		// link whose current saturation level moved past its key is
@@ -872,15 +1195,15 @@ func (s *Set) waterfill(t *solveTask) {
 		lambdaL := inf
 		for len(heap) > 0 {
 			top := heap[0]
-			if top.nactive == 0 {
-				heap = heapPop(heap)
+			if s.lNact[top] == 0 {
+				heap = s.heapPop(heap)
 				continue
 			}
-			cur := top.satLevel()
-			if cur > top.key+s.epsilon {
-				heap = heapPop(heap)
-				top.key = cur
-				heap = heapPush(heap, top)
+			cur := s.satLevel(top)
+			if cur > s.lKey[top]+s.epsilon {
+				heap = s.heapPop(heap)
+				s.lKey[top] = cur
+				heap = s.heapPush(heap, top)
 				continue
 			}
 			lambdaL = cur
@@ -896,15 +1219,15 @@ func (s *Set) waterfill(t *solveTask) {
 		// Freeze demand-limited flows at the new level.
 		if lambdaD <= lambdaL+s.epsilon {
 			for di < len(flows) {
-				f := flows[di]
-				if f.Rate >= 0 {
+				fh := flows[di]
+				if s.fRate[fh] >= 0 {
 					di++
 					continue
 				}
-				if f.Demand > level+s.epsilon {
+				if s.fDemand[fh] > level+s.epsilon {
 					break
 				}
-				s.freeze(f, f.Demand, level)
+				s.freeze(fh, s.fDemand[fh], level)
 				remaining--
 				di++
 			}
@@ -914,17 +1237,19 @@ func (s *Set) waterfill(t *solveTask) {
 		if lambdaL <= lambdaD+s.epsilon {
 			for len(heap) > 0 {
 				top := heap[0]
-				if top.nactive == 0 {
-					heap = heapPop(heap)
+				if s.lNact[top] == 0 {
+					heap = s.heapPop(heap)
 					continue
 				}
-				if top.satLevel() > level+s.epsilon {
+				if s.satLevel(top) > level+s.epsilon {
 					break
 				}
-				heap = heapPop(heap)
-				for _, m := range top.members {
-					if m.f.Rate < 0 {
-						s.freeze(m.f, level, level)
+				heap = s.heapPop(heap)
+				mb := s.lMem[top]
+				for j := int32(0); j < mb.n; j++ {
+					fh := s.members.a[mb.off+j]
+					if s.fRate[fh] < 0 {
+						s.freeze(fh, level, level)
 						remaining--
 					}
 				}
@@ -932,31 +1257,32 @@ func (s *Set) waterfill(t *solveTask) {
 		}
 	}
 	t.stats.Rounds = rounds
-	t.heap = heap[:0]
+	return heap[:0]
 }
 
 // freeze finalizes a flow's rate and retires it from every link it
 // crosses: the links' residuals are synced to the fill level, their
 // unfrozen counts drop, and the granted load is recorded.
-func (s *Set) freeze(f *Flow, rate, level core.Rate) {
-	f.Rate = rate
-	for _, lid := range f.Path {
-		ls := s.links[lid]
-		ls.sync(level)
-		ls.nactive--
-		ls.load += rate
+func (s *Set) freeze(fh int32, rate, level core.Rate) {
+	s.fRate[fh] = rate
+	b := s.fPath[fh]
+	for i := int32(0); i < b.n; i++ {
+		lh := s.paths.a[b.off+i]
+		s.syncLink(lh, level)
+		s.lNact[lh]--
+		s.lLoad[lh] += rate
 	}
 }
 
-// heapPush and heapPop maintain a binary min-heap of links keyed by
-// saturation level. Hand-rolled over a shared scratch slice so the solve
-// path stays allocation-free.
-func heapPush(h []*linkState, ls *linkState) []*linkState {
-	h = append(h, ls)
+// heapPush and heapPop maintain a binary min-heap of link handles keyed
+// by lKey (saturation level). Hand-rolled over the caller's scratch slice
+// so the solve path stays allocation-free.
+func (s *Set) heapPush(h []int32, lh int32) []int32 {
+	h = append(h, lh)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h[parent].key <= h[i].key {
+		if s.lKey[h[parent]] <= s.lKey[h[i]] {
 			break
 		}
 		h[parent], h[i] = h[i], h[parent]
@@ -965,19 +1291,18 @@ func heapPush(h []*linkState, ls *linkState) []*linkState {
 	return h
 }
 
-func heapPop(h []*linkState) []*linkState {
+func (s *Set) heapPop(h []int32) []int32 {
 	last := len(h) - 1
 	h[0] = h[last]
-	h[last] = nil
 	h = h[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(h) && h[l].key < h[smallest].key {
+		if l < len(h) && s.lKey[h[l]] < s.lKey[h[smallest]] {
 			smallest = l
 		}
-		if r < len(h) && h[r].key < h[smallest].key {
+		if r < len(h) && s.lKey[h[r]] < s.lKey[h[smallest]] {
 			smallest = r
 		}
 		if smallest == i {
@@ -994,20 +1319,27 @@ func heapPop(h []*linkState) []*linkState {
 // ("aggregated rate of all flows arriving at the hosts").
 func (s *Set) AggregateRx() core.Rate {
 	var sum core.Rate
-	for _, f := range s.flows {
-		if f.State == Active {
-			sum += f.Rate
+	for fh := range s.fID {
+		if s.fState[fh] == Active {
+			sum += s.fRate[fh]
 		}
 	}
 	return sum
 }
 
-// RxRateByDst reports the current receive rate per destination host.
-func (s *Set) RxRateByDst() map[core.NodeID]core.Rate {
-	out := make(map[core.NodeID]core.Rate)
-	for _, f := range s.flows {
-		if f.State == Active {
-			out[f.Dst] += f.Rate
+// RxRateByDst reports the current receive rate per destination host into
+// out, clearing and reusing it (allocate one when nil) — the sampling
+// tick calls this every interval, so the map must not be rebuilt per
+// call. Returns out.
+func (s *Set) RxRateByDst(out map[core.NodeID]core.Rate) map[core.NodeID]core.Rate {
+	if out == nil {
+		out = make(map[core.NodeID]core.Rate)
+	} else {
+		clear(out)
+	}
+	for fh := range s.fID {
+		if s.fState[fh] == Active {
+			out[s.fDst[fh]] += s.fRate[fh]
 		}
 	}
 	return out
@@ -1016,43 +1348,70 @@ func (s *Set) RxRateByDst() map[core.NodeID]core.Rate {
 // LinkRate reports the instantaneous load on a directed link in O(1) from
 // the persistent per-link granted load.
 func (s *Set) LinkRate(l core.LinkID) core.Rate {
-	if ls := s.links[l]; ls != nil {
-		return ls.load
+	if lh, ok := s.byLink[l]; ok {
+		return s.lLoad[lh]
 	}
 	return 0
 }
 
 // LinkFlows reports how many active flows currently cross a link.
 func (s *Set) LinkFlows(l core.LinkID) int {
-	if ls := s.links[l]; ls != nil {
-		return len(ls.members)
+	if lh, ok := s.byLink[l]; ok {
+		return int(s.lMem[lh].n)
 	}
 	return 0
 }
 
 // LinkBytes reports the bytes delivered over a directed link so far
 // (integrate first to bring the figure up to now).
-func (s *Set) LinkBytes(l core.LinkID) uint64 { return s.linkB[l] }
+func (s *Set) LinkBytes(l core.LinkID) uint64 {
+	if lh, ok := s.byLink[l]; ok {
+		return s.lBytes[lh]
+	}
+	return 0
+}
 
-// Flows returns live flows in insertion order.
-func (s *Set) Flows() []*Flow {
-	out := make([]*Flow, 0, len(s.flows))
-	for _, id := range s.order {
-		if f := s.flows[id]; f != nil {
-			out = append(out, f)
+// Flows returns value snapshots of the live flows, Path included
+// (copied), in ascending handle order — insertion order as long as no
+// flow has been removed; after churn, recycled slots surface in the
+// removed flow's position. Allocates; iteration-heavy callers should use
+// AppendFlows.
+func (s *Set) Flows() []Flow {
+	out := make([]Flow, 0, len(s.byID))
+	for fh := range s.fID {
+		if s.fState[fh] == stateFree {
+			continue
 		}
+		f := s.snapshot(int32(fh))
+		if n := s.fPath[fh].n; n > 0 {
+			f.Path = s.appendPathOf(make([]core.LinkID, 0, n), int32(fh))
+		}
+		out = append(out, f)
 	}
 	return out
 }
 
-// FlowsByDst returns active flows grouped by destination, each group in
-// insertion order; Hedera's demand estimator consumes this shape.
-func (s *Set) FlowsByDst() map[core.NodeID][]*Flow {
-	out := make(map[core.NodeID][]*Flow)
-	for _, id := range s.order {
-		f := s.flows[id]
-		if f != nil && f.State == Active {
-			out[f.Dst] = append(out[f.Dst], f)
+// AppendFlows appends value snapshots of the live flows (Path nil) to buf
+// and returns it — the allocation-free iteration surface (netmodel's
+// reroute pass reuses one buffer across control plane events).
+func (s *Set) AppendFlows(buf []Flow) []Flow {
+	for fh := range s.fID {
+		if s.fState[fh] == stateFree {
+			continue
+		}
+		buf = append(buf, s.snapshot(int32(fh)))
+	}
+	return buf
+}
+
+// FlowsByDst returns the ids of active flows grouped by destination, each
+// group in handle order; Hedera-style demand estimation consumes this
+// shape.
+func (s *Set) FlowsByDst() map[core.NodeID][]FlowID {
+	out := make(map[core.NodeID][]FlowID)
+	for fh := range s.fID {
+		if s.fState[fh] == Active {
+			out[s.fDst[fh]] = append(out[s.fDst[fh]], s.fID[fh])
 		}
 	}
 	return out
@@ -1066,9 +1425,11 @@ func (s *Set) MarkDirty() { s.dirtyAll = true }
 // SortedLinkIDs returns the ids of links that carried traffic, sorted;
 // handy for deterministic test assertions and dumps.
 func (s *Set) SortedLinkIDs() []core.LinkID {
-	ids := make([]core.LinkID, 0, len(s.linkB))
-	for l := range s.linkB {
-		ids = append(ids, l)
+	ids := make([]core.LinkID, 0, len(s.lID))
+	for lh := range s.lID {
+		if s.lBytes[lh] > 0 {
+			ids = append(ids, s.lID[lh])
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids

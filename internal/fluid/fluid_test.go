@@ -29,25 +29,49 @@ func mkFlow(id int, demand core.Rate, path ...int) *Flow {
 	}
 }
 
+// rateOf/bytesOf/stateOf read a flow's current allocation through the
+// snapshot API (the set copies specs into its store; the structs passed
+// to Add do not track later changes).
+func rateOf(s *Set, id int) core.Rate {
+	f, _ := s.Flow(FlowID(id))
+	return f.Rate
+}
+
+func bytesOf(s *Set, id int) uint64 {
+	f, _ := s.Flow(FlowID(id))
+	return f.Bytes
+}
+
+func stateOf(s *Set, id int) State {
+	f, _ := s.Flow(FlowID(id))
+	return f.State
+}
+
+// refreshRates copies the solved rates back into locally held specs so
+// invariant checks can keep using the spec structs.
+func refreshRates(s *Set, flows []*Flow) {
+	for _, f := range flows {
+		snap, _ := s.Flow(f.ID)
+		f.Rate = snap.Rate
+	}
+}
+
 func approxEq(a, b core.Rate) bool { return math.Abs(float64(a-b)) < 1e3 } // 1 Kbps slack
 
 func TestSingleFlowGetsDemand(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f := mkFlow(1, 400*core.Mbps, 0, 1)
-	s.Add(f, 0)
-	if !approxEq(f.Rate, 400*core.Mbps) {
-		t.Fatalf("rate = %v, want 400Mbps", f.Rate)
+	s.Add(mkFlow(1, 400*core.Mbps, 0, 1), 0)
+	if got := rateOf(s, 1); !approxEq(got, 400*core.Mbps) {
+		t.Fatalf("rate = %v, want 400Mbps", got)
 	}
 }
 
 func TestBottleneckShared(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f1 := mkFlow(1, 1*core.Gbps, 0)
-	f2 := mkFlow(2, 1*core.Gbps, 0)
-	s.Add(f1, 0)
-	s.Add(f2, 0)
-	if !approxEq(f1.Rate, 500*core.Mbps) || !approxEq(f2.Rate, 500*core.Mbps) {
-		t.Fatalf("rates = %v, %v, want 500Mbps each", f1.Rate, f2.Rate)
+	s.Add(mkFlow(1, 1*core.Gbps, 0), 0)
+	s.Add(mkFlow(2, 1*core.Gbps, 0), 0)
+	if r1, r2 := rateOf(s, 1), rateOf(s, 2); !approxEq(r1, 500*core.Mbps) || !approxEq(r2, 500*core.Mbps) {
+		t.Fatalf("rates = %v, %v, want 500Mbps each", r1, r2)
 	}
 }
 
@@ -61,20 +85,17 @@ func TestMaxMinClassicTriangle(t *testing.T) {
 		}
 		return 2 * core.Gbps
 	})
-	f1 := mkFlow(1, 1*core.Gbps, 0)
-	f2 := mkFlow(2, 1*core.Gbps, 0, 1)
-	f3 := mkFlow(3, 1*core.Gbps, 1)
-	s.Add(f1, 0)
-	s.Add(f2, 0)
-	s.Add(f3, 0)
-	if !approxEq(f1.Rate, 500*core.Mbps) {
-		t.Errorf("f1 = %v, want 500Mbps", f1.Rate)
+	s.Add(mkFlow(1, 1*core.Gbps, 0), 0)
+	s.Add(mkFlow(2, 1*core.Gbps, 0, 1), 0)
+	s.Add(mkFlow(3, 1*core.Gbps, 1), 0)
+	if got := rateOf(s, 1); !approxEq(got, 500*core.Mbps) {
+		t.Errorf("f1 = %v, want 500Mbps", got)
 	}
-	if !approxEq(f2.Rate, 500*core.Mbps) {
-		t.Errorf("f2 = %v, want 500Mbps", f2.Rate)
+	if got := rateOf(s, 2); !approxEq(got, 500*core.Mbps) {
+		t.Errorf("f2 = %v, want 500Mbps", got)
 	}
-	if !approxEq(f3.Rate, 1*core.Gbps) {
-		t.Errorf("f3 = %v, want 1Gbps (demand-capped)", f3.Rate)
+	if got := rateOf(s, 3); !approxEq(got, 1*core.Gbps) {
+		t.Errorf("f3 = %v, want 1Gbps (demand-capped)", got)
 	}
 }
 
@@ -82,15 +103,13 @@ func TestUnequalDemands(t *testing.T) {
 	// Two flows on one 1G link, demands 200M and 2G: max-min gives the
 	// small flow its demand and the rest to the big one.
 	s := NewSet(capsConst(1 * core.Gbps))
-	small := mkFlow(1, 200*core.Mbps, 0)
-	big := mkFlow(2, 2*core.Gbps, 0)
-	s.Add(small, 0)
-	s.Add(big, 0)
-	if !approxEq(small.Rate, 200*core.Mbps) {
-		t.Errorf("small = %v, want 200Mbps", small.Rate)
+	s.Add(mkFlow(1, 200*core.Mbps, 0), 0)
+	s.Add(mkFlow(2, 2*core.Gbps, 0), 0)
+	if got := rateOf(s, 1); !approxEq(got, 200*core.Mbps) {
+		t.Errorf("small = %v, want 200Mbps", got)
 	}
-	if !approxEq(big.Rate, 800*core.Mbps) {
-		t.Errorf("big = %v, want 800Mbps", big.Rate)
+	if got := rateOf(s, 2); !approxEq(got, 800*core.Mbps) {
+		t.Errorf("big = %v, want 800Mbps", got)
 	}
 }
 
@@ -100,74 +119,74 @@ func TestBlackholedFlowGetsZero(t *testing.T) {
 	f.Path = nil
 	f.State = Pending
 	s.Add(f, 0)
-	if f.Rate != 0 {
-		t.Fatalf("pending flow rate = %v, want 0", f.Rate)
+	if got := rateOf(s, 1); got != 0 {
+		t.Fatalf("pending flow rate = %v, want 0", got)
 	}
 	// Install a route: flow comes alive.
 	s.SetPath(1, []core.LinkID{0}, core.Second)
-	if !approxEq(f.Rate, 1*core.Gbps) {
-		t.Fatalf("routed flow rate = %v", f.Rate)
+	if got := rateOf(s, 1); !approxEq(got, 1*core.Gbps) {
+		t.Fatalf("routed flow rate = %v", got)
 	}
 	// Blackhole again.
 	s.SetPath(1, nil, 2*core.Second)
-	if f.Rate != 0 || f.State != Pending {
-		t.Fatalf("blackholed flow rate = %v state=%v", f.Rate, f.State)
+	if got, st := rateOf(s, 1), stateOf(s, 1); got != 0 || st != Pending {
+		t.Fatalf("blackholed flow rate = %v state=%v", got, st)
 	}
 }
 
 func TestRemoveRedistributes(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f1 := mkFlow(1, 1*core.Gbps, 0)
-	f2 := mkFlow(2, 1*core.Gbps, 0)
-	s.Add(f1, 0)
-	s.Add(f2, 0)
-	s.Remove(1, core.Second)
-	if !approxEq(f2.Rate, 1*core.Gbps) {
-		t.Fatalf("survivor rate = %v, want 1Gbps", f2.Rate)
+	s.Add(mkFlow(1, 1*core.Gbps, 0), 0)
+	s.Add(mkFlow(2, 1*core.Gbps, 0), 0)
+	final, ok := s.Remove(1, core.Second)
+	if !ok {
+		t.Fatal("Remove(1) reported missing")
 	}
-	if f1.State != Done {
-		t.Fatalf("removed flow state = %v", f1.State)
+	if got := rateOf(s, 2); !approxEq(got, 1*core.Gbps) {
+		t.Fatalf("survivor rate = %v, want 1Gbps", got)
+	}
+	if final.State != Done || final.Rate != 0 {
+		t.Fatalf("removed flow snapshot = %+v", final)
 	}
 	if s.Len() != 1 {
 		t.Fatalf("Len = %d", s.Len())
 	}
-	s.Remove(99, core.Second) // absent: no-op
+	if _, ok := s.Remove(99, core.Second); ok { // absent: no-op
+		t.Fatal("Remove(99) reported ok")
+	}
 }
 
 func TestByteIntegration(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f := mkFlow(1, 1*core.Gbps, 0, 1)
-	s.Add(f, 0)
+	s.Add(mkFlow(1, 1*core.Gbps, 0, 1), 0)
 	s.Integrate(2 * core.Second)
 	// 1 Gbps for 2s = 250 MB.
-	if f.Bytes != 250_000_000 {
-		t.Fatalf("bytes = %d, want 250000000", f.Bytes)
+	if got := bytesOf(s, 1); got != 250_000_000 {
+		t.Fatalf("bytes = %d, want 250000000", got)
 	}
 	if s.LinkBytes(0) != 250_000_000 || s.LinkBytes(1) != 250_000_000 {
 		t.Fatalf("link bytes = %d/%d", s.LinkBytes(0), s.LinkBytes(1))
 	}
 	// Integration is idempotent at the same timestamp.
 	s.Integrate(2 * core.Second)
-	if f.Bytes != 250_000_000 {
-		t.Fatalf("double integrate changed bytes: %d", f.Bytes)
+	if got := bytesOf(s, 1); got != 250_000_000 {
+		t.Fatalf("double integrate changed bytes: %d", got)
 	}
 }
 
 func TestByteIntegrationAcrossRateChange(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f1 := mkFlow(1, 1*core.Gbps, 0)
-	s.Add(f1, 0)
+	s.Add(mkFlow(1, 1*core.Gbps, 0), 0)
 	// After 1s a second flow joins; f1 drops to 500 Mbps.
-	f2 := mkFlow(2, 1*core.Gbps, 0)
-	s.Add(f2, 1*core.Second)
+	s.Add(mkFlow(2, 1*core.Gbps, 0), 1*core.Second)
 	s.Integrate(3 * core.Second)
 	// f1: 1s @ 1G + 2s @ 0.5G = 125MB + 125MB = 250MB.
-	if f1.Bytes != 250_000_000 {
-		t.Fatalf("f1 bytes = %d, want 250000000", f1.Bytes)
+	if got := bytesOf(s, 1); got != 250_000_000 {
+		t.Fatalf("f1 bytes = %d, want 250000000", got)
 	}
 	// f2: 2s @ 0.5G = 125MB.
-	if f2.Bytes != 125_000_000 {
-		t.Fatalf("f2 bytes = %d, want 125000000", f2.Bytes)
+	if got := bytesOf(s, 2); got != 125_000_000 {
+		t.Fatalf("f2 bytes = %d, want 125000000", got)
 	}
 }
 
@@ -182,7 +201,7 @@ func TestAggregateAndPerDstRates(t *testing.T) {
 	if !approxEq(s.AggregateRx(), 700*core.Mbps) {
 		t.Fatalf("aggregate = %v", s.AggregateRx())
 	}
-	per := s.RxRateByDst()
+	per := s.RxRateByDst(nil)
 	if !approxEq(per[7], 300*core.Mbps) || !approxEq(per[8], 400*core.Mbps) {
 		t.Fatalf("per-dst = %v", per)
 	}
@@ -191,6 +210,27 @@ func TestAggregateAndPerDstRates(t *testing.T) {
 	}
 	if s.LinkRate(99) != 0 {
 		t.Fatalf("unused link rate = %v", s.LinkRate(99))
+	}
+}
+
+func TestRxRateByDstReusesMap(t *testing.T) {
+	// The sampler passes the same map every tick: it must be cleared and
+	// refilled, and returned as-is, without allocating a fresh map.
+	s := NewSet(capsConst(1 * core.Gbps))
+	f := mkFlow(1, 300*core.Mbps, 0)
+	f.Dst = 7
+	s.Add(f, 0)
+	buf := map[core.NodeID]core.Rate{42: core.Gbps} // stale entry must vanish
+	got := s.RxRateByDst(buf)
+	if len(got) != 1 || !approxEq(got[7], 300*core.Mbps) {
+		t.Fatalf("reused map = %v", got)
+	}
+	if _, stale := got[42]; stale {
+		t.Fatal("stale entry survived reuse")
+	}
+	allocs := testing.AllocsPerRun(100, func() { s.RxRateByDst(buf) })
+	if allocs != 0 {
+		t.Fatalf("RxRateByDst allocates %v per call with a reused map, want 0", allocs)
 	}
 }
 
@@ -249,6 +289,7 @@ func TestMaxMinInvariants(t *testing.T) {
 			flows = append(flows, f)
 			s.Add(f, 0)
 		}
+		refreshRates(s, flows)
 		// Invariant 1: link loads within capacity (+1Kbps slack).
 		loads := map[core.LinkID]core.Rate{}
 		for _, f := range flows {
@@ -314,6 +355,9 @@ func TestFlowsAccessors(t *testing.T) {
 	if got := s.Flows(); len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
 		t.Fatalf("Flows order = %v", got)
 	}
+	if got := s.Flows(); len(got[0].Path) != 1 || got[0].Path[0] != 0 {
+		t.Fatalf("Flows()[0].Path = %v", got[0].Path)
+	}
 	byDst := s.FlowsByDst()
 	if len(byDst[5]) != 2 {
 		t.Fatalf("FlowsByDst = %v", byDst)
@@ -323,6 +367,15 @@ func TestFlowsAccessors(t *testing.T) {
 	}
 	if _, ok := s.Flow(9); ok {
 		t.Fatal("Flow(9) present")
+	}
+	if !s.PathEqual(1, []core.LinkID{0}) || s.PathEqual(1, []core.LinkID{1}) {
+		t.Fatal("PathEqual wrong")
+	}
+	if got := s.AppendPath(nil, 2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("AppendPath = %v", got)
+	}
+	if got := s.AppendFlows(nil); len(got) != 2 || got[0].ID != 1 {
+		t.Fatalf("AppendFlows = %v", got)
 	}
 	s.Integrate(core.Second)
 	ids := s.SortedLinkIDs()
@@ -344,15 +397,12 @@ func TestPermutationOnSharedCoreConverges(t *testing.T) {
 	// 8 flows all crossing one shared 1G core link: each gets 125 Mbps;
 	// this is the "no congestion avoidance" worst case of the demo.
 	s := NewSet(capsConst(1 * core.Gbps))
-	var flows []*Flow
 	for i := 0; i < 8; i++ {
-		f := mkFlow(i+1, 1*core.Gbps, 50, 100+i)
-		flows = append(flows, f)
-		s.Add(f, 0)
+		s.Add(mkFlow(i+1, 1*core.Gbps, 50, 100+i), 0)
 	}
-	for _, f := range flows {
-		if !approxEq(f.Rate, 125*core.Mbps) {
-			t.Fatalf("rate = %v, want 125Mbps", f.Rate)
+	for i := 0; i < 8; i++ {
+		if got := rateOf(s, i+1); !approxEq(got, 125*core.Mbps) {
+			t.Fatalf("rate = %v, want 125Mbps", got)
 		}
 	}
 }
@@ -373,15 +423,13 @@ func TestZeroCapacityLink(t *testing.T) {
 				return core.Gbps
 			})
 			s.SetNaive(naive)
-			dead := mkFlow(1, core.Gbps, 0, 1) // crosses the dead link
-			live := mkFlow(2, core.Gbps, 1)    // healthy link only
-			s.Add(dead, 0)
-			s.Add(live, 0)
-			if dead.Rate != 0 {
-				t.Errorf("flow across zero-capacity link: rate = %v, want 0", dead.Rate)
+			s.Add(mkFlow(1, core.Gbps, 0, 1), 0) // crosses the dead link
+			s.Add(mkFlow(2, core.Gbps, 1), 0)    // healthy link only
+			if got := rateOf(s, 1); got != 0 {
+				t.Errorf("flow across zero-capacity link: rate = %v, want 0", got)
 			}
-			if !approxEq(live.Rate, core.Gbps) {
-				t.Errorf("healthy flow: rate = %v, want 1Gbps", live.Rate)
+			if got := rateOf(s, 2); !approxEq(got, core.Gbps) {
+				t.Errorf("healthy flow: rate = %v, want 1Gbps", got)
 			}
 			if got := s.LinkRate(0); got != 0 {
 				t.Errorf("zero-capacity link load = %v, want 0", got)
@@ -399,10 +447,9 @@ func TestNegativeCapacityClamped(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			s := NewSet(func(core.LinkID) core.Rate { return -5 * core.Gbps })
 			s.SetNaive(naive)
-			f := mkFlow(1, core.Gbps, 0)
-			s.Add(f, 0)
-			if f.Rate != 0 || math.IsNaN(float64(f.Rate)) {
-				t.Fatalf("rate on negative-capacity link = %v, want 0", f.Rate)
+			s.Add(mkFlow(1, core.Gbps, 0), 0)
+			if got := rateOf(s, 1); got != 0 || math.IsNaN(float64(got)) {
+				t.Fatalf("rate on negative-capacity link = %v, want 0", got)
 			}
 		})
 	}
@@ -433,6 +480,7 @@ func TestDustFreezeTermination(t *testing.T) {
 				flows = append(flows, f)
 				s.Add(f, 0) // must return: termination is the test
 			}
+			refreshRates(s, flows)
 			loads := map[core.LinkID]core.Rate{}
 			for _, f := range flows {
 				if f.Rate < 0 {
@@ -458,23 +506,24 @@ func TestDustFreezeTermination(t *testing.T) {
 
 func TestIntegrateAcrossRemoveMidInterval(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f1 := mkFlow(1, core.Gbps, 0, 1)
-	f2 := mkFlow(2, core.Gbps, 0)
-	s.Add(f1, 0)
-	s.Add(f2, 0) // both at 500 Mbps on link 0
-	s.Remove(1, core.Second)
-	// f1 existed 1s @ 500 Mbps = 62.5 MB on links 0 and 1, then stops
-	// accruing even though time advances.
-	if f1.Bytes != 62_500_000 {
-		t.Fatalf("removed flow bytes = %d, want 62500000", f1.Bytes)
+	s.Add(mkFlow(1, core.Gbps, 0, 1), 0)
+	s.Add(mkFlow(2, core.Gbps, 0), 0) // both at 500 Mbps on link 0
+	final, ok := s.Remove(1, core.Second)
+	if !ok {
+		t.Fatal("Remove(1) missing")
+	}
+	// f1 existed 1s @ 500 Mbps = 62.5 MB on links 0 and 1; the final
+	// snapshot is the last chance to read its byte count.
+	if final.Bytes != 62_500_000 {
+		t.Fatalf("removed flow bytes = %d, want 62500000", final.Bytes)
 	}
 	s.Integrate(3 * core.Second)
-	if f1.Bytes != 62_500_000 {
-		t.Fatalf("removed flow accrued after removal: %d", f1.Bytes)
+	if _, stillThere := s.Flow(1); stillThere {
+		t.Fatal("removed flow still queryable")
 	}
 	// f2: 1s @ 500 Mbps + 2s @ 1 Gbps = 62.5 MB + 250 MB.
-	if f2.Bytes != 312_500_000 {
-		t.Fatalf("survivor bytes = %d, want 312500000", f2.Bytes)
+	if got := bytesOf(s, 2); got != 312_500_000 {
+		t.Fatalf("survivor bytes = %d, want 312500000", got)
 	}
 	// Link 0 carried both; link 1 only f1 before its removal.
 	if got := s.LinkBytes(0); got != 375_000_000 {
@@ -495,12 +544,12 @@ func TestRxRateByDstAfterSetPath(t *testing.T) {
 	f2.Dst = 8
 	s.Add(f1, 0)
 	s.Add(f2, 0)
-	per := s.RxRateByDst()
+	per := s.RxRateByDst(nil)
 	if !approxEq(per[7], 500*core.Mbps) || !approxEq(per[8], 500*core.Mbps) {
 		t.Fatalf("pre-reroute per-dst = %v", per)
 	}
 	s.SetPath(2, []core.LinkID{1}, core.Second) // move f2 to its own link
-	per = s.RxRateByDst()
+	per = s.RxRateByDst(per)
 	if !approxEq(per[7], core.Gbps) || !approxEq(per[8], core.Gbps) {
 		t.Fatalf("post-reroute per-dst = %v", per)
 	}
@@ -509,7 +558,7 @@ func TestRxRateByDstAfterSetPath(t *testing.T) {
 	}
 	// Blackhole f2: its rate vanishes from the map and from link 1.
 	s.SetPath(2, nil, 2*core.Second)
-	per = s.RxRateByDst()
+	per = s.RxRateByDst(per)
 	if _, ok := per[8]; ok {
 		t.Fatalf("blackholed dst still receiving: %v", per)
 	}
@@ -523,14 +572,11 @@ func TestRxRateByDstAfterSetPath(t *testing.T) {
 func TestDirtyRegionComponentCut(t *testing.T) {
 	// Two clusters sharing no links: {links 0,1} and {links 10,11}.
 	s := NewSet(capsConst(1 * core.Gbps))
-	a1 := mkFlow(1, core.Gbps, 0, 1)
-	a2 := mkFlow(2, core.Gbps, 0)
-	b1 := mkFlow(3, core.Gbps, 10, 11)
-	b2 := mkFlow(4, core.Gbps, 10)
-	for _, f := range []*Flow{a1, a2, b1, b2} {
-		s.Add(f, 0)
-	}
-	// Removing a2 must re-solve only cluster A.
+	s.Add(mkFlow(1, core.Gbps, 0, 1), 0)
+	s.Add(mkFlow(2, core.Gbps, 0), 0)
+	s.Add(mkFlow(3, core.Gbps, 10, 11), 0)
+	s.Add(mkFlow(4, core.Gbps, 10), 0)
+	// Removing flow 2 must re-solve only cluster A.
 	s.Remove(2, 0)
 	st := s.LastSolve()
 	if st.Flows != 1 || st.Full {
@@ -539,11 +585,11 @@ func TestDirtyRegionComponentCut(t *testing.T) {
 	if st.Links != 2 {
 		t.Fatalf("component links = %d, want 2 (links 0 and 1)", st.Links)
 	}
-	if !approxEq(a1.Rate, core.Gbps) {
-		t.Fatalf("cluster-A survivor = %v, want 1Gbps", a1.Rate)
+	if got := rateOf(s, 1); !approxEq(got, core.Gbps) {
+		t.Fatalf("cluster-A survivor = %v, want 1Gbps", got)
 	}
-	if !approxEq(b1.Rate, 500*core.Mbps) || !approxEq(b2.Rate, 500*core.Mbps) {
-		t.Fatalf("cluster B disturbed: %v, %v", b1.Rate, b2.Rate)
+	if r3, r4 := rateOf(s, 3), rateOf(s, 4); !approxEq(r3, 500*core.Mbps) || !approxEq(r4, 500*core.Mbps) {
+		t.Fatalf("cluster B disturbed: %v, %v", r3, r4)
 	}
 	// MarkDirty forces a full re-solve over both clusters.
 	s.MarkDirty()
@@ -605,7 +651,7 @@ func TestNaiveIncrementalParity(t *testing.T) {
 			}
 			return path
 		}
-		live := map[FlowID]*Flow{}
+		live := map[FlowID]bool{}
 		next := 1
 		for op := 0; op < 60; op++ {
 			switch {
@@ -613,7 +659,7 @@ func TestNaiveIncrementalParity(t *testing.T) {
 				f := mkFlow(next, core.Rate(rng.Intn(2000)+1)*core.Mbps/2, 0)
 				next++
 				f.Path = randPath()
-				live[f.ID] = f
+				live[f.ID] = true
 				inc.Add(f, 0)
 			case rng.Float64() < 0.5: // remove
 				for id := range live {
@@ -673,36 +719,34 @@ func TestNaiveIncrementalParity(t *testing.T) {
 
 func TestSetCapacityCollapseAndRestore(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	a := mkFlow(1, core.Gbps, 0, 1)
-	b := mkFlow(2, core.Gbps, 2)
-	s.Add(a, 0)
-	s.Add(b, 0)
-	if !approxEq(a.Rate, core.Gbps) || !approxEq(b.Rate, core.Gbps) {
-		t.Fatalf("initial rates %v %v", a.Rate, b.Rate)
+	s.Add(mkFlow(1, core.Gbps, 0, 1), 0)
+	s.Add(mkFlow(2, core.Gbps, 2), 0)
+	if r1, r2 := rateOf(s, 1), rateOf(s, 2); !approxEq(r1, core.Gbps) || !approxEq(r2, core.Gbps) {
+		t.Fatalf("initial rates %v %v", r1, r2)
 	}
-	// Link 1 dies: flow a collapses to zero, b is untouched.
+	// Link 1 dies: flow 1 collapses to zero, flow 2 is untouched.
 	s.SetCapacity(1, 0, core.Second)
-	if a.Rate != 0 {
-		t.Fatalf("rate over dead link = %v, want 0", a.Rate)
+	if got := rateOf(s, 1); got != 0 {
+		t.Fatalf("rate over dead link = %v, want 0", got)
 	}
-	if !approxEq(b.Rate, core.Gbps) {
-		t.Fatalf("unrelated flow disturbed: %v", b.Rate)
+	if got := rateOf(s, 2); !approxEq(got, core.Gbps) {
+		t.Fatalf("unrelated flow disturbed: %v", got)
 	}
 	// Degraded capacity, then full restore.
 	s.SetCapacity(1, 300*core.Mbps, 2*core.Second)
-	if !approxEq(a.Rate, 300*core.Mbps) {
-		t.Fatalf("degraded rate = %v, want 300Mbps", a.Rate)
+	if got := rateOf(s, 1); !approxEq(got, 300*core.Mbps) {
+		t.Fatalf("degraded rate = %v, want 300Mbps", got)
 	}
 	s.SetCapacity(1, core.Gbps, 3*core.Second)
-	if !approxEq(a.Rate, core.Gbps) {
-		t.Fatalf("restored rate = %v, want 1Gbps", a.Rate)
+	if got := rateOf(s, 1); !approxEq(got, core.Gbps) {
+		t.Fatalf("restored rate = %v, want 1Gbps", got)
 	}
 	// Byte accounting integrated through the outage: 1s at 1G, 1s at 0,
 	// 1s at 300M.
 	s.Integrate(3 * core.Second)
 	want := core.Rate(core.Gbps).BytesIn(core.Second) + core.Rate(300*core.Mbps).BytesIn(core.Second)
-	if a.Bytes != want {
-		t.Fatalf("bytes through outage = %d, want %d", a.Bytes, want)
+	if got := bytesOf(s, 1); got != want {
+		t.Fatalf("bytes through outage = %d, want %d", got, want)
 	}
 }
 
@@ -774,7 +818,7 @@ func TestSetCapacityParity(t *testing.T) {
 			}
 			return path
 		}
-		live := map[FlowID]*Flow{}
+		live := map[FlowID]bool{}
 		next := 1
 		for op := 0; op < 80; op++ {
 			r := rng.Float64()
@@ -783,7 +827,7 @@ func TestSetCapacityParity(t *testing.T) {
 				f := mkFlow(next, core.Rate(rng.Intn(2000)+1)*core.Mbps/2, 0)
 				next++
 				f.Path = randPath()
-				live[f.ID] = f
+				live[f.ID] = true
 				inc.Add(f, 0)
 			case r < 0.5: // remove
 				for id := range live {
@@ -832,10 +876,8 @@ func TestPathLatency(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
 	// Per-link delay: link id in milliseconds.
 	s.SetDelayOf(func(l core.LinkID) core.Time { return core.Time(l) * core.Millisecond })
-	f1 := mkFlow(1, 100*core.Mbps, 1, 2, 3) // 6ms total
-	f2 := mkFlow(2, 300*core.Mbps, 10)      // 10ms
-	s.Add(f1, 0)
-	s.Add(f2, 0)
+	s.Add(mkFlow(1, 100*core.Mbps, 1, 2, 3), 0) // 6ms total
+	s.Add(mkFlow(2, 300*core.Mbps, 10), 0)      // 10ms
 	if lat, ok := s.PathLatency(1); !ok || lat != 6*core.Millisecond {
 		t.Fatalf("f1 latency = %v/%v, want 6ms", lat, ok)
 	}
@@ -858,8 +900,7 @@ func TestPathLatency(t *testing.T) {
 
 func TestPathLatencyWithoutDelayFunc(t *testing.T) {
 	s := NewSet(capsConst(1 * core.Gbps))
-	f := mkFlow(1, 100*core.Mbps, 1, 2)
-	s.Add(f, 0)
+	s.Add(mkFlow(1, 100*core.Mbps, 1, 2), 0)
 	if lat, ok := s.PathLatency(1); !ok || lat != 0 {
 		t.Fatalf("latency without delay func = %v/%v, want 0", lat, ok)
 	}

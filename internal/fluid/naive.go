@@ -13,43 +13,48 @@ import (
 // incremental solver against it) and as a differential-testing oracle —
 // max–min allocations are unique, so both solvers must agree.
 //
-// Unlike the original seed implementation it clamps non-positive link
-// capacities explicitly: a flow crossing a zero-capacity link freezes at
-// rate 0 in the first round instead of driving the increment negative and
-// relying on the numeric-dust fallback to terminate.
+// It deliberately keeps the original cost model (fresh map and slice
+// allocations per solve, uniform epsilon rounds) while reading flows and
+// paths through the struct-of-arrays store; only the persistent-load
+// refresh at the end uses the CSR member index.
+//
+// Capacities come from the persistent link store (s.lCap), which folds in
+// SetCapacity overrides and clamps negatives to zero at the boundary — a
+// flow crossing a zero-capacity link freezes at rate 0 in the first round
+// instead of driving the increment negative and relying on the
+// numeric-dust fallback to terminate.
 func (s *Set) solveNaive() {
 	type naiveLink struct {
 		cap    core.Rate
 		load   core.Rate // allocation already granted on this link
 		active int       // flows still being filled
 	}
-	links := make(map[core.LinkID]*naiveLink)
-	var active []*Flow
-	for _, id := range s.order {
-		f := s.flows[id]
-		if f == nil {
-			continue // tombstone of a removed flow
-		}
-		if f.State != Active || len(f.Path) == 0 {
-			f.Rate = 0
+	links := make(map[int32]*naiveLink)
+	var active []int32
+	for fh := range s.fID {
+		st := s.fState[fh]
+		if st == stateFree {
 			continue
 		}
-		f.Rate = 0
-		active = append(active, f)
-		for _, l := range f.Path {
-			nl := links[l]
+		pb := s.fPath[fh]
+		if st != Active || pb.n == 0 {
+			s.fRate[fh] = 0
+			continue
+		}
+		s.fRate[fh] = 0
+		active = append(active, int32(fh))
+		for i := int32(0); i < pb.n; i++ {
+			lh := s.paths.a[pb.off+i]
+			nl := links[lh]
 			if nl == nil {
-				c := s.caps(l)
-				if c < 0 {
-					c = 0
-				}
-				nl = &naiveLink{cap: c}
-				links[l] = nl
+				nl = &naiveLink{cap: s.lCap[lh]}
+				links[lh] = nl
 			}
 			nl.active++
 		}
 	}
-	s.last = SolveStats{Flows: len(active), Links: len(links), Components: 1, Workers: 1, Full: true}
+	s.last = SolveStats{Flows: len(active), Links: len(links), Components: 1,
+		MaxComponentFlows: len(active), Workers: 1, Full: true}
 
 	// Progressive filling: raise all active flows together until a link
 	// saturates or a flow reaches its demand; freeze and repeat.
@@ -58,8 +63,8 @@ func (s *Set) solveNaive() {
 		rounds++
 		// The largest uniform increment every active flow can take.
 		inc := core.Rate(math.Inf(1))
-		for _, f := range active {
-			if room := f.Demand - f.Rate; room < inc {
+		for _, fh := range active {
+			if room := s.fDemand[fh] - s.fRate[fh]; room < inc {
 				inc = room
 			}
 		}
@@ -75,19 +80,21 @@ func (s *Set) solveNaive() {
 			inc = 0
 		}
 		// Apply the increment.
-		for _, f := range active {
-			f.Rate += inc
-			for _, l := range f.Path {
-				links[l].load += inc
+		for _, fh := range active {
+			s.fRate[fh] += inc
+			pb := s.fPath[fh]
+			for i := int32(0); i < pb.n; i++ {
+				links[s.paths.a[pb.off+i]].load += inc
 			}
 		}
 		// Freeze flows that hit their demand or cross a saturated link.
-		var rest []*Flow
-		for _, f := range active {
-			frozen := f.Demand-f.Rate <= s.epsilon
+		var rest []int32
+		for _, fh := range active {
+			pb := s.fPath[fh]
+			frozen := s.fDemand[fh]-s.fRate[fh] <= s.epsilon
 			if !frozen {
-				for _, l := range f.Path {
-					nl := links[l]
+				for i := int32(0); i < pb.n; i++ {
+					nl := links[s.paths.a[pb.off+i]]
 					if nl.cap-nl.load <= s.epsilon {
 						frozen = true
 						break
@@ -95,19 +102,20 @@ func (s *Set) solveNaive() {
 				}
 			}
 			if frozen {
-				for _, l := range f.Path {
-					links[l].active--
+				for i := int32(0); i < pb.n; i++ {
+					links[s.paths.a[pb.off+i]].active--
 				}
 			} else {
-				rest = append(rest, f)
+				rest = append(rest, fh)
 			}
 		}
 		if len(rest) == len(active) {
 			// No progress is possible (can only happen from numeric
 			// dust); freeze everything to guarantee termination.
-			for _, f := range active {
-				for _, l := range f.Path {
-					links[l].active--
+			for _, fh := range active {
+				pb := s.fPath[fh]
+				for i := int32(0); i < pb.n; i++ {
+					links[s.paths.a[pb.off+i]].active--
 				}
 			}
 			rest = nil
@@ -118,10 +126,12 @@ func (s *Set) solveNaive() {
 
 	// Refresh the persistent per-link granted loads so O(1) accessors
 	// (LinkRate) stay correct in naive mode.
-	for _, ls := range s.links {
-		ls.load = 0
-		for _, m := range ls.members {
-			ls.load += m.f.Rate
+	for lh := range s.lID {
+		mb := s.lMem[lh]
+		var load core.Rate
+		for j := int32(0); j < mb.n; j++ {
+			load += s.fRate[s.members.a[mb.off+j]]
 		}
+		s.lLoad[lh] = load
 	}
 }

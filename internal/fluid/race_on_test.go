@@ -1,0 +1,7 @@
+//go:build race
+
+package fluid
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// guards are skipped under -race because instrumentation allocates.
+const raceEnabled = true

@@ -66,6 +66,14 @@ type Network struct {
 
 	rerouteNeeded bool
 	reroutes      uint64
+
+	// Reused hot-path scratch (engine-goroutine only, like everything
+	// else here): route() appends the walked path into pathBuf, the
+	// reroute pass snapshots flows into flowBuf, and RxRateByDst refills
+	// rxByDst — none of them allocate in steady state.
+	pathBuf []core.LinkID
+	flowBuf []fluid.Flow
+	rxByDst map[core.NodeID]core.Rate
 }
 
 type puntKey struct {
@@ -127,12 +135,14 @@ func (n *Network) Table(id core.NodeID) *flowtable.Table { return n.tables[id] }
 
 // StartFlow routes and activates a flow at virtual time now. If the first
 // hop switch punts to the controller, the flow is added in Pending state
-// and will come alive on the next successful reroute.
+// and will come alive on the next successful reroute. The spec's Path and
+// State are filled in before it is copied into the flow set (route walks
+// into the network's scratch buffer, so the spec gets its own copy).
 func (n *Network) StartFlow(f *fluid.Flow, now core.Time) {
 	path, status := n.route(f.Src, f.Tuple, now, true)
-	f.Path = path
 	switch status {
 	case routeOK:
+		f.Path = append([]core.LinkID(nil), path...)
 		f.State = fluid.Active
 	default:
 		f.State = fluid.Pending
@@ -141,12 +151,14 @@ func (n *Network) StartFlow(f *fluid.Flow, now core.Time) {
 	n.Flows.Add(f, now)
 }
 
-// StopFlow removes a flow.
-func (n *Network) StopFlow(id fluid.FlowID, now core.Time) {
-	if f, ok := n.Flows.Flow(id); ok {
+// StopFlow removes a flow, returning its final snapshot (state Done,
+// bytes integrated up to now) — the last chance to read its delivered
+// byte count. ok is false if the flow did not exist.
+func (n *Network) StopFlow(id fluid.FlowID, now core.Time) (final fluid.Flow, ok bool) {
+	if f, exists := n.Flows.Flow(id); exists {
 		n.clearPunts(f.Tuple)
 	}
-	n.Flows.Remove(id, now)
+	return n.Flows.Remove(id, now)
 }
 
 type routeStatus int
@@ -158,19 +170,31 @@ const (
 )
 
 // route walks the topology from src following FIBs and flow tables.
-// punt controls whether table-misses may generate PACKET_INs.
+// punt controls whether table-misses may generate PACKET_INs. The
+// returned path aliases the network's scratch buffer: it is valid until
+// the next route call, and callers that retain it must copy (StartFlow
+// does; the reroute pass hands it straight to SetPath, which copies into
+// the flow store).
 func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt bool) ([]core.LinkID, routeStatus) {
+	path, status := n.walkRoute(n.pathBuf[:0], src, ft, now, punt)
+	n.pathBuf = path // keep the grown backing
+	if status != routeOK {
+		return nil, status
+	}
+	return path, status
+}
+
+func (n *Network) walkRoute(path []core.LinkID, src core.NodeID, ft core.FiveTuple, now core.Time, punt bool) ([]core.LinkID, routeStatus) {
 	cur := n.G.Node(src)
 	if cur == nil {
-		return nil, routeDropped
+		return path, routeDropped
 	}
-	var path []core.LinkID
 	inPort := core.PortNone
 	for hops := 0; hops < maxHops; hops++ {
 		if cur.Down() {
 			// A dead node neither originates, sinks nor forwards.
 			n.rxDrop++
-			return nil, routeDropped
+			return path, routeDropped
 		}
 		if cur.Kind == topo.Host {
 			if cur.IP == ft.Dst {
@@ -179,16 +203,16 @@ func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt 
 			if hops > 0 {
 				// Arrived at the wrong host: drop.
 				n.rxDrop++
-				return nil, routeDropped
+				return path, routeDropped
 			}
 			// Source host: single homed, forward up its only link.
 			if len(cur.Ports) == 0 {
-				return nil, routeDropped
+				return path, routeDropped
 			}
 			p := cur.Ports[0]
 			if !n.G.LinkAlive(p.Link) {
 				n.rxDrop++
-				return nil, routeDropped
+				return path, routeDropped
 			}
 			path = append(path, p.Link)
 			inPort = p.PeerPort
@@ -197,18 +221,18 @@ func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt 
 		}
 		egress, status := n.forwardAt(cur, inPort, ft, now, punt)
 		if status != routeOK {
-			return nil, status
+			return path, status
 		}
 		p := n.G.Port(cur.ID, egress)
 		if p == nil {
-			return nil, routeDropped
+			return path, routeDropped
 		}
 		if !n.G.LinkAlive(p.Link) {
 			// Forwarding state still points into a dead link (e.g. a
 			// select group whose hash lands on a failed member): the flow
 			// blackholes until the control plane repairs the state.
 			n.rxDrop++
-			return nil, routeDropped
+			return path, routeDropped
 		}
 		path = append(path, p.Link)
 		inPort = p.PeerPort
@@ -216,7 +240,7 @@ func (n *Network) route(src core.NodeID, ft core.FiveTuple, now core.Time, punt 
 	}
 	// Forwarding loop.
 	n.rxDrop++
-	return nil, routeDropped
+	return path, routeDropped
 }
 
 // forwardAt decides the egress port of ft at a forwarding node.
@@ -300,12 +324,16 @@ func (n *Network) ReRouteAll(now core.Time) {
 	n.reroutes++
 	n.Flows.Defer()
 	defer n.Flows.Resume(now)
-	for _, f := range n.Flows.Flows() {
+	// Snapshot the flow list into the reused buffer (SetPath mutates the
+	// store mid-iteration); PathEqual compares against the stored route
+	// without copying it out.
+	n.flowBuf = n.Flows.AppendFlows(n.flowBuf[:0])
+	for _, f := range n.flowBuf {
 		path, status := n.route(f.Src, f.Tuple, now, true)
 		switch status {
 		case routeOK:
 			n.clearPunts(f.Tuple)
-			if !linksEqual(f.Path, path) || f.State != fluid.Active {
+			if f.State != fluid.Active || !n.Flows.PathEqual(f.ID, path) {
 				n.Flows.SetPath(f.ID, path, now)
 			}
 		default:
@@ -340,16 +368,14 @@ func (n *Network) FlushReroutes(now core.Time) bool {
 // Reroutes reports how many full reroute passes have run.
 func (n *Network) Reroutes() uint64 { return n.reroutes }
 
-func linksEqual(a, b []core.LinkID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+// RxRateByDst reports the current receive rate per destination host,
+// integrated up to now. The returned map is owned by the network and
+// refilled on every call — the sampling tick reads it each interval
+// without a per-tick allocation; callers must not retain it.
+func (n *Network) RxRateByDst(now core.Time) map[core.NodeID]core.Rate {
+	n.Flows.Integrate(now)
+	n.rxByDst = n.Flows.RxRateByDst(n.rxByDst)
+	return n.rxByDst
 }
 
 // ---------------------------------------------------------------------------
@@ -584,31 +610,39 @@ func (n *Network) FlowStatsOf(node core.NodeID, now core.Time) []FlowStat {
 		return nil
 	}
 	n.Flows.Integrate(now)
-	out := make([]FlowStat, 0, t.Len())
-	for _, e := range t.Entries() {
-		st := FlowStat{Priority: e.Priority, Match: e.Match, Installed: e.InstalledAt, Bytes: e.Bytes}
-		for _, f := range n.Flows.Flows() {
-			if f.State != fluid.Active {
-				continue
-			}
-			// Does this flow traverse the node and win on this entry?
-			inPort, crosses := n.ingressAt(node, f)
-			if !crosses {
-				continue
-			}
-			if winner, ok := t.Lookup(inPort, f.Tuple); ok && winner == e {
-				st.Bytes += f.Bytes
+	entries := t.Entries()
+	out := make([]FlowStat, 0, len(entries))
+	slot := make(map[*flowtable.Entry]int, len(entries))
+	for i, e := range entries {
+		out = append(out, FlowStat{Priority: e.Priority, Match: e.Match, Installed: e.InstalledAt, Bytes: e.Bytes})
+		slot[e] = i
+	}
+	// One pass over the flows (instead of one per entry): each active
+	// flow crossing the node charges its bytes to the entry that wins its
+	// lookup (first-match semantics, as the old per-entry scan had).
+	n.flowBuf = n.Flows.AppendFlows(n.flowBuf[:0])
+	for _, f := range n.flowBuf {
+		if f.State != fluid.Active {
+			continue
+		}
+		n.pathBuf = n.Flows.AppendPath(n.pathBuf[:0], f.ID)
+		inPort, crosses := n.ingressAt(node, n.pathBuf)
+		if !crosses {
+			continue
+		}
+		if winner, ok := t.Lookup(inPort, f.Tuple); ok {
+			if i, tracked := slot[winner]; tracked {
+				out[i].Bytes += f.Bytes
 			}
 		}
-		out = append(out, st)
 	}
 	return out
 }
 
-// ingressAt reports the port through which flow f enters node, if its
-// current path crosses it.
-func (n *Network) ingressAt(node core.NodeID, f *fluid.Flow) (core.PortID, bool) {
-	for _, lid := range f.Path {
+// ingressAt reports the port through which a flow following path enters
+// node, if the path crosses it.
+func (n *Network) ingressAt(node core.NodeID, path []core.LinkID) (core.PortID, bool) {
+	for _, lid := range path {
 		l := n.G.Link(lid)
 		if l != nil && l.To == node {
 			return l.ToPort, true

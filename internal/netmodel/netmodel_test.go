@@ -88,14 +88,15 @@ func TestFlowModActivatesPendingFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.State != fluid.Active {
-		t.Fatalf("state = %v after rule install", f.State)
+	got := flowOf(t, n, 1)
+	if got.State != fluid.Active {
+		t.Fatalf("state = %v after rule install", got.State)
 	}
-	if f.Rate != core.Gbps {
-		t.Fatalf("rate = %v", f.Rate)
+	if got.Rate != core.Gbps {
+		t.Fatalf("rate = %v", got.Rate)
 	}
-	if len(f.Path) != 2 {
-		t.Fatalf("path = %v", f.Path)
+	if path := n.Flows.AppendPath(nil, 1); len(path) != 2 {
+		t.Fatalf("path = %v", path)
 	}
 }
 
@@ -129,8 +130,8 @@ func TestRouterForwardingWithFIB(t *testing.T) {
 
 	f := &fluid.Flow{ID: 1, Tuple: ft, Src: src, Dst: dst, Demand: 300 * core.Mbps}
 	n.StartFlow(f, 0)
-	if f.State != fluid.Active || f.Rate != 300*core.Mbps {
-		t.Fatalf("flow = state %v rate %v", f.State, f.Rate)
+	if got := flowOf(t, n, 1); got.State != fluid.Active || got.Rate != 300*core.Mbps {
+		t.Fatalf("flow = state %v rate %v", got.State, got.Rate)
 	}
 	if len(f.Path) != 3 {
 		t.Fatalf("path length = %d, want 3 (h1->r1->r2->h2)", len(f.Path))
@@ -179,8 +180,8 @@ func TestWithdrawRouteBlackholes(t *testing.T) {
 		t.Fatal("flow not active")
 	}
 	must(t, n.WithdrawRoute(r1.ID, route, core.Second))
-	if f.State != fluid.Pending || f.Rate != 0 {
-		t.Fatalf("after withdraw: state=%v rate=%v", f.State, f.Rate)
+	if got := flowOf(t, n, 1); got.State != fluid.Pending || got.Rate != 0 {
+		t.Fatalf("after withdraw: state=%v rate=%v", got.State, got.Rate)
 	}
 }
 
@@ -422,6 +423,17 @@ func must(t *testing.T, err error) {
 	}
 }
 
+// flowOf reads a flow's current state through the set's snapshot API
+// (the spec struct passed to StartFlow does not track later changes).
+func flowOf(t *testing.T, n *Network, id fluid.FlowID) fluid.Flow {
+	t.Helper()
+	f, ok := n.Flows.Flow(id)
+	if !ok {
+		t.Fatalf("flow %d missing", id)
+	}
+	return f
+}
+
 // TestPathInvariants checks, over randomized proactive rule sets, that
 // every active flow's path is link-connected, starts at its source host,
 // and terminates at its destination host.
@@ -549,8 +561,8 @@ func TestSetCableStateRouterPrunesAndReroutes(t *testing.T) {
 	// Fail r1-r2: r1's FIB loses the route (interface-down prune), the
 	// flow blackholes, and both directions' capacity hits zero.
 	ab := setCable(t, n, g, "r1", "r2", true, core.Second)
-	if f.State != fluid.Pending || f.Rate != 0 {
-		t.Fatalf("after failure: state=%v rate=%v", f.State, f.Rate)
+	if got := flowOf(t, n, 1); got.State != fluid.Pending || got.Rate != 0 {
+		t.Fatalf("after failure: state=%v rate=%v", got.State, got.Rate)
 	}
 	if n.FIB(r1.ID).Len() != 0 {
 		t.Fatalf("r1 FIB not pruned: %v", n.FIB(r1.ID))
@@ -565,8 +577,8 @@ func TestSetCableStateRouterPrunesAndReroutes(t *testing.T) {
 		Prefix:   netip.MustParsePrefix("10.0.2.0/24"),
 		NextHops: []fib.NextHop{{Port: r1ToR2, Via: netip.MustParseAddr("172.16.0.1")}},
 	}, 2*core.Second))
-	if f.State != fluid.Active || f.Rate != 300*core.Mbps {
-		t.Fatalf("after repair: state=%v rate=%v", f.State, f.Rate)
+	if got := flowOf(t, n, 1); got.State != fluid.Active || got.Rate != 300*core.Mbps {
+		t.Fatalf("after repair: state=%v rate=%v", got.State, got.Rate)
 	}
 }
 
@@ -608,8 +620,8 @@ func TestSetCableStateSwitchInvalidatesEntries(t *testing.T) {
 	if punts != 1 {
 		t.Fatalf("punts = %d, want 1 (repair request)", punts)
 	}
-	if f.State != fluid.Pending {
-		t.Fatalf("flow state after failure = %v", f.State)
+	if got := flowOf(t, n, 1); got.State != fluid.Pending {
+		t.Fatalf("flow state after failure = %v", got.State)
 	}
 }
 
@@ -624,23 +636,23 @@ func TestSetCableRateResolves(t *testing.T) {
 	}}, 0))
 	f := &fluid.Flow{ID: 1, Tuple: ft, Src: src, Dst: dst, Demand: core.Gbps}
 	n.StartFlow(f, 0)
-	if f.Rate != core.Gbps {
-		t.Fatalf("initial rate %v", f.Rate)
+	if got := flowOf(t, n, 1); got.Rate != core.Gbps {
+		t.Fatalf("initial rate %v", got.Rate)
 	}
 	h0, _ := g.NodeByName("h0")
 	ab := g.CableBetween(h0.ID, sw.ID)
 	// Degrade the access cable to 250 Mbps: allocation follows without
 	// any reroute.
 	n.SetCableRate(ab.ID, 250*core.Mbps, core.Second)
-	if f.Rate != 250*core.Mbps {
-		t.Fatalf("degraded rate %v, want 250Mbps", f.Rate)
+	if got := flowOf(t, n, 1); got.Rate != 250*core.Mbps {
+		t.Fatalf("degraded rate %v, want 250Mbps", got.Rate)
 	}
 	if g.Link(ab.ID).Rate() != 250*core.Mbps || g.Link(ab.Reverse).Rate() != 250*core.Mbps {
 		t.Fatal("topology rate not updated on both directions")
 	}
 	n.SetCableRate(ab.ID, core.Gbps, 2*core.Second)
-	if f.Rate != core.Gbps {
-		t.Fatalf("restored rate %v", f.Rate)
+	if got := flowOf(t, n, 1); got.Rate != core.Gbps {
+		t.Fatalf("restored rate %v", got.Rate)
 	}
 }
 
@@ -661,16 +673,16 @@ func TestSetNodeStateKillsTransit(t *testing.T) {
 	if !n.SetNodeState(sw.ID, true, core.Second) {
 		t.Fatal("SetNodeState reported no change")
 	}
-	if f.State != fluid.Pending || f.Rate != 0 {
-		t.Fatalf("flow through dead switch: state=%v rate=%v", f.State, f.Rate)
+	if got := flowOf(t, n, 1); got.State != fluid.Pending || got.Rate != 0 {
+		t.Fatalf("flow through dead switch: state=%v rate=%v", got.State, got.Rate)
 	}
 	// Idempotent.
 	if n.SetNodeState(sw.ID, true, core.Second) {
 		t.Fatal("second SetNodeState(true) reported a change")
 	}
 	n.SetNodeState(sw.ID, false, 2*core.Second)
-	if f.State != fluid.Active || f.Rate != core.Gbps {
-		t.Fatalf("flow after node repair: state=%v rate=%v", f.State, f.Rate)
+	if got := flowOf(t, n, 1); got.State != fluid.Active || got.Rate != core.Gbps {
+		t.Fatalf("flow after node repair: state=%v rate=%v", got.State, got.Rate)
 	}
 }
 
