@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"strconv"
@@ -45,21 +46,30 @@ type Entry struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code exposed for testing.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		label  = flag.String("label", "", "entry label, e.g. before-soa / after-soa / ci (required)")
-		out    = flag.String("out", "BENCH_solve.json", "trajectory file to append to")
-		commit = flag.String("commit", "", "commit hash to record (optional)")
+		label  = fs.String("label", "", "entry label, e.g. before-soa / after-soa / ci (required)")
+		out    = fs.String("out", "BENCH_solve.json", "trajectory file to append to")
+		commit = fs.String("commit", "", "commit hash to record (optional)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *label == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchjson: -label is required")
+		return 2
 	}
 
-	entry, err := parse(os.Stdin)
+	entry, err := parse(stdin)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	entry.Label = *label
 	entry.Commit = *commit
@@ -67,33 +77,37 @@ func main() {
 
 	entries, err := load(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
-	replaced := false
-	for i := range entries {
-		if entries[i].Label == entry.Label {
-			entries[i] = entry
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		entries = append(entries, entry)
-	}
+	entries = merge(entries, entry)
 
 	buf, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
-	fmt.Printf("benchjson: %d benchmarks recorded as %q in %s (%d entries)\n",
+	fmt.Fprintf(stdout, "benchjson: %d benchmarks recorded as %q in %s (%d entries)\n",
 		len(entry.Benchmarks), entry.Label, *out, len(entries))
+	return 0
+}
+
+// merge appends the entry to the trajectory, replacing an existing entry
+// with the same label in place (re-running a configuration updates its
+// numbers rather than duplicating them).
+func merge(entries []Entry, entry Entry) []Entry {
+	for i := range entries {
+		if entries[i].Label == entry.Label {
+			entries[i] = entry
+			return entries
+		}
+	}
+	return append(entries, entry)
 }
 
 // load reads an existing trajectory file; a missing file is an empty one.
@@ -118,7 +132,7 @@ func load(path string) ([]Entry, error) {
 //	BenchmarkName-8   	  5	 1804695 ns/op	 3 B/op	 0 allocs/op
 //
 // i.e. a name, an iteration count, then (value, unit) pairs.
-func parse(r *os.File) (Entry, error) {
+func parse(r io.Reader) (Entry, error) {
 	var e Entry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

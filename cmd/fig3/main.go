@@ -30,9 +30,9 @@ import (
 	"strings"
 	"time"
 
-	horse "repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -124,45 +124,28 @@ func runHorseSuite(k int, dur time.Duration, pacing float64, seed int64, naive b
 	var repairs, repaired int
 	var repairSum core.Time
 	for _, te := range []string{"bgp-ecmp", "hedera", "ecmp5"} {
-		cfg := horse.Config{Pacing: pacing, NaiveSolver: naive, SolverWorkers: workers}
+		// The three TE runs are ordinary spec.Runs — the same ones a
+		// horsed campaign over topos=[fattree:k] × scenarios=[...]
+		// would expand to.
+		run := spec.Run{
+			Topo:          fmt.Sprintf("fattree:%d", k),
+			Scenario:      te,
+			Traffic:       fmt.Sprintf("permutation:%d", seed),
+			Dur:           spec.Duration(dur),
+			Pacing:        pacing,
+			NaiveSolver:   naive,
+			SolverWorkers: workers,
+		}
 		if fail {
 			// Sample finely enough to resolve the dip and repair.
-			cfg.SampleInterval = 10 * horse.Millisecond
+			run.SampleInterval = spec.Duration(10 * time.Millisecond)
 		}
-		exp := horse.NewExperiment(cfg)
 		if pcapDir != "" {
-			exp.CaptureTo(filepath.Join(pcapDir, fmt.Sprintf("k%d-%s", k, te)))
+			run.CaptureDir = filepath.Join(pcapDir, fmt.Sprintf("k%d-%s", k, te))
 		}
-		var (
-			g   *horse.Topology
-			err error
-		)
-		switch te {
-		case "bgp-ecmp":
-			g, err = horse.FatTree(k, horse.BGP())
-			if err == nil {
-				exp.SetTopology(g)
-				exp.UseBGP(horse.BGPOptions{ECMP: true})
-			}
-		case "hedera":
-			g, err = horse.FatTree(k, horse.SDN())
-			if err == nil {
-				exp.SetTopology(g)
-				exp.UseSDN(horse.AppHedera(5 * horse.Second))
-			}
-		case "ecmp5":
-			g, err = horse.FatTree(k, horse.SDN())
-			if err == nil {
-				exp.SetTopology(g)
-				exp.UseSDN(horse.AppECMP5())
-			}
-		}
+		exp, err := run.Experiment()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "k=%d %s: %v\n", k, te, err)
-			os.Exit(1)
-		}
-		if err := exp.SendPermutation(seed, 1*horse.Gbps, 0, 0); err != nil {
-			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if fail {

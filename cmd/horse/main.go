@@ -1,6 +1,9 @@
 // Command horse is the general experiment runner: pick a topology, a
 // control plane scenario and a workload, run it under the hybrid clock,
-// and print the results.
+// and print the results. All spec parsing lives in internal/spec,
+// shared with cmd/tedemo, cmd/fig3 and the horsed campaign daemon — a
+// flag invocation here is the same experiment as the equivalent
+// submitted campaign run.
 //
 // Usage examples:
 //
@@ -13,23 +16,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
-	"time"
 
-	horse "repro"
-	"repro/internal/core"
-	"repro/internal/traffic"
+	"repro/internal/spec"
 )
 
 func main() {
 	var (
 		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME (abilene, tier1), wan:mesh:SEED[:POPS]")
 		scenario    = flag.String("scenario", "ecmp5", "control plane: bgp, bgp-ecmp, bgp-rr, ecmp5, hedera, reactive")
-		trafficSpec = flag.String("traffic", "permutation:42", "workload: permutation:SEED, stride:N, none")
-		rate        = flag.Float64("rate", 1.0, "per-flow rate in Gbps")
-		dur         = flag.Duration("dur", 20*time.Second, "virtual duration")
-		pacing      = flag.Float64("pacing", 1.0, "FTI pacing")
+		trafficSpec = flag.String("traffic", spec.DefaultTraffic, "workload: permutation:SEED, stride:N, none")
+		rate        = flag.Float64("rate", spec.DefaultRate, "per-flow rate in Gbps")
+		dur         = flag.Duration("dur", spec.DefaultDur.Duration(), "virtual duration")
+		pacing      = flag.Float64("pacing", spec.DefaultPacing, "FTI pacing")
 		verbose     = flag.Bool("v", false, "log subsystem activity")
 		tsv         = flag.Bool("tsv", false, "dump aggregate rx series as TSV")
 		naive       = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
@@ -40,86 +38,48 @@ func main() {
 	)
 	flag.Parse()
 
-	bgpWanted := strings.HasPrefix(*scenario, "bgp")
-	g, err := buildTopo(*topoSpec, bgpWanted, *delayScale)
+	run := spec.Run{
+		Topo:          *topoSpec,
+		Scenario:      *scenario,
+		Traffic:       *trafficSpec,
+		RateGbps:      *rate,
+		Dur:           spec.Duration(*dur),
+		Pacing:        *pacing,
+		NaiveSolver:   *naive,
+		SolverWorkers: *workers,
+		DelayScale:    delayScale,
+		Dampening:     *dampening,
+		CaptureDir:    *pcapDir,
+	}
+	// Parse errors are usage errors (exit 2); runtime failures exit 1.
+	ts, err := spec.ParseTopo(run.Topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc, err := spec.ParseScenario(run.Scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if ts.WAN() && sc.Name != "bgp-rr" {
+		fmt.Fprintln(os.Stderr, "note: single-AS WAN without -scenario bgp-rr runs plain iBGP (no reflection); expect partial convergence")
+	}
+
+	exp, err := run.Experiment()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	isWAN := strings.HasPrefix(*topoSpec, "wan:")
-	if isWAN && !bgpWanted {
-		fmt.Fprintln(os.Stderr, "wan topologies are BGP router meshes; use -scenario bgp-rr")
-		os.Exit(2)
-	}
-	if isWAN && *scenario != "bgp-rr" {
-		fmt.Fprintln(os.Stderr, "note: single-AS WAN without -scenario bgp-rr runs plain iBGP (no reflection); expect partial convergence")
-	}
-
-	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers}
 	if *verbose {
-		cfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
-	}
-	exp := horse.NewExperiment(cfg)
-	exp.SetTopology(g)
-	if *pcapDir != "" {
-		exp.CaptureTo(*pcapDir)
+		exp.SetLogf(func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) })
 	}
 
-	var damp *horse.Dampening
-	if *dampening {
-		damp = &horse.Dampening{}
-	}
-	switch *scenario {
-	case "bgp":
-		exp.UseBGP(horse.BGPOptions{Dampening: damp})
-	case "bgp-ecmp":
-		exp.UseBGP(horse.BGPOptions{ECMP: true, Dampening: damp})
-	case "bgp-rr":
-		// The WAN scenario: iBGP route reflection with latency-delayed
-		// control plane delivery.
-		exp.UseBGP(horse.BGPOptions{
-			RouteReflection: true,
-			LinkLatency:     true,
-			Dampening:       damp,
-		})
-	case "ecmp5":
-		exp.UseSDN(horse.AppECMP5())
-	case "hedera":
-		exp.UseSDN(horse.AppHedera(5 * horse.Second))
-	case "reactive":
-		exp.UseSDN(horse.AppReactive(false))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
-
-	flowRate := horse.Rate(*rate) * horse.Gbps
-	switch {
-	case *trafficSpec == "none":
-	case strings.HasPrefix(*trafficSpec, "permutation"):
-		seed := int64(42)
-		if _, arg, ok := strings.Cut(*trafficSpec, ":"); ok {
-			seed, _ = strconv.ParseInt(arg, 10, 64)
-		}
-		if err := exp.SendPermutation(seed, flowRate, 0, 0); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	case strings.HasPrefix(*trafficSpec, "stride"):
-		n := 1
-		if _, arg, ok := strings.Cut(*trafficSpec, ":"); ok {
-			n, _ = strconv.Atoi(arg)
-		}
-		if err := exp.AddTraffic(traffic.Stride(n, flowRate, 0, 0)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *trafficSpec)
-		os.Exit(2)
-	}
-
-	res, err := exp.Run(core.FromDuration(*dur))
+	res, err := exp.Run(run.Until())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -144,65 +104,5 @@ func main() {
 	if len(res.CaptureFiles) > 0 {
 		fmt.Printf("capture: %d pcapng traces in %s (inspect with Wireshark or cmd/pcapcheck)\n",
 			len(res.CaptureFiles), *pcapDir)
-	}
-}
-
-func buildTopo(spec string, routers bool, delayScale float64) (*horse.Topology, error) {
-	kind, rest, _ := strings.Cut(spec, ":")
-	opt := horse.SDN()
-	if routers {
-		opt = horse.BGP()
-	}
-	switch kind {
-	case "wan":
-		name, arg, _ := strings.Cut(rest, ":")
-		if name == "mesh" {
-			parts := strings.Split(arg, ":")
-			seed, err := strconv.ParseInt(parts[0], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("wan:mesh needs a seed: %w", err)
-			}
-			pops := 16
-			if len(parts) > 1 {
-				if pops, err = strconv.Atoi(parts[1]); err != nil {
-					return nil, fmt.Errorf("wan:mesh PoP count: %w", err)
-				}
-			}
-			return horse.WANMesh(pops, seed, horse.DelayScale(delayScale))
-		}
-		return horse.WAN(name, horse.DelayScale(delayScale))
-	case "fattree":
-		k, err := strconv.Atoi(rest)
-		if err != nil {
-			return nil, fmt.Errorf("fattree needs an arity: %w", err)
-		}
-		return horse.FatTree(k, opt)
-	case "linear":
-		n, err := strconv.Atoi(rest)
-		if err != nil {
-			return nil, fmt.Errorf("linear needs a length: %w", err)
-		}
-		return horse.Linear(n, opt)
-	case "star":
-		n, err := strconv.Atoi(rest)
-		if err != nil {
-			return nil, fmt.Errorf("star needs a size: %w", err)
-		}
-		return horse.Star(n, opt)
-	case "ring":
-		parts := strings.Split(rest, ":")
-		n, err := strconv.Atoi(parts[0])
-		if err != nil {
-			return nil, fmt.Errorf("ring needs a size: %w", err)
-		}
-		chord := 0
-		if len(parts) > 1 {
-			chord, _ = strconv.Atoi(parts[1])
-		}
-		return horse.WANRing(n, chord, opt)
-	case "two-routers":
-		return horse.TwoRouters(opt)
-	default:
-		return nil, fmt.Errorf("unknown topology kind %q", kind)
 	}
 }

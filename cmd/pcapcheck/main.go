@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,22 +24,36 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code exposed for testing:
+// 0 = every gate passed, 1 = validation failure, 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pcapcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wantUpdate  = flag.Bool("want-update", false, "fail unless at least one BGP UPDATE announcing a prefix decodes")
-		wantFlowMod = flag.Bool("want-flowmod", false, "fail unless at least one OpenFlow FLOW_MOD decodes")
-		quiet       = flag.Bool("q", false, "suppress the summary; print only errors")
+		wantUpdate  = fs.Bool("want-update", false, "fail unless at least one BGP UPDATE announcing a prefix decodes")
+		wantFlowMod = fs.Bool("want-flowmod", false, "fail unless at least one OpenFlow FLOW_MOD decodes")
+		quiet       = fs.Bool("q", false, "suppress the summary; print only errors")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pcapcheck [-want-update] [-want-flowmod] FILE_OR_DIR...")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: pcapcheck [-want-update] [-want-flowmod] FILE_OR_DIR...")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pcapcheck:", err)
+		return 1
 	}
 
 	var paths []string
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		info, err := os.Stat(arg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if !info.IsDir() {
 			paths = append(paths, arg)
@@ -51,41 +66,37 @@ func main() {
 			return err
 		})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if len(paths) == 0 {
-		fatal(fmt.Errorf("no .pcapng files under %s", strings.Join(flag.Args(), " ")))
+		return fail(fmt.Errorf("no .pcapng files under %s", strings.Join(fs.Args(), " ")))
 	}
 
 	var traces []*capture.Trace
 	for _, p := range paths {
 		tr, err := capture.ReadFile(p)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		traces = append(traces, tr)
 	}
 	sum, err := capture.Summarize(traces...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if !*quiet {
-		fmt.Printf("%d traces, %s", len(traces), sum)
+		fmt.Fprintf(stdout, "%d traces, %s", len(traces), sum)
 	}
 	if sum.Messages == 0 {
-		fatal(fmt.Errorf("no control plane messages decoded from %d traces", len(traces)))
+		return fail(fmt.Errorf("no control plane messages decoded from %d traces", len(traces)))
 	}
 	if *wantUpdate && sum.Updates == 0 {
-		fatal(fmt.Errorf("no BGP UPDATE decoded (traces hold %d messages)", sum.Messages))
+		return fail(fmt.Errorf("no BGP UPDATE decoded (traces hold %d messages)", sum.Messages))
 	}
 	if *wantFlowMod && sum.FlowMods == 0 {
-		fatal(fmt.Errorf("no OpenFlow FLOW_MOD decoded (traces hold %d messages)", sum.Messages))
+		return fail(fmt.Errorf("no OpenFlow FLOW_MOD decoded (traces hold %d messages)", sum.Messages))
 	}
-	fmt.Printf("ok: %d files, %d sessions, %d messages validated\n", len(traces), len(sum.Sessions), sum.Messages)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcapcheck:", err)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "ok: %d files, %d sessions, %d messages validated\n", len(traces), len(sum.Sessions), sum.Messages)
+	return 0
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// bgpTrace records one two-routers BGP experiment with capture enabled
+// and returns the pcap directory. The session holds BGP UPDATEs and no
+// OpenFlow messages, which is exactly what the gate-flag tests need.
+// The experiment runs once and is shared by every test.
+var bgpTrace = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "pcapcheck-test-*")
+	if err != nil {
+		return "", err
+	}
+	r := spec.Run{
+		Topo:     "two-routers",
+		Scenario: "bgp",
+		Traffic:  "stride:1",
+		Dur:      spec.Duration(10 * time.Second),
+		Pacing:   40, // compress the FTI windows: ~250ms of wall time
+	}
+	r.CaptureDir = dir
+	if _, err := r.Execute(); err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	return dir, nil
+})
+
+func traceDir(t *testing.T) string {
+	t.Helper()
+	dir, err := bgpTrace()
+	if err != nil {
+		t.Fatalf("recording the shared BGP trace: %v", err)
+	}
+	return dir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if dir, err := bgpTrace(); err == nil {
+		os.RemoveAll(dir)
+	}
+	os.Exit(code)
+}
+
+// TestRunValidatesBGPTrace pins exit 0 on a healthy trace, with and
+// without the -want-update gate, and the summary output.
+func TestRunValidatesBGPTrace(t *testing.T) {
+	dir := traceDir(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok:") {
+		t.Errorf("stdout = %q, want an ok line", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-want-update", "-q", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-want-update on a BGP trace = %d, stderr: %s", code, stderr.String())
+	}
+	// -q suppresses the summary but not the final ok line.
+	if strings.Contains(stdout.String(), "traces,") {
+		t.Errorf("-q still printed the summary: %q", stdout.String())
+	}
+}
+
+// TestRunWantFlowModFails pins exit 1 when the gate demands OpenFlow
+// messages a BGP-only trace cannot contain.
+func TestRunWantFlowModFails(t *testing.T) {
+	dir := traceDir(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-want-flowmod", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-want-flowmod on a BGP trace = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no OpenFlow FLOW_MOD") {
+		t.Errorf("stderr = %q, want a FLOW_MOD explanation", stderr.String())
+	}
+}
+
+// TestRunSingleFile pins that a file argument works like a directory.
+func TestRunSingleFile(t *testing.T) {
+	dir := traceDir(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("trace dir: %v, %d entries", err, len(entries))
+	}
+	var stdout, stderr bytes.Buffer
+	file := filepath.Join(dir, entries[0].Name())
+	if code := run([]string{"-want-update", file}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%s) = %d, stderr: %s", file, code, stderr.String())
+	}
+}
+
+// TestRunUsageAndErrors pins the exit-code contract for the failure
+// paths: no args (2), bad flag (2), missing path (1), a directory with
+// no traces (1), and a file that is not pcapng (1).
+func TestRunUsageAndErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("run with no args = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("stderr = %q, want usage", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-bogus-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run with a bad flag = %d, want 2", code)
+	}
+
+	stderr.Reset()
+	if code := run([]string{"/no/such/path"}, &stdout, &stderr); code != 1 {
+		t.Errorf("run with a missing path = %d, want 1", code)
+	}
+
+	stderr.Reset()
+	empty := t.TempDir()
+	if code := run([]string{empty}, &stdout, &stderr); code != 1 {
+		t.Errorf("run on an empty dir = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no .pcapng files") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	stderr.Reset()
+	junk := filepath.Join(empty, "junk.pcapng")
+	if err := os.WriteFile(junk, []byte("not a pcapng block"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{junk}, &stdout, &stderr); code != 1 {
+		t.Errorf("run on a corrupt trace = %d, want 1", code)
+	}
+}

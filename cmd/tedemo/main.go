@@ -21,9 +21,17 @@ import (
 	"time"
 
 	horse "repro"
-	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/stats"
 )
+
+// scenarioFor maps the demo's TE names onto the shared spec scenarios:
+// the demo's "bgp" is BGP with ECMP path selection.
+var scenarioFor = map[string]string{
+	"bgp":    "bgp-ecmp",
+	"hedera": "hedera",
+	"ecmp5":  "ecmp5",
+}
 
 func main() {
 	var (
@@ -40,49 +48,32 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := horse.Config{Pacing: *pacing, NaiveSolver: *naive, SolverWorkers: *workers, CaptureDir: *pcapDir}
-	if *fail {
-		// Sample finely enough to resolve the dip: control plane repair
-		// takes milliseconds of (FTI-paced) virtual time.
-		cfg.SampleInterval = 10 * horse.Millisecond
-	}
-	exp := horse.NewExperiment(cfg)
-	var (
-		g   *horse.Topology
-		err error
-	)
-	switch *te {
-	case "bgp":
-		g, err = horse.FatTree(*k, horse.BGP())
-		if err == nil {
-			exp.SetTopology(g)
-			exp.UseBGP(horse.BGPOptions{ECMP: true})
-		}
-	case "hedera":
-		g, err = horse.FatTree(*k, horse.SDN())
-		if err == nil {
-			exp.SetTopology(g)
-			exp.UseSDN(horse.AppHedera(5 * horse.Second))
-		}
-	case "ecmp5":
-		g, err = horse.FatTree(*k, horse.SDN())
-		if err == nil {
-			exp.SetTopology(g)
-			exp.UseSDN(horse.AppECMP5())
-		}
-	default:
+	scenario, ok := scenarioFor[*te]
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown TE approach %q\n", *te)
 		os.Exit(2)
 	}
+	run := spec.Run{
+		Topo:          fmt.Sprintf("fattree:%d", *k),
+		Scenario:      scenario,
+		Traffic:       fmt.Sprintf("permutation:%d", *seed),
+		Dur:           spec.Duration(*dur),
+		Pacing:        *pacing,
+		NaiveSolver:   *naive,
+		SolverWorkers: *workers,
+		CaptureDir:    *pcapDir,
+	}
+	if *fail {
+		// Sample finely enough to resolve the dip: control plane repair
+		// takes milliseconds of (FTI-paced) virtual time.
+		run.SampleInterval = spec.Duration(10 * time.Millisecond)
+	}
+	exp, err := run.Experiment()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := exp.SendPermutation(*seed, 1*horse.Gbps, 0, 0); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	end := core.FromDuration(*dur)
+	end := run.Until()
 	failAt, healAt := end/3, 2*end/3
 	if *fail {
 		// The same victim exists in both the SDN and the BGP fat-tree.

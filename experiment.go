@@ -96,6 +96,14 @@ func (e *Experiment) SetTopology(g *Topology) {
 	e.g = g
 }
 
+// SetLogf installs a debug logger after construction — equivalent to
+// setting Config.Logf. Callers that build experiments through
+// internal/spec (whose Run is JSON-serializable and so carries no
+// function values) use this to attach logging before Run.
+func (e *Experiment) SetLogf(logf func(format string, args ...any)) {
+	e.cfg.Logf = logf
+}
+
 // CaptureTo records the run's control plane as pcapng traces in dir:
 // one file per speaker pair (BGP session or switch-controller
 // connection), every message framed as a synthesized TCP conversation
@@ -337,6 +345,7 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 		fr := FlowResult{
 			Tuple: f.Tuple,
 			Bytes: snap.Bytes,
+			Rate:  snap.Rate,
 			State: snap.State.String(),
 		}
 		if until > 0 {
@@ -437,8 +446,14 @@ type Result struct {
 
 // FlowResult summarizes one flow.
 type FlowResult struct {
-	Tuple   core.FiveTuple
-	Bytes   uint64
+	Tuple core.FiveTuple
+	Bytes uint64
+	// Rate is the flow's final allocated rate — the converged max–min
+	// share, zero for stopped or blackholed flows. Unlike Bytes (which
+	// integrates through the wall-jittery convergence window) the final
+	// rate is a deterministic function of the converged topology and
+	// paths; internal/spec fingerprints it bit-for-bit.
+	Rate    Rate
 	AvgRate Rate
 	State   string
 	// PathLatency is the one-way propagation latency of the flow's

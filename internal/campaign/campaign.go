@@ -1,0 +1,245 @@
+// Package campaign is the experiment campaign engine behind the horsed
+// daemon: it expands a sweep specification into the cross-product of
+// runs (topology × scenario × traffic × seed × solver workers),
+// schedules them on a bounded worker pool with per-run timeout and
+// retry, and persists each run's spec.Outcome as JSON under a campaign
+// directory alongside its pcapng capture artifacts.
+//
+// Because every run executes through internal/spec — the same package
+// cmd/horse parses its flags into — a submitted campaign run is by
+// construction the identical experiment to the equivalent CLI
+// invocation; TestDaemonRunMatchesCLIRun pins that bit-for-bit.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// Spec is a sweep submission: the axes are crossed in the fixed order
+// topos × scenarios × traffics × seeds × solver workers, so run indices
+// are deterministic and a resubmitted spec maps runs to the same
+// indices.
+type Spec struct {
+	// Name labels the campaign (used in its ID slug).
+	Name string `json:"name,omitempty"`
+
+	// Topos and Scenarios are the mandatory axes (spec string forms).
+	Topos     []string `json:"topos"`
+	Scenarios []string `json:"scenarios"`
+
+	// Traffics is the workload axis; empty means the base run's
+	// traffic (or the permutation:42 default).
+	Traffics []string `json:"traffics,omitempty"`
+
+	// Seeds instantiates seedable traffic templates: a traffic spec
+	// like "permutation" (no explicit seed) expands to one run per
+	// seed. Templates with an explicit seed — and unseeded kinds like
+	// stride — appear once regardless.
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// SolverWorkers is the solver worker-count axis; empty means one
+	// instance with the base run's worker count.
+	SolverWorkers []int `json:"solver_workers,omitempty"`
+
+	// Base carries the shared per-run fields (dur, rate, pacing,
+	// dampening, ...). Its Topo/Scenario/Traffic/SolverWorkers fields
+	// are overwritten by the axes.
+	Base spec.Run `json:"base,omitempty"`
+
+	// Timeout bounds each run's wall time (default 5m). A timed-out
+	// run is recorded as failed; the pool keeps draining.
+	Timeout spec.Duration `json:"timeout,omitempty"`
+	// Retries is how many extra attempts a failed run gets.
+	Retries int `json:"retries,omitempty"`
+	// Capture records each run's control plane as pcapng traces under
+	// the run's artifact directory.
+	Capture bool `json:"capture,omitempty"`
+}
+
+// DefaultTimeout bounds a run's wall time when the spec does not.
+const DefaultTimeout = 5 * time.Minute
+
+// Expand crosses the axes into the ordered run list. Every run is
+// validated; a malformed axis value rejects the whole campaign with an
+// error naming it, so nothing is scheduled from a bad sweep.
+func (s Spec) Expand() ([]spec.Run, error) {
+	if len(s.Topos) == 0 {
+		return nil, fmt.Errorf("campaign: no topologies (want e.g. [\"fattree:4\"])")
+	}
+	if len(s.Scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: no scenarios (want e.g. [\"ecmp5\"])")
+	}
+	traffics := s.Traffics
+	if len(traffics) == 0 {
+		t := s.Base.Traffic
+		if t == "" {
+			t = spec.DefaultTraffic
+		}
+		traffics = []string{t}
+	}
+	// Instantiate the traffic × seed sub-product once, up front.
+	var workloads []string
+	for _, t := range traffics {
+		ts, err := spec.ParseTraffic(t)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: traffic %q: %w", t, err)
+		}
+		if len(s.Seeds) > 0 && ts.Seeded() && !ts.ExplicitSeed {
+			for _, seed := range s.Seeds {
+				workloads = append(workloads, ts.WithSeed(seed).String())
+			}
+		} else {
+			workloads = append(workloads, ts.String())
+		}
+	}
+	workerCounts := s.SolverWorkers
+	if len(workerCounts) == 0 {
+		workerCounts = []int{s.Base.SolverWorkers}
+	}
+
+	var runs []spec.Run
+	for _, topo := range s.Topos {
+		for _, scenario := range s.Scenarios {
+			for _, workload := range workloads {
+				for _, workers := range workerCounts {
+					r := s.Base
+					r.Topo = topo
+					r.Scenario = scenario
+					r.Traffic = workload
+					r.SolverWorkers = workers
+					r = r.WithDefaults()
+					if err := r.Validate(); err != nil {
+						return nil, fmt.Errorf("campaign: run %d (%s): %w", len(runs), r, err)
+					}
+					runs = append(runs, r)
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// State is a campaign or run lifecycle state.
+type State string
+
+// The lifecycle states. A campaign is Done only when every run
+// succeeded; Failed when it drained fully but some runs failed;
+// Canceled when a drain stopped it before every run was attempted.
+const (
+	Pending  State = "pending"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// RunStatus is the observable state of one expanded run.
+type RunStatus struct {
+	Index    int      `json:"index"`
+	Spec     spec.Run `json:"spec"`
+	State    State    `json:"state"`
+	Attempts int      `json:"attempts,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Campaign is one submitted sweep and its progress. All mutation goes
+// through the runner; readers take Status snapshots.
+type Campaign struct {
+	ID        string
+	Spec      Spec
+	Submitted time.Time
+
+	mu    sync.Mutex
+	state State
+	runs  []RunStatus
+	done  chan struct{}
+}
+
+// NewCampaign expands the spec into a pending campaign.
+func NewCampaign(id string, s Spec) (*Campaign, error) {
+	runs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		ID:        id,
+		Spec:      s,
+		Submitted: time.Now(),
+		state:     Pending,
+		done:      make(chan struct{}),
+	}
+	for i, r := range runs {
+		c.runs = append(c.runs, RunStatus{Index: i, Spec: r, State: Pending})
+	}
+	return c, nil
+}
+
+// Done is closed when the campaign has finished (drained, failed or
+// canceled).
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Status is a JSON-ready snapshot of campaign progress.
+type Status struct {
+	ID        string      `json:"id"`
+	Name      string      `json:"name,omitempty"`
+	State     State       `json:"state"`
+	Submitted time.Time   `json:"submitted"`
+	Total     int         `json:"total"`
+	Succeeded int         `json:"succeeded"`
+	Failed    int         `json:"failed"`
+	Canceled  int         `json:"canceled"`
+	Runs      []RunStatus `json:"runs"`
+}
+
+// Status snapshots the campaign.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID:        c.ID,
+		Name:      c.Spec.Name,
+		State:     c.state,
+		Submitted: c.Submitted,
+		Total:     len(c.runs),
+		Runs:      append([]RunStatus(nil), c.runs...),
+	}
+	for _, r := range c.runs {
+		switch r.State {
+		case Done:
+			st.Succeeded++
+		case Failed:
+			st.Failed++
+		case Canceled:
+			st.Canceled++
+		}
+	}
+	return st
+}
+
+// Run returns the status of run n.
+func (c *Campaign) Run(n int) (RunStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 || n >= len(c.runs) {
+		return RunStatus{}, false
+	}
+	return c.runs[n], true
+}
+
+// setRun mutates run n under the lock.
+func (c *Campaign) setRun(n int, f func(*RunStatus)) {
+	c.mu.Lock()
+	f(&c.runs[n])
+	c.mu.Unlock()
+}
+
+// setState transitions the campaign state.
+func (c *Campaign) setState(s State) {
+	c.mu.Lock()
+	c.state = s
+	c.mu.Unlock()
+}

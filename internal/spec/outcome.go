@@ -1,0 +1,132 @@
+package spec
+
+import (
+	"math"
+
+	horse "repro"
+	"repro/internal/core"
+)
+
+// Outcome is the persisted, JSON-serializable result of executing one
+// Run. It splits the horse.Result into a deterministic Fingerprint —
+// the contract the service determinism tests compare bit-for-bit — and
+// the wall-clock-sensitive WallStats.
+type Outcome struct {
+	Spec        Run         `json:"spec"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Wall        WallStats   `json:"wall"`
+	// CaptureFiles lists the pcapng traces the run wrote, relative to
+	// nothing in particular (they are absolute paths on the machine
+	// that ran the experiment; the campaign API serves them as run
+	// artifacts).
+	CaptureFiles []string `json:"capture_files,omitempty"`
+}
+
+// Fingerprint is the deterministic projection of a horse.Result: the
+// converged steady state, which depends only on the spec — same seed,
+// any solver worker count, any wall-clock jitter — once the control
+// plane has settled. Two executions of the same spec must produce
+// bit-identical fingerprints (rates are compared via Float64bits).
+// Quantities accumulated through the convergence window (delivered
+// bytes, event counts, solve counts) are wall-timing-sensitive and live
+// in WallStats instead.
+type Fingerprint struct {
+	Hosts    int `json:"hosts"`
+	Switches int `json:"switches"`
+	Routers  int `json:"routers"`
+
+	// SteadyRxBits is math.Float64bits of the steady aggregate receive
+	// rate (the mean over the second half of the run, when every sample
+	// is the converged allocation). SteadyRx is the same value
+	// human-readable.
+	SteadyRxBits uint64 `json:"steady_rx_bits"`
+	SteadyRx     string `json:"steady_rx"`
+
+	// MeanPathLatencyNs is the rate-weighted mean one-way path latency
+	// of the final allocation (0 on delay-free topologies).
+	MeanPathLatencyNs int64 `json:"mean_path_latency_ns,omitempty"`
+
+	// Flows is the per-flow converged state, in scheduling order.
+	Flows []FlowPrint `json:"flows"`
+}
+
+// FlowPrint is one flow's converged state.
+type FlowPrint struct {
+	Tuple         string `json:"tuple"`
+	State         string `json:"state"`
+	RateBits      uint64 `json:"rate_bits"`
+	Rate          string `json:"rate"`
+	PathLatencyNs int64  `json:"path_latency_ns,omitempty"`
+}
+
+// WallStats records the run's wall-clock cost and activity counters.
+// None of these are deterministic across executions: control plane
+// goroutines race the FTI clock, so byte counts and solve counts shift
+// with scheduling jitter.
+type WallStats struct {
+	Setup       Duration `json:"setup"`
+	Exec        Duration `json:"exec"`
+	VirtualEnd  Duration `json:"virtual_end"`
+	Transitions int      `json:"transitions"`
+
+	Solves          int    `json:"solves"`
+	SolverWorkers   int    `json:"solver_workers"`
+	ControlBytes    uint64 `json:"control_bytes"`
+	RouteInstalls   uint64 `json:"route_installs,omitempty"`
+	RouteWithdraws  uint64 `json:"route_withdraws,omitempty"`
+	FlowModsApplied uint64 `json:"flow_mods_applied,omitempty"`
+	PacketIns       uint64 `json:"packet_ins,omitempty"`
+	Injections      uint64 `json:"injections,omitempty"`
+	Drops           uint64 `json:"drops,omitempty"`
+	RxBytes         uint64 `json:"rx_bytes"`
+}
+
+// NewOutcome projects a finished run's Result into its Outcome.
+func NewOutcome(r Run, res *horse.Result) *Outcome {
+	steady := res.SteadyAggregateRx()
+	fp := Fingerprint{
+		Hosts:             res.Topology.Hosts,
+		Switches:          res.Topology.Switches,
+		Routers:           res.Topology.Routers,
+		SteadyRxBits:      math.Float64bits(float64(steady)),
+		SteadyRx:          steady.String(),
+		MeanPathLatencyNs: int64(res.MeanPathLatency),
+	}
+	var rxBytes uint64
+	for _, f := range res.Flows {
+		fp.Flows = append(fp.Flows, FlowPrint{
+			Tuple:         f.Tuple.String(),
+			State:         f.State,
+			RateBits:      math.Float64bits(float64(f.Rate)),
+			Rate:          f.Rate.String(),
+			PathLatencyNs: int64(f.PathLatency),
+		})
+		rxBytes += f.Bytes
+	}
+	return &Outcome{
+		Spec:        r,
+		Fingerprint: fp,
+		Wall: WallStats{
+			Setup:           Duration(res.SetupWall),
+			Exec:            Duration(res.Sim.WallTotal),
+			VirtualEnd:      Duration(res.Sim.VirtualEnd.Duration()),
+			Transitions:     res.Sim.Transitions,
+			Solves:          res.Solves,
+			SolverWorkers:   res.SolverWorkers,
+			ControlBytes:    res.ControlBytes,
+			RouteInstalls:   res.RouteInstalls,
+			RouteWithdraws:  res.RouteWithdraws,
+			FlowModsApplied: res.FlowModsApplied,
+			PacketIns:       res.PacketIns,
+			Injections:      res.Injections,
+			Drops:           res.Drops,
+			RxBytes:         rxBytes,
+		},
+		CaptureFiles: res.CaptureFiles,
+	}
+}
+
+// SteadyRxRate recovers the steady aggregate rate from the bit pattern.
+func (f Fingerprint) SteadyRxRate() core.Rate {
+	return core.Rate(math.Float64frombits(f.SteadyRxBits))
+}

@@ -1,0 +1,74 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	horse "repro"
+)
+
+// ScenarioSpec is a parsed -scenario argument.
+type ScenarioSpec struct {
+	Name string
+	bgp  bool
+}
+
+// scenarioAppliers maps each scenario name to the experiment wiring the
+// CLIs have always performed for it. Hedera's 5s poll interval is the
+// paper value, shared by every surface.
+var scenarioAppliers = map[string]func(exp *horse.Experiment, damp *horse.Dampening){
+	"bgp": func(exp *horse.Experiment, damp *horse.Dampening) {
+		exp.UseBGP(horse.BGPOptions{Dampening: damp})
+	},
+	"bgp-ecmp": func(exp *horse.Experiment, damp *horse.Dampening) {
+		exp.UseBGP(horse.BGPOptions{ECMP: true, Dampening: damp})
+	},
+	"bgp-rr": func(exp *horse.Experiment, damp *horse.Dampening) {
+		// The WAN scenario: iBGP route reflection with latency-delayed
+		// control plane delivery.
+		exp.UseBGP(horse.BGPOptions{
+			RouteReflection: true,
+			LinkLatency:     true,
+			Dampening:       damp,
+		})
+	},
+	"ecmp5": func(exp *horse.Experiment, _ *horse.Dampening) {
+		exp.UseSDN(horse.AppECMP5())
+	},
+	"hedera": func(exp *horse.Experiment, _ *horse.Dampening) {
+		exp.UseSDN(horse.AppHedera(5 * horse.Second))
+	},
+	"reactive": func(exp *horse.Experiment, _ *horse.Dampening) {
+		exp.UseSDN(horse.AppReactive(false))
+	},
+}
+
+// ScenarioNames lists the accepted -scenario values.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarioAppliers))
+	for n := range scenarioAppliers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseScenario parses a -scenario name.
+func ParseScenario(s string) (ScenarioSpec, error) {
+	if _, ok := scenarioAppliers[s]; !ok {
+		return ScenarioSpec{}, fmt.Errorf("spec: unknown scenario %q (want one of %s)",
+			s, strings.Join(ScenarioNames(), ", "))
+	}
+	return ScenarioSpec{Name: s, bgp: strings.HasPrefix(s, "bgp")}, nil
+}
+
+// BGP reports whether the scenario runs a BGP control plane (and so
+// needs router forwarding nodes).
+func (sc ScenarioSpec) BGP() bool { return sc.bgp }
+
+// Apply wires the scenario's control plane into the experiment. damp is
+// only consulted by the BGP scenarios.
+func (sc ScenarioSpec) Apply(exp *horse.Experiment, damp *horse.Dampening) {
+	scenarioAppliers[sc.Name](exp, damp)
+}

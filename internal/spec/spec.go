@@ -1,0 +1,240 @@
+// Package spec is the shared experiment-specification layer: the one
+// place that parses the -topo/-scenario/-traffic string forms and
+// expands a fully-specified Run into a configured horse.Experiment.
+// cmd/horse, cmd/tedemo, cmd/fig3 and the horsed campaign daemon all
+// consume this package, so a run submitted over the management API is
+// by construction the same experiment as the equivalent CLI
+// invocation — the determinism tests in internal/campaign pin that.
+//
+// A Run is JSON-serializable (it is the unit the campaign API submits)
+// and durations marshal as Go duration strings ("20s", "150ms").
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	horse "repro"
+	"repro/internal/core"
+)
+
+// Duration is a time.Duration that marshals to JSON as a Go duration
+// string ("20s") and unmarshals from either a string or a number of
+// nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch v := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("spec: bad duration %q: %w", v, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	case float64:
+		*d = Duration(time.Duration(v))
+		return nil
+	default:
+		return fmt.Errorf("spec: duration must be a string like \"20s\" or nanoseconds, got %T", v)
+	}
+}
+
+// Duration converts back to the standard type.
+func (d Duration) Duration() time.Duration { return time.Duration(d) }
+
+// Run is one fully-specified experiment: the same knobs the CLIs accept
+// as flags, in the canonical string forms (-topo/-scenario/-traffic).
+// The zero value of every optional field means "the CLI default".
+type Run struct {
+	// Topo is the topology spec: fattree:K, linear:N, star:N,
+	// ring:N[:CHORD], two-routers, wan:NAME, wan:mesh:SEED[:POPS].
+	Topo string `json:"topo"`
+	// Scenario is the control plane: bgp, bgp-ecmp, bgp-rr, ecmp5,
+	// hedera, reactive.
+	Scenario string `json:"scenario"`
+	// Traffic is the workload: permutation[:SEED], stride[:N], none.
+	// Empty means permutation:42 (the CLI default).
+	Traffic string `json:"traffic,omitempty"`
+	// RateGbps is the per-flow rate in Gbps (default 1.0).
+	RateGbps float64 `json:"rate_gbps,omitempty"`
+	// Dur is the virtual experiment duration (default 20s).
+	Dur Duration `json:"dur,omitempty"`
+	// Pacing is the FTI virtual:wall ratio (default 1.0).
+	Pacing float64 `json:"pacing,omitempty"`
+	// SampleInterval overrides the aggregate-rate sampling period.
+	SampleInterval Duration `json:"sample_interval,omitempty"`
+	// NaiveSolver selects the from-scratch rate solver (ablation).
+	NaiveSolver bool `json:"naive_solver,omitempty"`
+	// SolverWorkers is the rate solver worker count (0 = GOMAXPROCS).
+	SolverWorkers int `json:"solver_workers,omitempty"`
+	// DelayScale scales WAN geographic link delays; nil means 1.0 and
+	// an explicit 0 is the zero-latency ablation.
+	DelayScale *float64 `json:"delay_scale,omitempty"`
+	// Dampening enables BGP route flap dampening with defaults.
+	Dampening bool `json:"dampening,omitempty"`
+	// CaptureDir, when non-empty, records the control plane as pcapng
+	// traces there (the campaign runner points it at the run's
+	// artifact directory).
+	CaptureDir string `json:"capture_dir,omitempty"`
+}
+
+// Defaults for the optional Run fields, shared with the CLI flag
+// definitions so both surfaces stay in lockstep.
+const (
+	DefaultTraffic = "permutation:42"
+	DefaultRate    = 1.0
+	DefaultDur     = Duration(20 * time.Second)
+	DefaultPacing  = 1.0
+)
+
+// WithDefaults returns the run with every zero-valued optional field
+// replaced by its CLI default.
+func (r Run) WithDefaults() Run {
+	if r.Traffic == "" {
+		r.Traffic = DefaultTraffic
+	}
+	if r.RateGbps == 0 {
+		r.RateGbps = DefaultRate
+	}
+	if r.Dur == 0 {
+		r.Dur = DefaultDur
+	}
+	if r.Pacing == 0 {
+		r.Pacing = DefaultPacing
+	}
+	if r.DelayScale == nil {
+		one := 1.0
+		r.DelayScale = &one
+	}
+	return r
+}
+
+// Validate parses every component of the run without building the
+// topology, so a malformed sweep is rejected at submission time with an
+// error naming the offending part.
+func (r Run) Validate() error {
+	r = r.WithDefaults()
+	ts, err := ParseTopo(r.Topo)
+	if err != nil {
+		return err
+	}
+	sc, err := ParseScenario(r.Scenario)
+	if err != nil {
+		return err
+	}
+	if _, err := ParseTraffic(r.Traffic); err != nil {
+		return err
+	}
+	if ts.WAN() && !sc.BGP() {
+		return fmt.Errorf("spec: topology %q is a BGP router mesh; it needs a bgp scenario (use bgp-rr), not %q", r.Topo, r.Scenario)
+	}
+	if r.RateGbps < 0 {
+		return fmt.Errorf("spec: negative rate %vGbps", r.RateGbps)
+	}
+	if r.Dur < 0 {
+		return fmt.Errorf("spec: negative duration %v", r.Dur.Duration())
+	}
+	if r.Pacing < 0 {
+		return fmt.Errorf("spec: negative pacing %v", r.Pacing)
+	}
+	if r.SolverWorkers < 0 {
+		return fmt.Errorf("spec: negative solver workers %d", r.SolverWorkers)
+	}
+	if ds := r.DelayScale; ds != nil && *ds < 0 {
+		return fmt.Errorf("spec: negative delay scale %v", *ds)
+	}
+	return nil
+}
+
+// Until is the virtual end time of the run.
+func (r Run) Until() core.Time {
+	r = r.WithDefaults()
+	return core.FromDuration(r.Dur.Duration())
+}
+
+// Experiment builds the configured horse.Experiment for the run:
+// topology constructed, control plane selected, workload scheduled.
+// The caller may script injections before calling Run(r.Until()) — this
+// is exactly the code path the CLIs execute.
+func (r Run) Experiment() (*horse.Experiment, error) {
+	r = r.WithDefaults()
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	ts, err := ParseTopo(r.Topo)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseScenario(r.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := ParseTraffic(r.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ts.Build(sc.BGP(), *r.DelayScale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := horse.Config{
+		Pacing:        r.Pacing,
+		NaiveSolver:   r.NaiveSolver,
+		SolverWorkers: r.SolverWorkers,
+		CaptureDir:    r.CaptureDir,
+	}
+	if r.SampleInterval > 0 {
+		cfg.SampleInterval = core.FromDuration(r.SampleInterval.Duration())
+	}
+	exp := horse.NewExperiment(cfg)
+	exp.SetTopology(g)
+	var damp *horse.Dampening
+	if r.Dampening {
+		damp = &horse.Dampening{}
+	}
+	sc.Apply(exp, damp)
+	rate := core.Rate(r.RateGbps) * core.Gbps
+	if p := tr.Pattern(rate); p != nil {
+		if err := exp.AddTraffic(p); err != nil {
+			return nil, err
+		}
+	}
+	return exp, nil
+}
+
+// Execute builds and runs the experiment, returning the serializable
+// Outcome. This is the campaign runner's whole per-run code path.
+func (r Run) Execute() (*Outcome, error) {
+	r = r.WithDefaults()
+	exp, err := r.Experiment()
+	if err != nil {
+		return nil, err
+	}
+	res, err := exp.Run(r.Until())
+	if err != nil {
+		return nil, err
+	}
+	return NewOutcome(r, res), nil
+}
+
+// String is a compact one-line label for logs and progress output.
+func (r Run) String() string {
+	r = r.WithDefaults()
+	s := fmt.Sprintf("%s/%s/%s", r.Topo, r.Scenario, r.Traffic)
+	if r.SolverWorkers != 0 {
+		s += fmt.Sprintf("/w%d", r.SolverWorkers)
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	horse "repro"
+	"repro/internal/topo"
+)
+
+// TopoKind names a topology family.
+type TopoKind string
+
+// The accepted topology kinds.
+const (
+	TopoFatTree    TopoKind = "fattree"
+	TopoLinear     TopoKind = "linear"
+	TopoStar       TopoKind = "star"
+	TopoRing       TopoKind = "ring"
+	TopoTwoRouters TopoKind = "two-routers"
+	TopoWAN        TopoKind = "wan"
+	TopoWANMesh    TopoKind = "wan-mesh"
+)
+
+// TopoSpec is a parsed -topo argument.
+type TopoSpec struct {
+	Kind TopoKind
+	// K is the fat-tree arity, or the node count of linear/star/ring.
+	K int
+	// Chord is the ring chord spacing (0 = plain ring).
+	Chord int
+	// Name is the embedded WAN backbone name (abilene, tier1).
+	Name string
+	// Seed and PoPs parameterize wan:mesh.
+	Seed int64
+	PoPs int
+}
+
+// topoUsage is the accepted grammar, quoted by parse errors.
+const topoUsage = "fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME, wan:mesh:SEED[:POPS]"
+
+// ParseTopo parses a -topo spec string. It validates shape and
+// parameters (including WAN backbone names) without building the graph,
+// so it is cheap enough to run at campaign submission time.
+func ParseTopo(s string) (TopoSpec, error) {
+	if s == "" {
+		return TopoSpec{}, fmt.Errorf("spec: empty topology (want %s)", topoUsage)
+	}
+	kind, rest, hasArg := strings.Cut(s, ":")
+	intArg := func(what, arg string) (int, error) {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("spec: %s needs a positive %s, got %q in %q", kind, what, arg, s)
+		}
+		return n, nil
+	}
+	switch TopoKind(kind) {
+	case TopoFatTree:
+		k, err := intArg("arity (fattree:K)", rest)
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		return TopoSpec{Kind: TopoFatTree, K: k}, nil
+	case TopoLinear:
+		n, err := intArg("length (linear:N)", rest)
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		return TopoSpec{Kind: TopoLinear, K: n}, nil
+	case TopoStar:
+		n, err := intArg("size (star:N)", rest)
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		return TopoSpec{Kind: TopoStar, K: n}, nil
+	case TopoRing:
+		parts := strings.Split(rest, ":")
+		if rest == "" || len(parts) > 2 {
+			return TopoSpec{}, fmt.Errorf("spec: ring wants ring:N[:CHORD], got %q", s)
+		}
+		n, err := intArg("size (ring:N)", parts[0])
+		if err != nil {
+			return TopoSpec{}, err
+		}
+		ts := TopoSpec{Kind: TopoRing, K: n}
+		if len(parts) == 2 {
+			chord, err := strconv.Atoi(parts[1])
+			if err != nil || chord < 0 {
+				return TopoSpec{}, fmt.Errorf("spec: ring chord must be a non-negative integer, got %q in %q", parts[1], s)
+			}
+			ts.Chord = chord
+		}
+		return ts, nil
+	case TopoTwoRouters:
+		if hasArg {
+			return TopoSpec{}, fmt.Errorf("spec: two-routers takes no arguments, got %q", s)
+		}
+		return TopoSpec{Kind: TopoTwoRouters}, nil
+	case TopoWAN:
+		name, arg, hasMeshArg := strings.Cut(rest, ":")
+		if name == "mesh" {
+			if !hasMeshArg {
+				return TopoSpec{}, fmt.Errorf("spec: wan:mesh needs a seed (wan:mesh:SEED[:POPS]), got %q", s)
+			}
+			parts := strings.Split(arg, ":")
+			if len(parts) > 2 {
+				return TopoSpec{}, fmt.Errorf("spec: wan:mesh wants wan:mesh:SEED[:POPS], got %q", s)
+			}
+			seed, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return TopoSpec{}, fmt.Errorf("spec: wan:mesh seed must be an integer, got %q in %q", parts[0], s)
+			}
+			ts := TopoSpec{Kind: TopoWANMesh, Seed: seed, PoPs: 16}
+			if len(parts) == 2 {
+				pops, err := strconv.Atoi(parts[1])
+				if err != nil || pops <= 0 {
+					return TopoSpec{}, fmt.Errorf("spec: wan:mesh PoP count must be a positive integer, got %q in %q", parts[1], s)
+				}
+				ts.PoPs = pops
+			}
+			return ts, nil
+		}
+		for _, known := range topo.WANNames() {
+			if name == known {
+				return TopoSpec{Kind: TopoWAN, Name: name}, nil
+			}
+		}
+		return TopoSpec{}, fmt.Errorf("spec: unknown WAN backbone %q (have %v, or wan:mesh:SEED[:POPS])", name, topo.WANNames())
+	default:
+		return TopoSpec{}, fmt.Errorf("spec: unknown topology kind %q (want %s)", kind, topoUsage)
+	}
+}
+
+// WAN reports whether the topology is a WAN router mesh (which requires
+// a BGP scenario).
+func (ts TopoSpec) WAN() bool { return ts.Kind == TopoWAN || ts.Kind == TopoWANMesh }
+
+// Build constructs the topology graph. routers makes the forwarding
+// nodes BGP routers (WAN kinds are always routers); delayScale scales
+// WAN geographic delays, with 0 the zero-latency ablation.
+func (ts TopoSpec) Build(routers bool, delayScale float64) (*horse.Topology, error) {
+	opt := horse.SDN()
+	if routers {
+		opt = horse.BGP()
+	}
+	switch ts.Kind {
+	case TopoFatTree:
+		return horse.FatTree(ts.K, opt)
+	case TopoLinear:
+		return horse.Linear(ts.K, opt)
+	case TopoStar:
+		return horse.Star(ts.K, opt)
+	case TopoRing:
+		return horse.WANRing(ts.K, ts.Chord, opt)
+	case TopoTwoRouters:
+		return horse.TwoRouters(opt)
+	case TopoWAN:
+		return horse.WAN(ts.Name, horse.DelayScale(delayScale))
+	case TopoWANMesh:
+		return horse.WANMesh(ts.PoPs, ts.Seed, horse.DelayScale(delayScale))
+	default:
+		return nil, fmt.Errorf("spec: unknown topology kind %q", ts.Kind)
+	}
+}

@@ -1,0 +1,97 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// TrafficSpec is a parsed -traffic argument.
+type TrafficSpec struct {
+	// Kind is "permutation", "stride" or "none".
+	Kind string
+	// Seed is the permutation seed (default 42).
+	Seed int64
+	// ExplicitSeed records whether the spec named its seed; the
+	// campaign seed axis only instantiates specs that did not.
+	ExplicitSeed bool
+	// N is the stride distance (default 1).
+	N int
+}
+
+// trafficUsage is the accepted grammar, quoted by parse errors.
+const trafficUsage = "permutation[:SEED], stride[:N], none"
+
+// ParseTraffic parses a -traffic spec string.
+func ParseTraffic(s string) (TrafficSpec, error) {
+	kind, arg, hasArg := strings.Cut(s, ":")
+	switch kind {
+	case "none":
+		if hasArg {
+			return TrafficSpec{}, fmt.Errorf("spec: traffic \"none\" takes no arguments, got %q", s)
+		}
+		return TrafficSpec{Kind: "none"}, nil
+	case "permutation":
+		ts := TrafficSpec{Kind: "permutation", Seed: 42}
+		if hasArg {
+			seed, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return TrafficSpec{}, fmt.Errorf("spec: permutation seed must be an integer, got %q in %q", arg, s)
+			}
+			ts.Seed = seed
+			ts.ExplicitSeed = true
+		}
+		return ts, nil
+	case "stride":
+		ts := TrafficSpec{Kind: "stride", N: 1}
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return TrafficSpec{}, fmt.Errorf("spec: stride distance must be a positive integer, got %q in %q", arg, s)
+			}
+			ts.N = n
+		}
+		return ts, nil
+	default:
+		return TrafficSpec{}, fmt.Errorf("spec: unknown traffic %q (want %s)", s, trafficUsage)
+	}
+}
+
+// Seeded reports whether the traffic kind is parameterized by a seed.
+func (ts TrafficSpec) Seeded() bool { return ts.Kind == "permutation" }
+
+// WithSeed returns the spec with its seed replaced — the campaign seed
+// axis instantiating a template like "permutation".
+func (ts TrafficSpec) WithSeed(seed int64) TrafficSpec {
+	ts.Seed = seed
+	ts.ExplicitSeed = true
+	return ts
+}
+
+// String reconstructs the canonical spec string.
+func (ts TrafficSpec) String() string {
+	switch ts.Kind {
+	case "permutation":
+		return fmt.Sprintf("permutation:%d", ts.Seed)
+	case "stride":
+		return fmt.Sprintf("stride:%d", ts.N)
+	default:
+		return ts.Kind
+	}
+}
+
+// Pattern returns the workload pattern at the given per-flow rate, or
+// nil for "none".
+func (ts TrafficSpec) Pattern(rate core.Rate) traffic.Pattern {
+	switch ts.Kind {
+	case "permutation":
+		return traffic.Permutation(ts.Seed, rate, 0, 0)
+	case "stride":
+		return traffic.Stride(ts.N, rate, 0, 0)
+	default:
+		return nil
+	}
+}
