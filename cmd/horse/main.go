@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME (abilene, tier1), wan:mesh:SEED[:POPS]")
+		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME (abilene, tier1), wan:mesh:SEED[:POPS], wan:multi:SEED[:ASES[:POPS[:PREFIXES]]]")
 		scenario    = flag.String("scenario", "ecmp5", "control plane: bgp, bgp-ecmp, bgp-rr, ecmp5, hedera, reactive")
 		trafficSpec = flag.String("traffic", spec.DefaultTraffic, "workload: permutation:SEED, stride:N, none")
 		rate        = flag.Float64("rate", spec.DefaultRate, "per-flow rate in Gbps")
@@ -34,22 +34,24 @@ func main() {
 		workers     = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		delayScale  = flag.Float64("delay-scale", 1.0, "scale WAN geographic link delays (0 = zero-latency ablation)")
 		dampening   = flag.Bool("dampening", false, "enable BGP route flap dampening")
+		advDelay    = flag.Duration("advertise-delay", 0, "BGP MRAI-style batching window (0 = speaker default 2ms)")
 		pcapDir     = flag.String("pcap", "", "record control plane traffic as pcapng traces in DIR (one file per speaker pair; open them in Wireshark)")
 	)
 	flag.Parse()
 
 	run := spec.Run{
-		Topo:          *topoSpec,
-		Scenario:      *scenario,
-		Traffic:       *trafficSpec,
-		RateGbps:      *rate,
-		Dur:           spec.Duration(*dur),
-		Pacing:        *pacing,
-		NaiveSolver:   *naive,
-		SolverWorkers: *workers,
-		DelayScale:    delayScale,
-		Dampening:     *dampening,
-		CaptureDir:    *pcapDir,
+		Topo:           *topoSpec,
+		Scenario:       *scenario,
+		Traffic:        *trafficSpec,
+		RateGbps:       *rate,
+		Dur:            spec.Duration(*dur),
+		Pacing:         *pacing,
+		NaiveSolver:    *naive,
+		SolverWorkers:  *workers,
+		DelayScale:     delayScale,
+		Dampening:      *dampening,
+		AdvertiseDelay: spec.Duration(*advDelay),
+		CaptureDir:     *pcapDir,
 	}
 	// Parse errors are usage errors (exit 2); runtime failures exit 1.
 	ts, err := spec.ParseTopo(run.Topo)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -140,5 +142,36 @@ func TestRunUsageAndErrors(t *testing.T) {
 	}
 	if code := run([]string{junk}, &stdout, &stderr); code != 1 {
 		t.Errorf("run on a corrupt trace = %d, want 1", code)
+	}
+}
+
+// TestRunValidatesPackedWANTrace replays a multi-AS full-table run:
+// the capture holds packed UPDATEs (many NLRIs per message), and
+// pcapcheck must fully re-decode them, pass the -want-update gate, and
+// report the storm volume in the summary.
+func TestRunValidatesPackedWANTrace(t *testing.T) {
+	dir := t.TempDir()
+	r := spec.Run{
+		Topo:           "wan:multi:7:2:3:120",
+		Scenario:       "bgp-rr",
+		Traffic:        "none",
+		Dur:            spec.Duration(2 * time.Second),
+		Pacing:         20,
+		AdvertiseDelay: spec.Duration(10 * time.Millisecond),
+	}
+	r.CaptureDir = dir
+	if _, err := r.Execute(); err != nil {
+		t.Fatalf("recording the multi-AS trace: %v", err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-want-update", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	m := regexp.MustCompile(`updates \([0-9.]+/s, (\d+) prefixes`).FindStringSubmatch(stdout.String())
+	if m == nil {
+		t.Fatalf("summary missing the announced-prefix count: %q", stdout.String())
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 120 {
+		t.Errorf("summary reports %d announced prefixes, want >= 120 (the synthetic table)", n)
 	}
 }

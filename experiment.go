@@ -35,6 +35,12 @@ type BGPOptions struct {
 	ECMP bool
 	// HoldTime for all sessions (default 90s wall time).
 	HoldTime time.Duration
+	// AdvertiseDelay is the MRAI-style batching window: route changes
+	// accumulate for this long before flushAdv packs them into
+	// attribute-grouped UPDATE messages (default 2ms wall time). Longer
+	// windows trade convergence latency for fewer, fuller UPDATEs —
+	// the axis the MRAI campaign sweeps.
+	AdvertiseDelay time.Duration
 	// RouteReflection runs same-AS adjacencies as iBGP with RFC 4456
 	// route reflection; reflector roles come from the topology
 	// (topo.Node.RouteReflector, set by the WAN generators). Required
@@ -230,6 +236,7 @@ func (e *Experiment) Run(until Time) (*Result, error) {
 		bgpCfg := cm.BGPConfig{
 			ECMP:            e.bgpOpts.ECMP,
 			HoldTime:        e.bgpOpts.HoldTime,
+			AdvertiseDelay:  e.bgpOpts.AdvertiseDelay,
 			RouteReflection: e.bgpOpts.RouteReflection,
 			LinkLatency:     e.bgpOpts.LinkLatency,
 		}

@@ -104,6 +104,7 @@ type topoOpts struct {
 	routers     bool
 	delayScale  float64
 	zeroLatency bool
+	fullTable   int
 }
 
 // LinkRate sets the capacity of every generated link (default 1 Gbps;
@@ -135,6 +136,12 @@ func DelayScale(f float64) TopoOption {
 		o.zeroLatency = f == 0
 	}
 }
+
+// FullTable originates n synthetic /24 prefixes (from 20.0.0.0) at the
+// edge ASes of a WANMultiAS topology, modelling stub networks injecting
+// an Internet-scale table into the transit core. Other generators
+// ignore it.
+func FullTable(n int) TopoOption { return func(o *topoOpts) { o.fullTable = n } }
 
 // BGP makes the generated forwarding nodes BGP routers.
 func BGP() TopoOption { return func(o *topoOpts) { o.routers = true } }
@@ -212,6 +219,30 @@ func WANMesh(pops int, seed int64, opts ...TopoOption) (*Topology, error) {
 		LinkRate:    o.wanLinkRate(),
 		DelayScale:  o.delayScale,
 		ZeroLatency: o.zeroLatency,
+	})
+}
+
+// WANMultiAS composes ases WANMesh-style backbones (pops PoPs each)
+// into a chain of eBGP-peered autonomous systems — ASNs 65000, 65001, …
+// joined by redundant peering links between their closest border PoPs.
+// With FullTable(n), the two edge ASes originate n synthetic /24s
+// between them, so the transit core carries full-table-sized RIBs. Run
+// it with BGPOptions{RouteReflection: true, LinkLatency: true}: same-AS
+// adjacencies are iBGP with per-AS reflector hierarchies, cross-AS ones
+// are eBGP. LinkDelay is ignored — delay comes from geography, scaled
+// by DelayScale.
+func WANMultiAS(ases, pops int, seed int64, opts ...TopoOption) (*Topology, error) {
+	o := applyTopoOpts(opts)
+	return topo.WANMultiAS(topo.MultiASOpts{
+		WANOpts: topo.WANOpts{
+			PoPs:        pops,
+			Seed:        seed,
+			LinkRate:    o.wanLinkRate(),
+			DelayScale:  o.delayScale,
+			ZeroLatency: o.zeroLatency,
+		},
+		ASes:              ases,
+		FullTablePrefixes: o.fullTable,
 	})
 }
 

@@ -1,0 +1,75 @@
+package bgp
+
+// Attribute interning. Real full tables share a few thousand attribute
+// sets across hundreds of thousands of routes, so Adj-RIB-In entries
+// hold a refcounted handle into an attribute pool instead of a
+// per-route PathAttrs copy — the same discipline the struct-of-arrays
+// data plane applies to flow state. Interning collapses per-route
+// allocation (one AttrVal per distinct attribute set, not per route)
+// and makes the decision-process comparisons pointer-equality fast on
+// the common path: two paths sharing a handle agree on every attribute
+// field by construction.
+
+// AttrVal is one interned attribute set. Path holds *AttrVal, and the
+// embedded PathAttrs keeps every `path.Attrs.Field` access compiling
+// unchanged. An AttrVal must never be mutated after interning — the
+// whole point is that many paths share it.
+type AttrVal struct {
+	PathAttrs
+
+	// pool is nil for unpooled handles (locally built attrs, tests);
+	// retain/release are no-ops on those.
+	pool *attrPool
+	key  string
+	refs int
+}
+
+// attrsOf wraps a PathAttrs value in an unpooled handle: no dedupe, no
+// refcounting. Used for one-off paths (tests, parked scratch) where
+// pooling buys nothing.
+func attrsOf(a PathAttrs) *AttrVal { return &AttrVal{PathAttrs: a} }
+
+// attrPool dedupes attribute sets by their canonical byte encoding.
+// Refcounts exist only to bound the pool's size — Go's GC keeps evicted
+// AttrVals alive for as long as any Path still points at them; eviction
+// merely stops future dedupe against them.
+type attrPool struct {
+	m map[string]*AttrVal
+}
+
+func newAttrPool() *attrPool { return &attrPool{m: make(map[string]*AttrVal)} }
+
+// intern returns the pooled handle for a, creating it with zero
+// references if absent. Callers retain() once per stored Path.
+func (p *attrPool) intern(a PathAttrs) *AttrVal {
+	key := attrsKey(a)
+	if h := p.m[key]; h != nil {
+		return h
+	}
+	h := &AttrVal{PathAttrs: a, pool: p, key: key}
+	p.m[key] = h
+	return h
+}
+
+// len reports the number of live attribute sets in the pool.
+func (p *attrPool) len() int { return len(p.m) }
+
+// retain records one more Path holding h.
+func retainAttrs(h *AttrVal) {
+	if h != nil && h.pool != nil {
+		h.refs++
+	}
+}
+
+// release drops one reference; the pool entry is evicted at zero. The
+// pool[key]==h guard keeps a stale release (of a handle already evicted
+// and re-interned) from evicting its successor.
+func releaseAttrs(h *AttrVal) {
+	if h == nil || h.pool == nil {
+		return
+	}
+	h.refs--
+	if h.refs <= 0 && h.pool.m[h.key] == h {
+		delete(h.pool.m, h.key)
+	}
+}

@@ -192,6 +192,55 @@ func decodePrefix(b []byte) (netip.Prefix, []byte, error) {
 	return p.Masked(), b[1+n:], nil
 }
 
+// encodeAttrs serializes one path-attribute set (the per-message attrs
+// block both EncodeUpdate and PackUpdates share).
+func encodeAttrs(a PathAttrs) ([]byte, error) {
+	if !a.NextHop.Is4() {
+		return nil, fmt.Errorf("bgp: update with NLRI requires IPv4 next hop")
+	}
+	var attrs []byte
+	// ORIGIN: flags 0x40 (well-known transitive).
+	attrs = append(attrs, 0x40, attrOrigin, 1, a.Origin)
+	// AS_PATH: one AS_SEQUENCE segment (possibly empty).
+	seg := []byte{}
+	if len(a.ASPath) > 0 {
+		seg = append(seg, asSequence, byte(len(a.ASPath)))
+		for _, asn := range a.ASPath {
+			seg = binary.BigEndian.AppendUint16(seg, asn)
+		}
+	}
+	attrs = append(attrs, 0x40, attrASPath, byte(len(seg)))
+	attrs = append(attrs, seg...)
+	// NEXT_HOP.
+	nh := a.NextHop.As4()
+	attrs = append(attrs, 0x40, attrNextHop, 4)
+	attrs = append(attrs, nh[:]...)
+	if a.HasMED {
+		attrs = append(attrs, 0x80, attrMED, 4) // optional non-transitive
+		attrs = binary.BigEndian.AppendUint32(attrs, a.MED)
+	}
+	if a.HasLP {
+		attrs = append(attrs, 0x40, attrLocalPref, 4)
+		attrs = binary.BigEndian.AppendUint32(attrs, a.LocalPref)
+	}
+	if a.OriginatorID.Is4() {
+		oid := a.OriginatorID.As4()
+		attrs = append(attrs, 0x80, attrOriginatorID, 4) // optional non-transitive
+		attrs = append(attrs, oid[:]...)
+	}
+	if len(a.ClusterList) > 0 {
+		// Extended length: a deep reflection hierarchy can push the
+		// list past the 255-byte short form.
+		attrs = append(attrs, 0x90, attrClusterList)
+		attrs = binary.BigEndian.AppendUint16(attrs, uint16(4*len(a.ClusterList)))
+		for _, c := range a.ClusterList {
+			c4 := c.As4()
+			attrs = append(attrs, c4[:]...)
+		}
+	}
+	return attrs, nil
+}
+
 // EncodeUpdate serializes an UPDATE message. Attributes are included only
 // when NLRI is announced.
 func EncodeUpdate(u Update) ([]byte, error) {
@@ -201,47 +250,9 @@ func EncodeUpdate(u Update) ([]byte, error) {
 	}
 	var attrs []byte
 	if len(u.NLRI) > 0 {
-		if !u.Attrs.NextHop.Is4() {
-			return nil, fmt.Errorf("bgp: update with NLRI requires IPv4 next hop")
-		}
-		// ORIGIN: flags 0x40 (well-known transitive).
-		attrs = append(attrs, 0x40, attrOrigin, 1, u.Attrs.Origin)
-		// AS_PATH: one AS_SEQUENCE segment (possibly empty).
-		seg := []byte{}
-		if len(u.Attrs.ASPath) > 0 {
-			seg = append(seg, asSequence, byte(len(u.Attrs.ASPath)))
-			for _, asn := range u.Attrs.ASPath {
-				seg = binary.BigEndian.AppendUint16(seg, asn)
-			}
-		}
-		attrs = append(attrs, 0x40, attrASPath, byte(len(seg)))
-		attrs = append(attrs, seg...)
-		// NEXT_HOP.
-		nh := u.Attrs.NextHop.As4()
-		attrs = append(attrs, 0x40, attrNextHop, 4)
-		attrs = append(attrs, nh[:]...)
-		if u.Attrs.HasMED {
-			attrs = append(attrs, 0x80, attrMED, 4) // optional non-transitive
-			attrs = binary.BigEndian.AppendUint32(attrs, u.Attrs.MED)
-		}
-		if u.Attrs.HasLP {
-			attrs = append(attrs, 0x40, attrLocalPref, 4)
-			attrs = binary.BigEndian.AppendUint32(attrs, u.Attrs.LocalPref)
-		}
-		if u.Attrs.OriginatorID.Is4() {
-			oid := u.Attrs.OriginatorID.As4()
-			attrs = append(attrs, 0x80, attrOriginatorID, 4) // optional non-transitive
-			attrs = append(attrs, oid[:]...)
-		}
-		if len(u.Attrs.ClusterList) > 0 {
-			// Extended length: a deep reflection hierarchy can push the
-			// list past the 255-byte short form.
-			attrs = append(attrs, 0x90, attrClusterList)
-			attrs = binary.BigEndian.AppendUint16(attrs, uint16(4*len(u.Attrs.ClusterList)))
-			for _, c := range u.Attrs.ClusterList {
-				c4 := c.As4()
-				attrs = append(attrs, c4[:]...)
-			}
+		var err error
+		if attrs, err = encodeAttrs(u.Attrs); err != nil {
+			return nil, err
 		}
 	}
 	var nlri []byte
@@ -259,6 +270,94 @@ func EncodeUpdate(u Update) ([]byte, error) {
 	msg = append(msg, attrs...)
 	return append(msg, nlri...), nil
 }
+
+// UpdateGroup is one attribute-sharing announcement batch for
+// PackUpdates: every NLRI prefix is advertised with Attrs.
+type UpdateGroup struct {
+	Attrs PathAttrs
+	NLRI  []netip.Prefix
+}
+
+// PackUpdates encodes a flush batch — shared withdrawals plus
+// announcement groups — into the minimum number of UPDATE messages. An
+// UPDATE carries one path-attribute set, so each group needs at least
+// one message, but many NLRIs (and the pending withdrawals) ride in it:
+// the withdrawals fill the front of the first messages, and each
+// group's NLRI packs until the 4096-byte message limit forces a split.
+// With G attribute groups and everything fitting, exactly max(G, 1)
+// messages come out — O(attr-groups), not O(prefixes).
+func PackUpdates(withdrawn []netip.Prefix, groups []UpdateGroup) ([][]byte, error) {
+	var msgs [][]byte
+	wi := 0 // next withdrawn prefix to place
+	for _, g := range groups {
+		if len(g.NLRI) == 0 {
+			continue
+		}
+		attrs, err := encodeAttrs(g.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		if headerLen+4+len(attrs)+maxPrefixEnc > maxMsgLen {
+			return nil, fmt.Errorf("bgp: attributes too large to pack (%d bytes)", len(attrs))
+		}
+		ni := 0
+		for ni < len(g.NLRI) {
+			var wd, nlri []byte
+			budget := maxMsgLen - headerLen - 4 - len(attrs)
+			// Withdrawals first (they fit wherever room remains; the
+			// receiver processes them before the same message's NLRI).
+			for wi < len(withdrawn) {
+				next := encodePrefix(wd, withdrawn[wi])
+				// Always leave room for at least one NLRI prefix, or
+				// the attrs block would ship without announcements.
+				if len(next)+maxPrefixEnc > budget {
+					break
+				}
+				wd = next
+				wi++
+			}
+			for ni < len(g.NLRI) {
+				next := encodePrefix(nlri, g.NLRI[ni])
+				if len(wd)+len(next) > budget {
+					break
+				}
+				nlri = next
+				ni++
+			}
+			total := headerLen + 2 + len(wd) + 2 + len(attrs) + len(nlri)
+			msg := appendHeader(nil, total, MsgUpdate)
+			msg = binary.BigEndian.AppendUint16(msg, uint16(len(wd)))
+			msg = append(msg, wd...)
+			msg = binary.BigEndian.AppendUint16(msg, uint16(len(attrs)))
+			msg = append(msg, attrs...)
+			msgs = append(msgs, append(msg, nlri...))
+		}
+	}
+	// Leftover withdrawals (no groups, or no room left): withdraw-only
+	// messages.
+	for wi < len(withdrawn) {
+		var wd []byte
+		budget := maxMsgLen - headerLen - 4
+		for wi < len(withdrawn) {
+			next := encodePrefix(wd, withdrawn[wi])
+			if len(next) > budget {
+				break
+			}
+			wd = next
+			wi++
+		}
+		total := headerLen + 2 + len(wd) + 2
+		msg := appendHeader(nil, total, MsgUpdate)
+		msg = binary.BigEndian.AppendUint16(msg, uint16(len(wd)))
+		msg = append(msg, wd...)
+		msg = binary.BigEndian.AppendUint16(msg, 0)
+		msgs = append(msgs, msg)
+	}
+	return msgs, nil
+}
+
+// maxPrefixEnc is the NLRI encoding size of a /32 (length byte + 4).
+const maxPrefixEnc = 5
 
 // Decode parses one complete BGP message from buf (which must contain
 // exactly one message, header included).

@@ -2,7 +2,6 @@ package bgp
 
 import (
 	"net/netip"
-	"sort"
 
 	"repro/internal/core"
 )
@@ -10,7 +9,9 @@ import (
 // Path is one candidate route for a prefix, as stored in Adj-RIB-In (or
 // as a locally originated route with an empty AS path).
 type Path struct {
-	Attrs PathAttrs
+	// Attrs is a handle to the (interned, immutable-once-shared)
+	// attribute set; the embedded PathAttrs fields read through it.
+	Attrs *AttrVal
 	// PeerAddr identifies the session the path was learned from; the
 	// zero value marks locally originated routes.
 	PeerAddr netip.Addr
@@ -31,11 +32,30 @@ type Path struct {
 	FromClient bool
 }
 
-// pathBetter compares two candidate paths per the RFC 4271 decision
+// pathCompare compares two candidate paths per the RFC 4271 decision
 // process (subset: LOCAL_PREF, AS path length, ORIGIN, MED, router ID).
 // It returns <0 when a is preferred, >0 when b is, 0 for an exact ECMP
 // tie at the multipath comparison depth.
 func pathCompare(a, b *Path) int {
+	if a.Attrs == b.Attrs {
+		// Interned fast path: identical attribute sets tie on every
+		// attribute step, leaving only the local-route and eBGP>iBGP
+		// comparisons (in decision order: Local sorts between
+		// LOCAL_PREF and AS-path length, both ties here).
+		if a.Local != b.Local {
+			if a.Local {
+				return -1
+			}
+			return 1
+		}
+		if a.IBGP != b.IBGP {
+			if !a.IBGP {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
 	lpA, lpB := a.Attrs.LocalPref, b.Attrs.LocalPref
 	if !a.Attrs.HasLP {
 		lpA = 100
@@ -115,14 +135,32 @@ func originatorOf(p *Path) netip.Addr {
 	return p.PeerRouterID
 }
 
-// RIB holds Adj-RIB-In entries per peer plus locally originated routes,
-// and computes the Loc-RIB with optional ECMP multipath.
+// ribEntry is the per-prefix route state living at a trie node: the
+// local origination, the Adj-RIB-In candidates (one per peer, kept
+// sorted by peer address), and the current Loc-RIB selection. The
+// decision process for a prefix touches only its entry — no global
+// iteration, no per-call candidate re-sort.
+type ribEntry struct {
+	local *Path
+	// peers holds one path per advertising peer, ordered by PeerAddr.
+	peers []*Path
+	// selected is the current Loc-RIB selection (nil = unreachable);
+	// scratch is its double buffer so steady-state re-decides allocate
+	// nothing.
+	selected []*Path
+	scratch  []*Path
+}
+
+// known reports whether any route (local or learned) exists here.
+func (e *ribEntry) known() bool { return e.local != nil || len(e.peers) > 0 }
+
+// RIB holds Adj-RIB-In entries per prefix in a path-compressed binary
+// trie plus locally originated routes, and computes the Loc-RIB with
+// optional ECMP multipath. Attribute sets are interned in a refcounted
+// pool shared by every path the RIB stores.
 type RIB struct {
-	// adjIn[peer][prefix] = path
-	adjIn map[netip.Addr]map[netip.Prefix]*Path
-	local map[netip.Prefix]*Path
-	// locRIB[prefix] = selected path set (len>1 only with multipath).
-	locRIB map[netip.Prefix][]*Path
+	trie *prefixTrie
+	pool *attrPool
 	// Multipath enables ECMP: all paths tying through the comparison
 	// are selected (the "bgp bestpath as-path multipath-relax"
 	// behaviour, required for fat-tree ECMP across different peer ASes).
@@ -131,150 +169,204 @@ type RIB struct {
 
 // NewRIB creates an empty RIB.
 func NewRIB(multipath bool) *RIB {
-	return &RIB{
-		adjIn:     make(map[netip.Addr]map[netip.Prefix]*Path),
-		local:     make(map[netip.Prefix]*Path),
-		locRIB:    make(map[netip.Prefix][]*Path),
-		Multipath: multipath,
-	}
+	return &RIB{trie: newPrefixTrie(), pool: newAttrPool(), Multipath: multipath}
 }
+
+// Intern dedupes an attribute set against the RIB's pool. The speaker
+// interns once per received UPDATE; every NLRI in the message then
+// shares the one handle.
+func (r *RIB) Intern(a PathAttrs) *AttrVal { return r.pool.intern(a) }
+
+// AttrSets reports the number of distinct attribute sets currently
+// interned — at full-table scale this stays orders of magnitude below
+// the prefix count, which is the point.
+func (r *RIB) AttrSets() int { return r.pool.len() }
 
 // SetLocal originates a prefix locally.
 func (r *RIB) SetLocal(p netip.Prefix, attrs PathAttrs) {
-	r.local[p.Masked()] = &Path{Attrs: attrs, Local: true}
+	e := r.trie.insert(v4key(p))
+	if e.local != nil {
+		releaseAttrs(e.local.Attrs)
+	}
+	h := r.pool.intern(attrs)
+	retainAttrs(h)
+	e.local = &Path{Attrs: h, Local: true}
 }
 
 // UpdateAdjIn records a path learned from peer; a nil path withdraws.
 // It returns whether anything changed.
 func (r *RIB) UpdateAdjIn(peer netip.Addr, prefix netip.Prefix, path *Path) bool {
-	prefix = prefix.Masked()
-	m := r.adjIn[peer]
+	addr, length := v4key(prefix)
 	if path == nil {
-		if m == nil {
+		e := r.trie.lookup(addr, length)
+		if e == nil {
 			return false
 		}
-		if _, had := m[prefix]; !had {
-			return false
+		for i, pp := range e.peers {
+			if pp.PeerAddr == peer {
+				releaseAttrs(pp.Attrs)
+				e.peers = append(e.peers[:i], e.peers[i+1:]...)
+				return true
+			}
 		}
-		delete(m, prefix)
-		return true
+		return false
 	}
-	if m == nil {
-		m = make(map[netip.Prefix]*Path)
-		r.adjIn[peer] = m
+	e := r.trie.insert(addr, length)
+	retainAttrs(path.Attrs)
+	for i, pp := range e.peers {
+		if pp.PeerAddr == peer {
+			releaseAttrs(pp.Attrs)
+			e.peers[i] = path
+			return true
+		}
 	}
-	m[prefix] = path
+	// Insert keeping peer-address order (the deterministic candidate
+	// order the decision process depends on).
+	at := len(e.peers)
+	for i, pp := range e.peers {
+		if peer.Compare(pp.PeerAddr) < 0 {
+			at = i
+			break
+		}
+	}
+	e.peers = append(e.peers, nil)
+	copy(e.peers[at+1:], e.peers[at:])
+	e.peers[at] = path
 	return true
 }
 
 // DropPeer removes every path learned from peer (session down),
-// returning the affected prefixes.
+// returning the affected prefixes in sorted order.
 func (r *RIB) DropPeer(peer netip.Addr) []netip.Prefix {
-	m := r.adjIn[peer]
-	if m == nil {
-		return nil
-	}
-	out := make([]netip.Prefix, 0, len(m))
-	for p := range m {
-		out = append(out, p)
-	}
-	delete(r.adjIn, peer)
-	sortPrefixes(out)
+	var out []netip.Prefix
+	r.trie.walk(func(p netip.Prefix, e *ribEntry) bool {
+		for i, pp := range e.peers {
+			if pp.PeerAddr == peer {
+				releaseAttrs(pp.Attrs)
+				e.peers = append(e.peers[:i], e.peers[i+1:]...)
+				out = append(out, p)
+				break
+			}
+		}
+		return true
+	})
 	return out
 }
 
 // Decide recomputes the Loc-RIB selection for prefix and returns the new
-// best-path set (nil if unreachable) plus whether it changed.
+// best-path set (nil if unreachable) plus whether it changed. The
+// returned slice aliases the entry's selection buffer: it is valid until
+// the next Decide of the same prefix.
 func (r *RIB) Decide(prefix netip.Prefix) ([]*Path, bool) {
-	prefix = prefix.Masked()
-	var candidates []*Path
-	if lp := r.local[prefix]; lp != nil {
-		candidates = append(candidates, lp)
+	addr, length := v4key(prefix)
+	e := r.trie.lookup(addr, length)
+	if e == nil {
+		return nil, false
 	}
-	// Deterministic peer iteration.
-	peers := make([]netip.Addr, 0, len(r.adjIn))
-	for a := range r.adjIn {
-		peers = append(peers, a)
-	}
-	sort.Slice(peers, func(i, j int) bool { return peers[i].Compare(peers[j]) < 0 })
-	for _, a := range peers {
-		if p := r.adjIn[a][prefix]; p != nil {
-			candidates = append(candidates, p)
-		}
-	}
-	var selected []*Path
-	if len(candidates) > 0 {
-		best := candidates[0]
-		for _, c := range candidates[1:] {
-			if pathCompare(c, best) < 0 {
-				best = c
+	sel := e.scratch[:0]
+	if len(e.peers) > 0 || e.local != nil {
+		// Candidates in deterministic order: local first, then peers by
+		// address (e.peers maintains that order).
+		best := e.local
+		for _, pp := range e.peers {
+			if best == nil || pathCompare(pp, best) < 0 {
+				best = pp
 			}
 		}
-		for _, c := range candidates {
-			if c == best || (r.Multipath && pathCompare(c, best) == 0) {
-				selected = append(selected, c)
+		if e.local != nil && (best == e.local || (r.Multipath && pathCompare(e.local, best) == 0)) {
+			sel = append(sel, e.local)
+		}
+		for _, pp := range e.peers {
+			if pp == best || (r.Multipath && pathCompare(pp, best) == 0) {
+				sel = append(sel, pp)
 			}
 		}
-		if !r.Multipath && len(selected) > 1 {
-			// Single-path mode: final deterministic tiebreak.
-			sort.Slice(selected, func(i, j int) bool { return tieBreak(selected[i], selected[j]) })
-			selected = selected[:1]
-		} else {
-			sort.Slice(selected, func(i, j int) bool { return tieBreak(selected[i], selected[j]) })
+		sortTieBreak(sel)
+		if !r.Multipath && len(sel) > 1 {
+			sel = sel[:1]
 		}
 	}
-	old := r.locRIB[prefix]
-	if pathSetEqual(old, selected) {
-		return selected, false
+	if len(sel) == 0 {
+		sel = nil
 	}
-	if selected == nil {
-		delete(r.locRIB, prefix)
-	} else {
-		r.locRIB[prefix] = selected
+	changed := !pathSetEqual(e.selected, sel)
+	if !changed {
+		// Keep the previous buffer; sel (the scratch) stays scratch.
+		if sel != nil {
+			e.scratch = sel
+		}
+		if e.selected == nil && !e.known() {
+			r.trie.remove(addr, length)
+		}
+		return e.selected, false
 	}
-	return selected, true
+	e.scratch = e.selected[:0]
+	e.selected = sel
+	if e.selected == nil && !e.known() {
+		// Fully empty entry: prune its node.
+		r.trie.remove(addr, length)
+	}
+	return e.selected, true
+}
+
+// sortTieBreak orders a (small) selection deterministically by tieBreak
+// — insertion sort, so steady-state decides stay allocation free.
+func sortTieBreak(ps []*Path) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && tieBreak(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
 }
 
 // Best returns the Loc-RIB selection for prefix.
-func (r *RIB) Best(prefix netip.Prefix) []*Path { return r.locRIB[prefix.Masked()] }
-
-// Prefixes returns every prefix present in the Loc-RIB, sorted.
-func (r *RIB) Prefixes() []netip.Prefix {
-	out := make([]netip.Prefix, 0, len(r.locRIB))
-	for p := range r.locRIB {
-		out = append(out, p)
+func (r *RIB) Best(prefix netip.Prefix) []*Path {
+	e := r.trie.lookup(v4key(prefix))
+	if e == nil {
+		return nil
 	}
-	sortPrefixes(out)
+	return e.selected
+}
+
+// Lookup is the longest-prefix-match query the trie exists for: the
+// selection of the most specific reachable prefix containing addr.
+func (r *RIB) Lookup(addr netip.Addr) []*Path {
+	if !addr.Is4() {
+		return nil
+	}
+	a4 := addr.As4()
+	key := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+	e := r.trie.lpm(key, func(e *ribEntry) bool { return len(e.selected) > 0 })
+	if e == nil {
+		return nil
+	}
+	return e.selected
+}
+
+// Prefixes returns every prefix present in the Loc-RIB, sorted (the
+// trie walk is ordered; no sort pass needed).
+func (r *RIB) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, r.trie.n)
+	r.trie.walk(func(p netip.Prefix, e *ribEntry) bool {
+		if len(e.selected) > 0 {
+			out = append(out, p)
+		}
+		return true
+	})
 	return out
 }
 
 // KnownPrefixes returns every prefix seen in local or any Adj-RIB-In,
 // sorted; the decision process re-evaluates these after session changes.
 func (r *RIB) KnownPrefixes() []netip.Prefix {
-	set := make(map[netip.Prefix]bool)
-	for p := range r.local {
-		set[p] = true
-	}
-	for _, m := range r.adjIn {
-		for p := range m {
-			set[p] = true
+	out := make([]netip.Prefix, 0, r.trie.n)
+	r.trie.walk(func(p netip.Prefix, e *ribEntry) bool {
+		if e.known() {
+			out = append(out, p)
 		}
-	}
-	out := make([]netip.Prefix, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sortPrefixes(out)
-	return out
-}
-
-func sortPrefixes(ps []netip.Prefix) {
-	sort.Slice(ps, func(i, j int) bool {
-		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return ps[i].Bits() < ps[j].Bits()
+		return true
 	})
+	return out
 }
 
 func pathSetEqual(a, b []*Path) bool {
@@ -285,9 +377,15 @@ func pathSetEqual(a, b []*Path) bool {
 		if a[i] != b[i] {
 			// Pointer comparison is too strict across re-decides;
 			// compare the fields that matter to the FIB and to
-			// advertisements.
-			if a[i].PeerAddr != b[i].PeerAddr || a[i].Port != b[i].Port ||
-				a[i].Attrs.NextHop != b[i].Attrs.NextHop ||
+			// advertisements. Shared attribute handles compare in one
+			// pointer check.
+			if a[i].PeerAddr != b[i].PeerAddr || a[i].Port != b[i].Port {
+				return false
+			}
+			if a[i].Attrs == b[i].Attrs {
+				continue
+			}
+			if a[i].Attrs.NextHop != b[i].Attrs.NextHop ||
 				a[i].Attrs.OriginatorID != b[i].Attrs.OriginatorID ||
 				len(a[i].Attrs.ClusterList) != len(b[i].Attrs.ClusterList) ||
 				len(a[i].Attrs.ASPath) != len(b[i].Attrs.ASPath) {

@@ -12,7 +12,7 @@ func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
 
 func learned(peer, rid string, port int, asPath ...uint16) *Path {
 	return &Path{
-		Attrs:        PathAttrs{Origin: OriginIGP, ASPath: asPath, NextHop: addr(peer)},
+		Attrs:        attrsOf(PathAttrs{Origin: OriginIGP, ASPath: asPath, NextHop: addr(peer)}),
 		PeerAddr:     addr(peer),
 		PeerRouterID: addr(rid),
 		Port:         core.PortID(port),

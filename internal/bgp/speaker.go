@@ -606,8 +606,22 @@ func (x *session) mayAdvertise(path *Path) bool {
 	return path.FromClient || x.cfg.RRClient
 }
 
-// flushAdv sends the batched UPDATEs: withdrawals plus announcements
-// grouped by identical outgoing attributes.
+// advKey groups a pending advertisement batch by what outgoingAttrs
+// actually depends on: the interned incoming attribute handle, the
+// session kind of the path, and (for reflected iBGP paths) the
+// originator stamped on the way out. Comparing handles is one pointer
+// compare — no per-path attribute serialization on the flush path.
+type advKey struct {
+	attrs *AttrVal
+	orig  netip.Addr
+	ibgp  bool
+}
+
+// flushAdv sends the batched UPDATEs: the pending withdrawals plus
+// announcements grouped by shared attributes, packed so that many
+// NLRIs (and the withdrawals) ride in each message — an MRAI window
+// emits O(attr-groups) UPDATEs, not O(prefixes), with PackUpdates
+// splitting at the 4096-byte message limit.
 func (x *session) flushAdv() {
 	s := x.sp
 	s.mu.Lock()
@@ -621,43 +635,69 @@ func (x *session) flushAdv() {
 	x.advTimer = nil
 
 	var withdrawn []netip.Prefix
-	groups := make(map[string][]netip.Prefix)
-	attrsOf := make(map[string]PathAttrs)
+	idx := make(map[advKey]int)
+	var groups []UpdateGroup
 	for p, path := range batch {
 		if path == nil {
 			withdrawn = append(withdrawn, p)
 			continue
 		}
-		out := x.outgoingAttrs(path)
-		key := attrsKey(out)
-		groups[key] = append(groups[key], p)
-		attrsOf[key] = out
+		k := advKey{attrs: path.Attrs, ibgp: path.IBGP}
+		if path.IBGP {
+			k.orig = originatorOf(path)
+		}
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(groups)
+			idx[k] = gi
+			groups = append(groups, UpdateGroup{Attrs: x.outgoingAttrs(path)})
+		}
+		groups[gi].NLRI = append(groups[gi].NLRI, p)
 	}
 	s.mu.Unlock()
 
 	sortPrefixes(withdrawn)
-	var msgs [][]byte
-	if len(withdrawn) > 0 {
-		if b, err := EncodeUpdate(Update{Withdrawn: withdrawn}); err == nil {
-			msgs = append(msgs, b)
-		}
+	keys := make([]string, len(groups))
+	for i := range groups {
+		sortPrefixes(groups[i].NLRI)
+		keys[i] = attrsKey(groups[i].Attrs)
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		nlri := groups[k]
-		sortPrefixes(nlri)
-		if b, err := EncodeUpdate(Update{Attrs: attrsOf[k], NLRI: nlri}); err == nil {
-			msgs = append(msgs, b)
-		}
+	// Deterministic message order across groups.
+	sort.Sort(&groupsByKey{keys, groups})
+	msgs, err := PackUpdates(withdrawn, groups)
+	if err != nil {
+		s.logf("flush to %v failed: %v", x.cfg.RemoteAddr, err)
+		return
 	}
 	for _, b := range msgs {
 		x.send(b)
 		s.Stats.UpdatesSent.Add(1)
 	}
+}
+
+// groupsByKey sorts announcement groups by their serialized attribute
+// key, keeping flush output deterministic.
+type groupsByKey struct {
+	keys   []string
+	groups []UpdateGroup
+}
+
+func (g *groupsByKey) Len() int           { return len(g.keys) }
+func (g *groupsByKey) Less(i, j int) bool { return g.keys[i] < g.keys[j] }
+func (g *groupsByKey) Swap(i, j int) {
+	g.keys[i], g.keys[j] = g.keys[j], g.keys[i]
+	g.groups[i], g.groups[j] = g.groups[j], g.groups[i]
+}
+
+// sortPrefixes orders prefixes by address, then prefix length — the
+// same order the RIB trie walks in.
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
 }
 
 // outgoingAttrs computes the attributes a path is advertised with on
@@ -696,7 +736,10 @@ func (x *session) outgoingAttrs(path *Path) PathAttrs {
 func attrsKey(a PathAttrs) string {
 	b := make([]byte, 0, 16+2*len(a.ASPath)+4*len(a.ClusterList))
 	b = append(b, a.Origin)
-	nh := a.NextHop.As4()
+	var nh [4]byte
+	if a.NextHop.Is4() {
+		nh = a.NextHop.As4()
+	}
 	b = append(b, nh[:]...)
 	if a.HasLP {
 		b = append(b, 1, byte(a.LocalPref>>24), byte(a.LocalPref>>16), byte(a.LocalPref>>8), byte(a.LocalPref))
@@ -736,9 +779,13 @@ func (s *Speaker) processUpdateLocked(x *session, u *Update) {
 		}
 	}
 	if len(u.NLRI) > 0 && s.acceptLocked(x, &u.Attrs, len(u.NLRI)) {
+		// Intern once per UPDATE: every NLRI in the message shares the
+		// one attribute handle, so a full-table announcement allocates
+		// per distinct attribute set, not per route.
+		h := s.rib.Intern(u.Attrs)
 		for _, p := range u.NLRI {
 			path := &Path{
-				Attrs:        u.Attrs,
+				Attrs:        h,
 				PeerAddr:     x.cfg.RemoteAddr,
 				PeerRouterID: x.peerRouterID,
 				Port:         x.cfg.Port,

@@ -1,6 +1,7 @@
 // Package campaign is the experiment campaign engine behind the horsed
 // daemon: it expands a sweep specification into the cross-product of
-// runs (topology × scenario × traffic × seed × solver workers),
+// runs (topology × scenario × traffic × seed × solver workers ×
+// advertise delay × dampening),
 // schedules them on a bounded worker pool with per-run timeout and
 // retry, and persists each run's spec.Outcome as JSON under a campaign
 // directory alongside its pcapng capture artifacts.
@@ -20,9 +21,9 @@ import (
 )
 
 // Spec is a sweep submission: the axes are crossed in the fixed order
-// topos × scenarios × traffics × seeds × solver workers, so run indices
-// are deterministic and a resubmitted spec maps runs to the same
-// indices.
+// topos × scenarios × traffics × seeds × solver workers × advertise
+// delays × dampenings, so run indices are deterministic and a
+// resubmitted spec maps runs to the same indices.
 type Spec struct {
 	// Name labels the campaign (used in its ID slug).
 	Name string `json:"name,omitempty"`
@@ -44,6 +45,15 @@ type Spec struct {
 	// SolverWorkers is the solver worker-count axis; empty means one
 	// instance with the base run's worker count.
 	SolverWorkers []int `json:"solver_workers,omitempty"`
+
+	// AdvertiseDelays is the BGP MRAI-style batching-window axis (only
+	// meaningful for bgp scenarios); empty means one instance with the
+	// base run's delay. The MRAI × dampening campaign sweeps this.
+	AdvertiseDelays []spec.Duration `json:"advertise_delays,omitempty"`
+
+	// Dampenings is the BGP route-flap dampening axis; empty means one
+	// instance with the base run's setting.
+	Dampenings []bool `json:"dampenings,omitempty"`
 
 	// Base carries the shared per-run fields (dur, rate, pacing,
 	// dampening, ...). Its Topo/Scenario/Traffic/SolverWorkers fields
@@ -100,22 +110,36 @@ func (s Spec) Expand() ([]spec.Run, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{s.Base.SolverWorkers}
 	}
+	advDelays := s.AdvertiseDelays
+	if len(advDelays) == 0 {
+		advDelays = []spec.Duration{s.Base.AdvertiseDelay}
+	}
+	dampenings := s.Dampenings
+	if len(dampenings) == 0 {
+		dampenings = []bool{s.Base.Dampening}
+	}
 
 	var runs []spec.Run
 	for _, topo := range s.Topos {
 		for _, scenario := range s.Scenarios {
 			for _, workload := range workloads {
 				for _, workers := range workerCounts {
-					r := s.Base
-					r.Topo = topo
-					r.Scenario = scenario
-					r.Traffic = workload
-					r.SolverWorkers = workers
-					r = r.WithDefaults()
-					if err := r.Validate(); err != nil {
-						return nil, fmt.Errorf("campaign: run %d (%s): %w", len(runs), r, err)
+					for _, adv := range advDelays {
+						for _, damp := range dampenings {
+							r := s.Base
+							r.Topo = topo
+							r.Scenario = scenario
+							r.Traffic = workload
+							r.SolverWorkers = workers
+							r.AdvertiseDelay = adv
+							r.Dampening = damp
+							r = r.WithDefaults()
+							if err := r.Validate(); err != nil {
+								return nil, fmt.Errorf("campaign: run %d (%s): %w", len(runs), r, err)
+							}
+							runs = append(runs, r)
+						}
 					}
-					runs = append(runs, r)
 				}
 			}
 		}

@@ -445,3 +445,77 @@ func mustReadJSON(t *testing.T, path string, v any) {
 		t.Fatalf("%s: %v", path, err)
 	}
 }
+
+// TestExpandBGPAxes pins the advertise-delay × dampening sub-product:
+// axis order (delays outer, dampening inner) and per-run field values.
+func TestExpandBGPAxes(t *testing.T) {
+	s := Spec{
+		Topos:           []string{"wan:tier1"},
+		Scenarios:       []string{"bgp-rr"},
+		Traffics:        []string{"permutation:7"},
+		AdvertiseDelays: []spec.Duration{spec.Duration(2 * time.Millisecond), spec.Duration(50 * time.Millisecond)},
+		Dampenings:      []bool{false, true},
+		Base:            spec.Run{Dur: spec.Duration(time.Second)},
+	}
+	runs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("Expand: %d runs, want 4 (2 delays × 2 dampenings)", len(runs))
+	}
+	want := []struct {
+		adv  time.Duration
+		damp bool
+	}{
+		{2 * time.Millisecond, false},
+		{2 * time.Millisecond, true},
+		{50 * time.Millisecond, false},
+		{50 * time.Millisecond, true},
+	}
+	for i, w := range want {
+		if got := runs[i].AdvertiseDelay.Duration(); got != w.adv {
+			t.Errorf("run %d: advertise delay = %v, want %v", i, got, w.adv)
+		}
+		if runs[i].Dampening != w.damp {
+			t.Errorf("run %d: dampening = %v, want %v", i, runs[i].Dampening, w.damp)
+		}
+	}
+}
+
+// TestCheckedInMRAICampaign parses the campaign file CI submits to
+// horsed (campaigns/mrai-dampening-tier1.json) and expands it, so a
+// field rename or a bad axis value fails here instead of in the
+// campaign-e2e job.
+func TestCheckedInMRAICampaign(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "campaigns", "mrai-dampening-tier1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("campaign file does not match the Spec schema: %v", err)
+	}
+	runs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("checked-in campaign expands to %d runs, want 4", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if r.Topo != "wan:tier1" || r.Scenario != "bgp-rr" {
+			t.Errorf("run %s: want wan:tier1/bgp-rr", r)
+		}
+		seen[fmt.Sprintf("%v/%v", r.AdvertiseDelay.Duration(), r.Dampening)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("sweep covers %d distinct (delay, dampening) points, want 4: %v", len(seen), seen)
+	}
+	if !s.Capture {
+		t.Error("the MRAI campaign must record captures (the e2e job fetches artifacts)")
+	}
+}

@@ -369,3 +369,84 @@ func TestSummaryEmptyWindowGuard(t *testing.T) {
 		t.Errorf("UpdatesPerSec over empty window = %v, want 0", r)
 	}
 }
+
+// TestPackedUpdateSummary replays a packed flush through the capture
+// pipeline: PackUpdates-encoded messages carrying hundreds of NLRIs are
+// recorded, read back, and the summary must report the storm volume
+// (announced prefixes) separately from the message count, with the
+// packing factor and the per-window burst bounded by the attr-group
+// count — not by the prefix count.
+func TestPackedUpdateSummary(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bgpEndpoints()
+	sess, err := c.Session("pair", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two attribute groups of 300 prefixes each — a packed flush encodes
+	// them as one UPDATE per group (600 /24s fit well under the 4096-byte
+	// message limit).
+	const perGroup = 300
+	var groups []bgp.UpdateGroup
+	for gi := 0; gi < 2; gi++ {
+		g := bgp.UpdateGroup{Attrs: bgp.PathAttrs{
+			ASPath:  []uint16{65001, uint16(65100 + gi)},
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+		}}
+		for i := 0; i < perGroup; i++ {
+			addr := netip.AddrFrom4([4]byte{20, byte(2*gi + i/256), byte(i % 256), 0})
+			g.NLRI = append(g.NLRI, netip.PrefixFrom(addr, 24))
+		}
+		groups = append(groups, g)
+	}
+	withdrawn := []netip.Prefix{netip.MustParsePrefix("192.168.9.0/24")}
+	msgs, err := bgp.PackUpdates(withdrawn, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("PackUpdates produced %d messages, want 2 (one per attr group)", len(msgs))
+	}
+	// One flush: every message delivered inside the same MRAI window.
+	for i, m := range msgs {
+		sess.Data(AtoB, m, core.Time(10+i)*core.Millisecond)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadFile(filepath.Join(dir, "pair.pcapng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Validate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Updates != 2 || sum.AnnouncedPrefixes != 2*perGroup {
+		t.Fatalf("summary = %+v, want 2 updates announcing %d prefixes", sum, 2*perGroup)
+	}
+	if sum.WithdrawnPrefixes != len(withdrawn) {
+		t.Errorf("withdrawn prefixes = %d, want %d", sum.WithdrawnPrefixes, len(withdrawn))
+	}
+	if pf := sum.PackingFactor(); pf != perGroup {
+		t.Errorf("packing factor = %.1f, want %d prefixes/msg", pf, perGroup)
+	}
+	// The whole flush lands in one 10ms window: burst == attr groups.
+	if burst := MaxUpdateBurst(decoded, 10*core.Millisecond); burst != 2 {
+		t.Errorf("MaxUpdateBurst(10ms) = %d, want 2 (one per attr group)", burst)
+	}
+	// A sub-millisecond window separates the two deliveries.
+	if burst := MaxUpdateBurst(decoded, core.Microsecond); burst != 1 {
+		t.Errorf("MaxUpdateBurst(1us) = %d, want 1", burst)
+	}
+}

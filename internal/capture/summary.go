@@ -2,6 +2,7 @@ package capture
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -20,6 +21,11 @@ type SessionSummary struct {
 	Updates     int
 	Withdraws   int
 	FlowMods    int
+	// AnnouncedPrefixes and WithdrawnPrefixes total the NLRI carried
+	// across the session's UPDATEs — the storm volume, as opposed to the
+	// message counts above.
+	AnnouncedPrefixes int
+	WithdrawnPrefixes int
 }
 
 // Summary aggregates the control plane conversation recorded across one
@@ -32,6 +38,11 @@ type Summary struct {
 	Updates   int // BGP UPDATEs announcing at least one prefix
 	Withdraws int // BGP UPDATEs withdrawing at least one prefix
 	FlowMods  int
+	// AnnouncedPrefixes and WithdrawnPrefixes total the NLRI across all
+	// UPDATEs; AnnouncedPrefixes / Updates is the packing factor the
+	// grouped flush path achieves on the wire.
+	AnnouncedPrefixes int
+	WithdrawnPrefixes int
 
 	// First and Last bound the decoded messages across all sessions.
 	First, Last core.Time
@@ -67,6 +78,8 @@ func Summarize(traces ...*Trace) (*Summary, error) {
 			if m.Type == "FLOW_MOD" {
 				ss.FlowMods++
 			}
+			ss.AnnouncedPrefixes += m.Announced
+			ss.WithdrawnPrefixes += m.Withdrawn
 		}
 		for _, ss := range per {
 			if ss.Messages == 0 {
@@ -82,6 +95,8 @@ func Summarize(traces ...*Trace) (*Summary, error) {
 			s.Updates += ss.Updates
 			s.Withdraws += ss.Withdraws
 			s.FlowMods += ss.FlowMods
+			s.AnnouncedPrefixes += ss.AnnouncedPrefixes
+			s.WithdrawnPrefixes += ss.WithdrawnPrefixes
 			s.Sessions = append(s.Sessions, *ss)
 		}
 	}
@@ -114,13 +129,55 @@ func (s *Summary) FlowModsPerSec() float64 {
 	return stats.PerSecond(float64(s.FlowMods), s.Window())
 }
 
+// PackingFactor is the mean number of announced prefixes per
+// announce-UPDATE: 1.0 means the per-prefix control plane, higher
+// means the grouped flush path packed NLRIs that share attributes into
+// common messages. 0 when the capture holds no announce-UPDATE.
+func (s *Summary) PackingFactor() float64 {
+	if s.Updates == 0 {
+		return 0
+	}
+	return float64(s.AnnouncedPrefixes) / float64(s.Updates)
+}
+
+// MaxUpdateBurst scans decoded messages (as returned by Validate or
+// Decode) and reports the largest number of UPDATEs any single sender
+// delivered on one session within a sliding window — with window set to
+// the speaker's AdvertiseDelay, that is the per-MRAI-flush message
+// count, which the packed flush bounds by attr-group count × message
+// splits rather than by prefix count.
+func MaxUpdateBurst(msgs []Message, window core.Time) int {
+	byStream := make(map[streamKey][]core.Time)
+	for _, m := range msgs {
+		if m.Type != "UPDATE" {
+			continue
+		}
+		k := streamKey{iface: m.Interface, src: m.Src, dst: m.Dst, srcPort: m.SrcPort, dstPort: m.DstPort}
+		byStream[k] = append(byStream[k], m.Time)
+	}
+	burst := 0
+	for _, ts := range byStream {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		i := 0
+		for j := range ts {
+			for ts[j]-ts[i] > window {
+				i++
+			}
+			if n := j - i + 1; n > burst {
+				burst = n
+			}
+		}
+	}
+	return burst
+}
+
 // String renders the summary, one session per line.
 func (s *Summary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d messages in [%v, %v]: %d updates (%.1f/s), %d withdraws (%.1f/s), %d flow-mods (%.1f/s)\n",
+	fmt.Fprintf(&b, "%d messages in [%v, %v]: %d updates (%.1f/s, %d prefixes, %.1f/msg), %d withdraws (%.1f/s, %d prefixes), %d flow-mods (%.1f/s)\n",
 		s.Messages, s.First, s.Last,
-		s.Updates, s.UpdatesPerSec(),
-		s.Withdraws, s.WithdrawsPerSec(),
+		s.Updates, s.UpdatesPerSec(), s.AnnouncedPrefixes, s.PackingFactor(),
+		s.Withdraws, s.WithdrawsPerSec(), s.WithdrawnPrefixes,
 		s.FlowMods, s.FlowModsPerSec())
 	for _, ss := range s.Sessions {
 		fmt.Fprintf(&b, "  %-40s %4d msgs  first=%v last=%v\n", ss.Name, ss.Messages, ss.First, ss.Last)

@@ -415,13 +415,15 @@ func (m *Manager) peerCable(l *topo.Link) error {
 }
 
 // originatedPrefixes returns the prefixes a router announces: its
-// host-facing subnet(s).
+// host-facing subnet plus any synthetic origination the topology
+// assigned (topo.Node.Originate — the multi-AS WAN generator's
+// full-table /24s).
 func (m *Manager) originatedPrefixes(r *topo.Node) []netip.Prefix {
-	var out []netip.Prefix
+	out := make([]netip.Prefix, 0, 1+len(r.Originate))
 	if r.Prefix.IsValid() {
 		out = append(out, r.Prefix)
 	}
-	return out
+	return append(out, r.Originate...)
 }
 
 // installConnectedRoutes installs one /32 per attached host into the

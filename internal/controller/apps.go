@@ -32,12 +32,21 @@ type ECMPApp struct {
 	mu          sync.Mutex
 	repairArmed bool
 
-	// repairMu serializes repair passes. Each pass is a full-fleet
-	// rewrite computed from the live topology, so with passes ordered
+	// repairMu serializes table installs (initial and repair). Each
+	// pass is computed from the live topology, so with passes ordered
 	// the last one always converges the tables to the current state; an
 	// interleaved stale pass could otherwise land an FCDeleteStrict
-	// after a fresh pass's FCAdd and blackhole a destination.
+	// after a fresh pass's FCAdd and blackhole a destination. It also
+	// guards installed, keeping the cache in lockstep with the FLOW_MOD
+	// stream actually sent to each switch.
 	repairMu sync.Mutex
+
+	// installed caches, per switch, the next-hop port set last
+	// programmed for each destination host. Repair passes diff the
+	// recomputed ports against it and only emit FLOW_MODs for
+	// destinations whose forwarding actually changed — a single link
+	// failure costs O(affected rules), not O(switches × hosts).
+	installed map[core.NodeID]map[core.NodeID][]core.PortID
 }
 
 // repairDebounce is the PORT_STATUS coalescing window (virtual time).
@@ -47,26 +56,35 @@ const repairDebounce = 2 * core.Millisecond
 func (a *ECMPApp) Name() string { return "ecmp5" }
 
 // Init implements App.
-func (a *ECMPApp) Init(ctx *Context) { a.ctx = ctx }
+func (a *ECMPApp) Init(ctx *Context) {
+	a.ctx = ctx
+	a.installed = make(map[core.NodeID]map[core.NodeID][]core.PortID)
+}
 
 // PacketIn implements App; proactive mode should never see punts.
 func (a *ECMPApp) PacketIn(sw *SwitchHandle, pi openflow.PacketIn) {
 	a.ctx.Logf("ecmp5: unexpected packet-in on dpid %d", sw.DPID)
 }
 
-// SwitchReady implements App: install the full destination table.
+// SwitchReady implements App: install the full destination table. The
+// cache entry is reset first so a reconnecting switch (whose hardware
+// table starts empty again) gets every rule re-sent rather than
+// delta-skipped.
 func (a *ECMPApp) SwitchReady(sw *SwitchHandle) {
-	a.install(sw, false)
+	a.repairMu.Lock()
+	defer a.repairMu.Unlock()
+	a.installed[sw.Node] = make(map[core.NodeID][]core.PortID)
+	a.install(sw)
 }
 
 // PortStatus implements App: the topology changed, so shortest-path
 // port groups anywhere may have gained or lost members — e.g. an
 // agg-core failure must also steer remote pods' aggs away from the
-// stranded core. The controller has a global view, so it recomputes and
-// reinstalls the destination table of every connected switch (FLOW_MOD
-// ADD replaces in place, so unchanged rules are idempotent rewrites).
-// Repairs are debounced: the burst of PORT_STATUS messages one failure
-// produces pays for a single full recompute.
+// stranded core. The controller has a global view, so it recomputes
+// every connected switch's destination table and diffs it against the
+// installed cache, emitting FLOW_MODs only where the next-hop set
+// actually moved. Repairs are debounced: the burst of PORT_STATUS
+// messages one failure produces pays for a single recompute.
 func (a *ECMPApp) PortStatus(sw *SwitchHandle, ps openflow.PortStatus) {
 	a.mu.Lock()
 	armed := a.repairArmed
@@ -78,10 +96,10 @@ func (a *ECMPApp) PortStatus(sw *SwitchHandle, ps openflow.PortStatus) {
 	a.ctx.Clock.After(repairDebounce, a.repairPass)
 }
 
-// repairPass rewrites every ready switch's destination table from the
-// live topology. Disarming happens after the pass is serialized, so a
-// topology change landing mid-pass re-arms a fresh pass that runs after
-// this one and converges the tables.
+// repairPass recomputes every ready switch's destination table from the
+// live topology and delta-installs it. Disarming happens after the pass
+// is serialized, so a topology change landing mid-pass re-arms a fresh
+// pass that runs after this one and converges the tables.
 func (a *ECMPApp) repairPass() {
 	a.repairMu.Lock()
 	defer a.repairMu.Unlock()
@@ -90,24 +108,36 @@ func (a *ECMPApp) repairPass() {
 	a.mu.Unlock()
 	for _, h := range a.ctx.Ctl.Switches() {
 		if h.Ready() {
-			a.install(h, true)
+			a.install(h)
 		}
 	}
 }
 
-// install (re)computes and installs one rule per destination host. On a
-// repair pass, destinations that became unreachable have their rules
-// deleted so flows blackhole at the table miss (and re-punt) rather than
-// into a dead port.
-func (a *ECMPApp) install(sw *SwitchHandle, repair bool) {
+// install computes one rule per destination host and sends FLOW_MODs
+// for the destinations whose next-hop port set differs from what the
+// switch already holds (per the installed cache). Destinations that
+// became unreachable have their rules deleted so flows blackhole at the
+// table miss (and re-punt) rather than into a dead port; destinations
+// whose ports are unchanged cost nothing. Caller holds repairMu.
+func (a *ECMPApp) install(sw *SwitchHandle) {
 	g := a.ctx.Topo
+	cache := a.installed[sw.Node]
+	if cache == nil {
+		cache = make(map[core.NodeID][]core.PortID)
+		a.installed[sw.Node] = cache
+	}
 	for _, host := range g.Hosts() {
+		ports := nextHopPorts(g, sw.Node, host.ID)
+		prev, had := cache[host.ID]
+		if portSeqEqual(prev, ports) {
+			continue
+		}
 		m := openflow.MatchFromTable(flowtable.Match{
 			DstBits: 32, Dst: host.IP,
 		})
-		ports := nextHopPorts(g, sw.Node, host.ID)
 		if len(ports) == 0 {
-			if repair {
+			if had {
+				delete(cache, host.ID)
 				sw.SendFlowMod(openflow.FlowMod{
 					Match:    m,
 					Command:  openflow.FCDeleteStrict,
@@ -116,6 +146,7 @@ func (a *ECMPApp) install(sw *SwitchHandle, repair bool) {
 			}
 			continue
 		}
+		cache[host.ID] = ports
 		var action openflow.Action
 		if len(ports) == 1 {
 			action = openflow.Action{Output: uint16(ports[0])}
@@ -129,6 +160,19 @@ func (a *ECMPApp) install(sw *SwitchHandle, repair bool) {
 			Actions:  []openflow.Action{action},
 		})
 	}
+}
+
+// portSeqEqual reports whether two sorted port lists are identical.
+func portSeqEqual(a, b []core.PortID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // nextHopPorts returns the egress ports of all shortest paths from a

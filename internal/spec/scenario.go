@@ -15,31 +15,32 @@ type ScenarioSpec struct {
 }
 
 // scenarioAppliers maps each scenario name to the experiment wiring the
-// CLIs have always performed for it. Hedera's 5s poll interval is the
-// paper value, shared by every surface.
-var scenarioAppliers = map[string]func(exp *horse.Experiment, damp *horse.Dampening){
-	"bgp": func(exp *horse.Experiment, damp *horse.Dampening) {
-		exp.UseBGP(horse.BGPOptions{Dampening: damp})
+// CLIs have always performed for it. BGP scenarios start from the base
+// options the run carries (Dampening, AdvertiseDelay) and add their
+// scenario-specific flags. Hedera's 5s poll interval is the paper
+// value, shared by every surface.
+var scenarioAppliers = map[string]func(exp *horse.Experiment, base horse.BGPOptions){
+	"bgp": func(exp *horse.Experiment, base horse.BGPOptions) {
+		exp.UseBGP(base)
 	},
-	"bgp-ecmp": func(exp *horse.Experiment, damp *horse.Dampening) {
-		exp.UseBGP(horse.BGPOptions{ECMP: true, Dampening: damp})
+	"bgp-ecmp": func(exp *horse.Experiment, base horse.BGPOptions) {
+		base.ECMP = true
+		exp.UseBGP(base)
 	},
-	"bgp-rr": func(exp *horse.Experiment, damp *horse.Dampening) {
+	"bgp-rr": func(exp *horse.Experiment, base horse.BGPOptions) {
 		// The WAN scenario: iBGP route reflection with latency-delayed
 		// control plane delivery.
-		exp.UseBGP(horse.BGPOptions{
-			RouteReflection: true,
-			LinkLatency:     true,
-			Dampening:       damp,
-		})
+		base.RouteReflection = true
+		base.LinkLatency = true
+		exp.UseBGP(base)
 	},
-	"ecmp5": func(exp *horse.Experiment, _ *horse.Dampening) {
+	"ecmp5": func(exp *horse.Experiment, _ horse.BGPOptions) {
 		exp.UseSDN(horse.AppECMP5())
 	},
-	"hedera": func(exp *horse.Experiment, _ *horse.Dampening) {
+	"hedera": func(exp *horse.Experiment, _ horse.BGPOptions) {
 		exp.UseSDN(horse.AppHedera(5 * horse.Second))
 	},
-	"reactive": func(exp *horse.Experiment, _ *horse.Dampening) {
+	"reactive": func(exp *horse.Experiment, _ horse.BGPOptions) {
 		exp.UseSDN(horse.AppReactive(false))
 	},
 }
@@ -67,8 +68,9 @@ func ParseScenario(s string) (ScenarioSpec, error) {
 // needs router forwarding nodes).
 func (sc ScenarioSpec) BGP() bool { return sc.bgp }
 
-// Apply wires the scenario's control plane into the experiment. damp is
-// only consulted by the BGP scenarios.
-func (sc ScenarioSpec) Apply(exp *horse.Experiment, damp *horse.Dampening) {
-	scenarioAppliers[sc.Name](exp, damp)
+// Apply wires the scenario's control plane into the experiment. base
+// carries the run-level BGP knobs (Dampening, AdvertiseDelay); only the
+// BGP scenarios consult it.
+func (sc ScenarioSpec) Apply(exp *horse.Experiment, base horse.BGPOptions) {
+	scenarioAppliers[sc.Name](exp, base)
 }

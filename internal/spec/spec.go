@@ -59,7 +59,8 @@ func (d Duration) Duration() time.Duration { return time.Duration(d) }
 // The zero value of every optional field means "the CLI default".
 type Run struct {
 	// Topo is the topology spec: fattree:K, linear:N, star:N,
-	// ring:N[:CHORD], two-routers, wan:NAME, wan:mesh:SEED[:POPS].
+	// ring:N[:CHORD], two-routers, wan:NAME, wan:mesh:SEED[:POPS],
+	// wan:multi:SEED[:ASES[:POPS[:PREFIXES]]].
 	Topo string `json:"topo"`
 	// Scenario is the control plane: bgp, bgp-ecmp, bgp-rr, ecmp5,
 	// hedera, reactive.
@@ -84,6 +85,10 @@ type Run struct {
 	DelayScale *float64 `json:"delay_scale,omitempty"`
 	// Dampening enables BGP route flap dampening with defaults.
 	Dampening bool `json:"dampening,omitempty"`
+	// AdvertiseDelay overrides the BGP MRAI-style batching window
+	// (zero = the speaker default of 2ms). Only BGP scenarios consult
+	// it; the MRAI campaign sweeps this against Dampening.
+	AdvertiseDelay Duration `json:"advertise_delay,omitempty"`
 	// CaptureDir, when non-empty, records the control plane as pcapng
 	// traces there (the campaign runner points it at the run's
 	// artifact directory).
@@ -155,6 +160,9 @@ func (r Run) Validate() error {
 	if ds := r.DelayScale; ds != nil && *ds < 0 {
 		return fmt.Errorf("spec: negative delay scale %v", *ds)
 	}
+	if r.AdvertiseDelay < 0 {
+		return fmt.Errorf("spec: negative advertise delay %v", r.AdvertiseDelay.Duration())
+	}
 	return nil
 }
 
@@ -200,11 +208,11 @@ func (r Run) Experiment() (*horse.Experiment, error) {
 	}
 	exp := horse.NewExperiment(cfg)
 	exp.SetTopology(g)
-	var damp *horse.Dampening
+	base := horse.BGPOptions{AdvertiseDelay: r.AdvertiseDelay.Duration()}
 	if r.Dampening {
-		damp = &horse.Dampening{}
+		base.Dampening = &horse.Dampening{}
 	}
-	sc.Apply(exp, damp)
+	sc.Apply(exp, base)
 	rate := core.Rate(r.RateGbps) * core.Gbps
 	if p := tr.Pattern(rate); p != nil {
 		if err := exp.AddTraffic(p); err != nil {

@@ -45,6 +45,17 @@ func TestParseTopo(t *testing.T) {
 		{in: "wan:mesh:x", wantErr: "seed must be an integer"},
 		{in: "wan:mesh:7:0", wantErr: "PoP count"},
 		{in: "wan:mesh:7:24:5", wantErr: "wan:mesh:SEED[:POPS]"},
+		{in: "wan:multi:7", want: TopoSpec{Kind: TopoWANMultiAS, Seed: 7, ASes: 3, PoPs: 6}},
+		{in: "wan:multi:7:2", want: TopoSpec{Kind: TopoWANMultiAS, Seed: 7, ASes: 2, PoPs: 6}},
+		{in: "wan:multi:7:4:10", want: TopoSpec{Kind: TopoWANMultiAS, Seed: 7, ASes: 4, PoPs: 10}},
+		{in: "wan:multi:7:2:5:5000", want: TopoSpec{Kind: TopoWANMultiAS, Seed: 7, ASes: 2, PoPs: 5, FullTable: 5000}},
+		{in: "wan:multi:-3", want: TopoSpec{Kind: TopoWANMultiAS, Seed: -3, ASes: 3, PoPs: 6}},
+		{in: "wan:multi", wantErr: "needs a seed"},
+		{in: "wan:multi:x", wantErr: "seed must be an integer"},
+		{in: "wan:multi:7:1", wantErr: "AS count"},
+		{in: "wan:multi:7:2:0", wantErr: "PoP count"},
+		{in: "wan:multi:7:2:5:-1", wantErr: "prefix count"},
+		{in: "wan:multi:7:2:5:100:9", wantErr: "wan:multi:SEED[:ASES[:POPS[:PREFIXES]]]"},
 		{in: "", wantErr: "empty topology"},
 		{in: "mesh:4", wantErr: "unknown topology kind"},
 		{in: "fat-tree:4", wantErr: "unknown topology kind"},
@@ -76,6 +87,7 @@ func TestTopoWAN(t *testing.T) {
 	for in, want := range map[string]bool{
 		"wan:abilene": true,
 		"wan:mesh:7":  true,
+		"wan:multi:7": true,
 		"fattree:4":   false,
 		"ring:8":      false,
 		"two-routers": false,
@@ -227,6 +239,8 @@ func TestRunValidate(t *testing.T) {
 		{"negative pacing", neg(func(r *Run) { r.Pacing = -2 }), "negative pacing"},
 		{"negative workers", neg(func(r *Run) { r.SolverWorkers = -1 }), "negative solver workers"},
 		{"negative delay scale", neg(func(r *Run) { r.DelayScale = &negDS }), "negative delay scale"},
+		{"negative advertise delay", neg(func(r *Run) { r.AdvertiseDelay = Duration(-time.Millisecond) }), "negative advertise delay"},
+		{"wan multi needs bgp", Run{Topo: "wan:multi:7", Scenario: "ecmp5"}, "needs a bgp scenario"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -238,7 +252,7 @@ func TestRunValidate(t *testing.T) {
 	}
 
 	// WAN topologies with BGP scenarios are fine.
-	for _, topo := range []string{"wan:abilene", "wan:mesh:7"} {
+	for _, topo := range []string{"wan:abilene", "wan:mesh:7", "wan:multi:7:2:4"} {
 		r := Run{Topo: topo, Scenario: "bgp-rr"}
 		if err := r.Validate(); err != nil {
 			t.Errorf("Validate(%s/bgp-rr): %v", topo, err)
@@ -325,7 +339,8 @@ func TestRunJSONRoundTrip(t *testing.T) {
 		RateGbps: 2, Dur: Duration(5 * time.Second), Pacing: 40,
 		SampleInterval: Duration(10 * time.Millisecond),
 		NaiveSolver:    true, SolverWorkers: 4, DelayScale: &ds,
-		Dampening: true, CaptureDir: "pcap",
+		Dampening: true, AdvertiseDelay: Duration(50 * time.Millisecond),
+		CaptureDir: "pcap",
 	}
 	b, err := json.Marshal(r)
 	if err != nil {

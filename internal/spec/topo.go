@@ -21,6 +21,7 @@ const (
 	TopoTwoRouters TopoKind = "two-routers"
 	TopoWAN        TopoKind = "wan"
 	TopoWANMesh    TopoKind = "wan-mesh"
+	TopoWANMultiAS TopoKind = "wan-multi-as"
 )
 
 // TopoSpec is a parsed -topo argument.
@@ -32,13 +33,19 @@ type TopoSpec struct {
 	Chord int
 	// Name is the embedded WAN backbone name (abilene, tier1).
 	Name string
-	// Seed and PoPs parameterize wan:mesh.
+	// Seed and PoPs parameterize wan:mesh and wan:multi (PoPs is
+	// per-AS for wan:multi).
 	Seed int64
 	PoPs int
+	// ASes and FullTable parameterize wan:multi: the number of
+	// eBGP-peered component backbones, and how many synthetic /24s the
+	// edge ASes originate between them.
+	ASes      int
+	FullTable int
 }
 
 // topoUsage is the accepted grammar, quoted by parse errors.
-const topoUsage = "fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME, wan:mesh:SEED[:POPS]"
+const topoUsage = "fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME, wan:mesh:SEED[:POPS], wan:multi:SEED[:ASES[:POPS[:PREFIXES]]]"
 
 // ParseTopo parses a -topo spec string. It validates shape and
 // parameters (including WAN backbone names) without building the graph,
@@ -121,12 +128,48 @@ func ParseTopo(s string) (TopoSpec, error) {
 			}
 			return ts, nil
 		}
+		if name == "multi" {
+			if !hasMeshArg {
+				return TopoSpec{}, fmt.Errorf("spec: wan:multi needs a seed (wan:multi:SEED[:ASES[:POPS[:PREFIXES]]]), got %q", s)
+			}
+			parts := strings.Split(arg, ":")
+			if len(parts) > 4 {
+				return TopoSpec{}, fmt.Errorf("spec: wan:multi wants wan:multi:SEED[:ASES[:POPS[:PREFIXES]]], got %q", s)
+			}
+			seed, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return TopoSpec{}, fmt.Errorf("spec: wan:multi seed must be an integer, got %q in %q", parts[0], s)
+			}
+			ts := TopoSpec{Kind: TopoWANMultiAS, Seed: seed, ASes: 3, PoPs: 6}
+			if len(parts) >= 2 {
+				ases, err := strconv.Atoi(parts[1])
+				if err != nil || ases < 2 {
+					return TopoSpec{}, fmt.Errorf("spec: wan:multi AS count must be an integer >= 2, got %q in %q", parts[1], s)
+				}
+				ts.ASes = ases
+			}
+			if len(parts) >= 3 {
+				pops, err := strconv.Atoi(parts[2])
+				if err != nil || pops <= 0 {
+					return TopoSpec{}, fmt.Errorf("spec: wan:multi PoP count must be a positive integer, got %q in %q", parts[2], s)
+				}
+				ts.PoPs = pops
+			}
+			if len(parts) == 4 {
+				n, err := strconv.Atoi(parts[3])
+				if err != nil || n < 0 {
+					return TopoSpec{}, fmt.Errorf("spec: wan:multi prefix count must be a non-negative integer, got %q in %q", parts[3], s)
+				}
+				ts.FullTable = n
+			}
+			return ts, nil
+		}
 		for _, known := range topo.WANNames() {
 			if name == known {
 				return TopoSpec{Kind: TopoWAN, Name: name}, nil
 			}
 		}
-		return TopoSpec{}, fmt.Errorf("spec: unknown WAN backbone %q (have %v, or wan:mesh:SEED[:POPS])", name, topo.WANNames())
+		return TopoSpec{}, fmt.Errorf("spec: unknown WAN backbone %q (have %v, wan:mesh:SEED[:POPS], or wan:multi:SEED[:ASES[:POPS[:PREFIXES]]])", name, topo.WANNames())
 	default:
 		return TopoSpec{}, fmt.Errorf("spec: unknown topology kind %q (want %s)", kind, topoUsage)
 	}
@@ -134,7 +177,9 @@ func ParseTopo(s string) (TopoSpec, error) {
 
 // WAN reports whether the topology is a WAN router mesh (which requires
 // a BGP scenario).
-func (ts TopoSpec) WAN() bool { return ts.Kind == TopoWAN || ts.Kind == TopoWANMesh }
+func (ts TopoSpec) WAN() bool {
+	return ts.Kind == TopoWAN || ts.Kind == TopoWANMesh || ts.Kind == TopoWANMultiAS
+}
 
 // Build constructs the topology graph. routers makes the forwarding
 // nodes BGP routers (WAN kinds are always routers); delayScale scales
@@ -159,6 +204,9 @@ func (ts TopoSpec) Build(routers bool, delayScale float64) (*horse.Topology, err
 		return horse.WAN(ts.Name, horse.DelayScale(delayScale))
 	case TopoWANMesh:
 		return horse.WANMesh(ts.PoPs, ts.Seed, horse.DelayScale(delayScale))
+	case TopoWANMultiAS:
+		return horse.WANMultiAS(ts.ASes, ts.PoPs, ts.Seed,
+			horse.DelayScale(delayScale), horse.FullTable(ts.FullTable))
 	default:
 		return nil, fmt.Errorf("spec: unknown topology kind %q", ts.Kind)
 	}

@@ -97,6 +97,13 @@ type Node struct {
 	// scenarios (assigned by the scenario builder; 0 if unset).
 	ASN uint32
 
+	// Originate lists extra prefixes this router injects into BGP
+	// beyond its host-facing Prefix — the multi-AS WAN generator uses
+	// it to originate synthetic full-table /24s at edge-AS routers
+	// (see WANMultiAS). No host sits behind these prefixes; they exist
+	// to exercise RIB and UPDATE volume at Internet scale.
+	Originate []netip.Prefix
+
 	// RouteReflector marks a router as an iBGP route reflector in WAN
 	// scenarios (see topo.WANGraph and cm.BGPConfig.RouteReflection).
 	// Reflector sets chosen by the WAN generators form a connected

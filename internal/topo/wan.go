@@ -109,24 +109,56 @@ func WANGraph(o WANOpts) (*Graph, error) {
 		return nil, fmt.Errorf("topo: WAN larger than addressing space: %d PoPs", o.PoPs)
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
+	m := genWANMesh(o.PoPs, o.Chords, o.RegionKm, rng)
 
+	names := make([]string, o.PoPs)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+	}
+	adj := adjacency(o.PoPs, func(yield func(a, b int)) {
+		for _, e := range m.edges {
+			yield(e[0], e[1])
+		}
+	})
+	delays := make([]core.Time, len(m.edges))
+	for i, e := range m.edges {
+		delays[i] = o.linkDelay(m.dist(e[0], e[1]))
+	}
+	return buildWAN(o, names, adj, func(i int) (int, int) { return m.edges[i][0], m.edges[i][1] }, len(m.edges), delays)
+}
+
+// wanMesh is one generated PoP field: coordinates in km plus backbone
+// edges. Shared by WANGraph (one mesh = one AS) and WANMultiAS (one
+// mesh per component AS).
+type wanMesh struct {
+	xs, ys []float64
+	edges  [][2]int
+}
+
+// dist is the euclidean PoP distance in km.
+func (m *wanMesh) dist(i, j int) float64 {
+	dx, dy := m.xs[i]-m.xs[j], m.ys[i]-m.ys[j]
+	return math.Hypot(dx, dy)
+}
+
+// genWANMesh draws a Rocketfuel-style mesh from rng: PoPs scattered over
+// a regionKm field, joined by degree-weighted distance-penalized
+// preferential attachment plus chords shortcut links. The rng is
+// consumed in a fixed order, so the same stream reproduces the
+// identical mesh.
+func genWANMesh(pops, chords int, regionKm float64, rng *rand.Rand) wanMesh {
 	// PoP coordinates: uniform over a continental-aspect field.
-	xs := make([]float64, o.PoPs)
-	ys := make([]float64, o.PoPs)
+	xs := make([]float64, pops)
+	ys := make([]float64, pops)
 	for i := range xs {
-		xs[i] = rng.Float64() * o.RegionKm
-		ys[i] = rng.Float64() * o.RegionKm * 0.6
+		xs[i] = rng.Float64() * regionKm
+		ys[i] = rng.Float64() * regionKm * 0.6
 	}
-	dist := func(i, j int) float64 {
-		dx, dy := xs[i]-xs[j], ys[i]-ys[j]
-		return math.Hypot(dx, dy)
-	}
+	m := wanMesh{xs: xs, ys: ys}
 
 	// Degree-weighted, distance-penalized preferential attachment.
-	deg := make([]int, o.PoPs)
-	type edge struct{ a, b int }
-	var edges []edge
-	seen := make(map[edge]bool)
+	deg := make([]int, pops)
+	seen := make(map[[2]int]bool)
 	addEdge := func(a, b int) bool {
 		if a == b {
 			return false
@@ -134,22 +166,22 @@ func WANGraph(o WANOpts) (*Graph, error) {
 		if a > b {
 			a, b = b, a
 		}
-		if seen[edge{a, b}] {
+		if seen[[2]int{a, b}] {
 			return false
 		}
-		seen[edge{a, b}] = true
-		edges = append(edges, edge{a, b})
+		seen[[2]int{a, b}] = true
+		m.edges = append(m.edges, [2]int{a, b})
 		deg[a]++
 		deg[b]++
 		return true
 	}
 	addEdge(0, 1)
-	for i := 2; i < o.PoPs; i++ {
+	for i := 2; i < pops; i++ {
 		// Weight existing PoPs by degree over distance.
 		total := 0.0
 		w := make([]float64, i)
 		for j := 0; j < i; j++ {
-			w[j] = float64(deg[j]+1) / (0.1 + dist(i, j)/o.RegionKm)
+			w[j] = float64(deg[j]+1) / (0.1 + m.dist(i, j)/regionKm)
 			total += w[j]
 		}
 		pick := rng.Float64() * total
@@ -164,10 +196,10 @@ func WANGraph(o WANOpts) (*Graph, error) {
 	}
 	// Shortcut chords, biased toward short spans: sample pairs and keep
 	// the closer of two candidates.
-	for added, tries := 0, 0; added < o.Chords && tries < 50*o.Chords; tries++ {
-		a1, b1 := rng.Intn(o.PoPs), rng.Intn(o.PoPs)
-		a2, b2 := rng.Intn(o.PoPs), rng.Intn(o.PoPs)
-		if a1 != b1 && (a2 == b2 || dist(a1, b1) <= dist(a2, b2)) {
+	for added, tries := 0, 0; added < chords && tries < 50*chords; tries++ {
+		a1, b1 := rng.Intn(pops), rng.Intn(pops)
+		a2, b2 := rng.Intn(pops), rng.Intn(pops)
+		if a1 != b1 && (a2 == b2 || m.dist(a1, b1) <= m.dist(a2, b2)) {
 			if addEdge(a1, b1) {
 				added++
 			}
@@ -177,21 +209,7 @@ func WANGraph(o WANOpts) (*Graph, error) {
 			}
 		}
 	}
-
-	names := make([]string, o.PoPs)
-	for i := range names {
-		names[i] = fmt.Sprintf("r%d", i)
-	}
-	adj := adjacency(o.PoPs, func(yield func(a, b int)) {
-		for _, e := range edges {
-			yield(e.a, e.b)
-		}
-	})
-	delays := make([]core.Time, len(edges))
-	for i, e := range edges {
-		delays[i] = o.linkDelay(dist(e.a, e.b))
-	}
-	return buildWAN(o, names, adj, func(i int) (int, int) { return edges[i].a, edges[i].b }, len(edges), delays)
+	return m
 }
 
 // WANNames lists the embedded named topologies accepted by WANNamed.
@@ -308,6 +326,183 @@ func WANNamed(name string, o WANOpts) (*Graph, error) {
 		delays[i] = o.linkDelay(haversineKm(cities[l[0]], cities[l[1]]))
 	}
 	return buildWAN(o, names, adj, func(i int) (int, int) { return links[i][0], links[i][1] }, len(links), delays)
+}
+
+// MultiASOpts parameterizes WANMultiAS: a chain of WANGraph-style
+// backbones, one autonomous system each, joined by eBGP peering links.
+type MultiASOpts struct {
+	// WANOpts applies to each component AS: PoPs and Chords size every
+	// backbone, Seed drives all random choices, ASN numbers the first
+	// AS (subsequent ASes count up from it), and RegionKm spans each
+	// AS's coordinate field. The fields WANGraph validates are
+	// validated here with the same limits.
+	WANOpts
+	// ASes is how many backbones to compose (default 3, range 2..8 —
+	// bounded by the per-AS 10.(as+1).pop.0/24 addressing plan).
+	ASes int
+	// PeeringLinks is how many eBGP links join each adjacent AS pair
+	// (default 2: a primary and a geographically redundant crossing,
+	// landing on distinct border PoPs on both sides).
+	PeeringLinks int
+	// FullTablePrefixes synthesizes an Internet-scale routing table:
+	// this many /24s drawn from 20.0.0.0 are split between the two
+	// edge (stub) ASes of the chain and originated round-robin by
+	// their PoP routers (Node.Originate). No hosts sit behind them;
+	// they exist to drive RIB size and UPDATE volume. Max 524288.
+	FullTablePrefixes int
+}
+
+// maxFullTablePrefixes bounds the synthetic table: half a million /24s
+// (full current-Internet scale) keeps the 20.0.0.0-based block clear of
+// both the 10.0.0.0/8 PoP space and the 172.16.0.0/12 p2p space.
+const maxFullTablePrefixes = 1 << 19
+
+// fullTablePrefix is the k-th synthetic /24 (20.0.0.0, 20.0.1.0, ...).
+func fullTablePrefix(k int) netip.Prefix {
+	return netip.PrefixFrom(core.IPv4FromUint32(0x1400_0000+uint32(k)*256), 24)
+}
+
+// WANMultiAS composes ASes seeded backbones into a west-to-east chain of
+// eBGP-peered autonomous systems: each AS is a WANGraph-style mesh with
+// its own ASN (ASN+as), addressing (10.(as+1).pop.0/24), and iBGP route
+// reflector set; adjacent ASes are joined by PeeringLinks cables between
+// their geographically closest border PoPs, which become eBGP sessions
+// when the control plane is wired (internal/cm peers by ASN equality).
+// The two edge ASes originate FullTablePrefixes synthetic /24s between
+// them, modelling stub networks injecting a full table into the transit
+// core. The same options reproduce the identical graph.
+func WANMultiAS(o MultiASOpts) (*Graph, error) {
+	wo, err := o.WANOpts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if o.ASes == 0 {
+		o.ASes = 3
+	}
+	if o.ASes < 2 || o.ASes > 8 {
+		return nil, fmt.Errorf("topo: multi-AS WAN wants 2..8 ASes, got %d", o.ASes)
+	}
+	if o.PeeringLinks == 0 {
+		o.PeeringLinks = 2
+	}
+	if o.PeeringLinks < 1 || o.PeeringLinks > wo.PoPs {
+		return nil, fmt.Errorf("topo: %d peering links per AS pair with %d PoPs per AS", o.PeeringLinks, wo.PoPs)
+	}
+	if wo.PoPs < 3 {
+		return nil, fmt.Errorf("topo: WAN needs >= 3 PoPs per AS, got %d", wo.PoPs)
+	}
+	if wo.PoPs > 200 {
+		return nil, fmt.Errorf("topo: WAN larger than addressing space: %d PoPs per AS", wo.PoPs)
+	}
+	if o.FullTablePrefixes < 0 || o.FullTablePrefixes > maxFullTablePrefixes {
+		return nil, fmt.Errorf("topo: full-table size %d out of range [0, %d]", o.FullTablePrefixes, maxFullTablePrefixes)
+	}
+
+	// One mesh per AS from a single rng stream, fields offset eastward
+	// so inter-AS spans carry geographic delay like intra-AS ones.
+	rng := rand.New(rand.NewSource(wo.Seed))
+	meshes := make([]wanMesh, o.ASes)
+	for a := range meshes {
+		meshes[a] = genWANMesh(wo.PoPs, wo.Chords, wo.RegionKm, rng)
+		off := float64(a) * wo.RegionKm * 1.25
+		for i := range meshes[a].xs {
+			meshes[a].xs[i] += off
+		}
+	}
+
+	g := New()
+	routers := make([][]*Node, o.ASes)
+	accessDelay := core.Time(float64(wanAccessDelay) * wo.DelayScale)
+	for a := 0; a < o.ASes; a++ {
+		m := &meshes[a]
+		adj := adjacency(wo.PoPs, func(yield func(x, y int)) {
+			for _, e := range m.edges {
+				yield(e[0], e[1])
+			}
+		})
+		reflectors := chooseReflectors(adj)
+		routers[a] = make([]*Node, wo.PoPs)
+		for i := 0; i < wo.PoPs; i++ {
+			r := g.AddRouter(fmt.Sprintf("a%dr%d", a, i))
+			r.Idx = i
+			r.Pod = a // Pod doubles as the AS index
+			r.IP = netip.AddrFrom4([4]byte{10, byte(a + 1), byte(i), 1})
+			r.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(a + 1), byte(i), 0}), 24)
+			r.ASN = wo.ASN + uint32(a)
+			if reflectors[i] {
+				r.RouteReflector = true
+				r.Layer = LayerCore
+			} else {
+				r.Layer = LayerEdge
+			}
+			routers[a][i] = r
+			h := g.AddHost(fmt.Sprintf("ha%dr%d", a, i))
+			h.Idx = i
+			h.Pod = a
+			h.IP = netip.AddrFrom4([4]byte{10, byte(a + 1), byte(i), 2})
+			h.Prefix = netip.PrefixFrom(h.IP, 32)
+			g.Connect(r, h, wo.LinkRate, accessDelay)
+		}
+		for _, e := range m.edges {
+			g.Connect(routers[a][e[0]], routers[a][e[1]], wo.LinkRate, wo.linkDelay(m.dist(e[0], e[1])))
+		}
+	}
+
+	// eBGP peering: each adjacent AS pair joins at its PeeringLinks
+	// closest cross-field PoP pairs, preferring distinct border routers
+	// on both sides so one PoP failure cannot partition the chain.
+	for a := 0; a+1 < o.ASes; a++ {
+		type crossing struct {
+			i, j int
+			km   float64
+		}
+		cands := make([]crossing, 0, wo.PoPs*wo.PoPs)
+		for i := 0; i < wo.PoPs; i++ {
+			for j := 0; j < wo.PoPs; j++ {
+				dx := meshes[a].xs[i] - meshes[a+1].xs[j]
+				dy := meshes[a].ys[i] - meshes[a+1].ys[j]
+				cands = append(cands, crossing{i, j, math.Hypot(dx, dy)})
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			if cands[x].km != cands[y].km {
+				return cands[x].km < cands[y].km
+			}
+			if cands[x].i != cands[y].i {
+				return cands[x].i < cands[y].i
+			}
+			return cands[x].j < cands[y].j
+		})
+		usedI := make(map[int]bool)
+		usedJ := make(map[int]bool)
+		added := 0
+		for _, c := range cands {
+			if added == o.PeeringLinks {
+				break
+			}
+			if usedI[c.i] || usedJ[c.j] {
+				continue
+			}
+			usedI[c.i], usedJ[c.j] = true, true
+			g.Connect(routers[a][c.i], routers[a+1][c.j], wo.LinkRate, wo.linkDelay(c.km))
+			added++
+		}
+	}
+
+	// Full-table origination: synthetic /24s alternate between the two
+	// edge ASes and round-robin over each one's PoP routers.
+	if o.FullTablePrefixes > 0 {
+		edgeASes := []int{0, o.ASes - 1}
+		for k := 0; k < o.FullTablePrefixes; k++ {
+			rs := routers[edgeASes[k%len(edgeASes)]]
+			r := rs[(k/len(edgeASes))%len(rs)]
+			r.Originate = append(r.Originate, fullTablePrefix(k))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // haversineKm is the great-circle distance between two cities.

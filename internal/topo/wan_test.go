@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"net/netip"
 	"testing"
 
 	"repro/internal/core"
@@ -206,6 +207,180 @@ func TestWANZeroLatencyAblation(t *testing.T) {
 	}
 	if len(d.Links) != len(g.Links) || len(d.Nodes) != len(g.Nodes) {
 		t.Fatal("zero-latency ablation changed topology structure")
+	}
+}
+
+func TestWANMultiASDeterminism(t *testing.T) {
+	opts := MultiASOpts{WANOpts: WANOpts{PoPs: 8, Seed: 7}, ASes: 3, FullTablePrefixes: 100}
+	a, err := WANMultiAS(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WANMultiAS(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("same options produced different multi-AS graphs")
+	}
+	opts.Seed = 8
+	c, err := WANMultiAS(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(c) {
+		t.Fatal("different seeds produced identical multi-AS graphs")
+	}
+}
+
+func TestWANMultiASInvariants(t *testing.T) {
+	const ases, pops, table = 3, 8, 1000
+	g, err := WANMultiAS(MultiASOpts{
+		WANOpts: WANOpts{PoPs: pops, Seed: 42}, ASes: ases, FullTablePrefixes: table,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := g.Routers()
+	if len(routers) != ases*pops {
+		t.Fatalf("%d routers, want %d", len(routers), ases*pops)
+	}
+	// The whole chain is connected (checkWANInvariants also validates
+	// the per-AS reflector wiring against the full router graph: the
+	// union of per-AS dominating sets still dominates, but the RR
+	// backbone is only connected per AS — check that per AS below).
+	if n := routerReachable(g, routers[0].ID); n != len(routers) {
+		t.Fatalf("multi-AS WAN not connected: %d of %d routers reachable", n, len(routers))
+	}
+	// ASN partition: pops routers per ASN, numbered from 65000.
+	byASN := map[uint32][]*Node{}
+	for _, r := range routers {
+		byASN[r.ASN] = append(byASN[r.ASN], r)
+	}
+	if len(byASN) != ases {
+		t.Fatalf("%d distinct ASNs, want %d", len(byASN), ases)
+	}
+	for a := 0; a < ases; a++ {
+		asn := uint32(65000 + a)
+		rs := byASN[asn]
+		if len(rs) != pops {
+			t.Fatalf("ASN %d has %d routers, want %d", asn, len(rs), pops)
+		}
+		// Per-AS reflector invariants: reflectors exist, every client
+		// has an adjacent same-AS reflector, and the reflector subgraph
+		// is connected within the AS.
+		var rrs []*Node
+		for _, r := range rs {
+			if r.RouteReflector {
+				rrs = append(rrs, r)
+			}
+		}
+		if len(rrs) == 0 {
+			t.Fatalf("ASN %d has no reflectors", asn)
+		}
+		for _, r := range rs {
+			if r.RouteReflector {
+				continue
+			}
+			adjacent := false
+			for _, p := range r.Ports {
+				peer := g.Nodes[p.Peer]
+				if peer.Kind == Router && peer.ASN == asn && peer.RouteReflector {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("client %s has no adjacent same-AS reflector", r.Name)
+			}
+		}
+	}
+	// eBGP peering: exactly PeeringLinks (default 2) cables between each
+	// adjacent AS pair, none between non-adjacent ASes.
+	crossings := map[[2]uint32]int{}
+	for _, l := range g.Links {
+		if l.ID > l.Reverse {
+			continue
+		}
+		from, to := g.Nodes[l.From], g.Nodes[l.To]
+		if from.Kind != Router || to.Kind != Router || from.ASN == to.ASN {
+			continue
+		}
+		a, b := from.ASN, to.ASN
+		if a > b {
+			a, b = b, a
+		}
+		crossings[[2]uint32{a, b}]++
+	}
+	if len(crossings) != ases-1 {
+		t.Fatalf("peered AS pairs = %v, want %d adjacent pairs", crossings, ases-1)
+	}
+	for pair, n := range crossings {
+		if pair[1] != pair[0]+1 {
+			t.Fatalf("non-adjacent ASes %d and %d peered", pair[0], pair[1])
+		}
+		if n != 2 {
+			t.Fatalf("AS pair %v has %d peering links, want 2", pair, n)
+		}
+	}
+	// Full-table origination: the synthetic /24s live only in the two
+	// edge ASes, cover the table exactly, and stay clear of the PoP and
+	// p2p address spaces.
+	total := 0
+	seen := map[netip.Prefix]bool{}
+	for _, r := range routers {
+		if len(r.Originate) == 0 {
+			continue
+		}
+		if r.ASN != 65000 && r.ASN != uint32(65000+ases-1) {
+			t.Fatalf("transit-AS router %s originates %d prefixes", r.Name, len(r.Originate))
+		}
+		for _, p := range r.Originate {
+			if p.Bits() != 24 {
+				t.Fatalf("originated prefix %v is not a /24", p)
+			}
+			if seen[p] {
+				t.Fatalf("prefix %v originated twice", p)
+			}
+			seen[p] = true
+			a4 := p.Addr().As4()
+			if a4[0] == 10 || (a4[0] == 172 && a4[1] >= 16 && a4[1] < 32) {
+				t.Fatalf("synthetic prefix %v collides with infrastructure addressing", p)
+			}
+		}
+		total += len(r.Originate)
+	}
+	if total != table {
+		t.Fatalf("originated %d prefixes, want %d", total, table)
+	}
+	// Addressing: router loopbacks/subnets are unique per (AS, PoP).
+	ips := map[netip.Addr]bool{}
+	for _, r := range routers {
+		if ips[r.IP] {
+			t.Fatalf("duplicate router IP %v", r.IP)
+		}
+		ips[r.IP] = true
+	}
+}
+
+func TestWANMultiASRejectsBadOptions(t *testing.T) {
+	base := WANOpts{PoPs: 6, Seed: 1}
+	for _, tc := range []struct {
+		name string
+		o    MultiASOpts
+	}{
+		{"one AS", MultiASOpts{WANOpts: base, ASes: 1}},
+		{"nine ASes", MultiASOpts{WANOpts: base, ASes: 9}},
+		{"tiny AS", MultiASOpts{WANOpts: WANOpts{PoPs: 2, Seed: 1}, ASes: 2}},
+		{"huge AS", MultiASOpts{WANOpts: WANOpts{PoPs: 500, Seed: 1}, ASes: 2}},
+		{"negative table", MultiASOpts{WANOpts: base, ASes: 2, FullTablePrefixes: -1}},
+		{"oversized table", MultiASOpts{WANOpts: base, ASes: 2, FullTablePrefixes: 1 << 20}},
+		{"too many peerings", MultiASOpts{WANOpts: base, ASes: 2, PeeringLinks: 7}},
+		{"negative delay scale", MultiASOpts{WANOpts: WANOpts{PoPs: 6, Seed: 1, DelayScale: -1}, ASes: 2}},
+	} {
+		if _, err := WANMultiAS(tc.o); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+package horse
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// runMultiAS runs the Internet-scale scenario: two eBGP-peered 4-PoP
+// backbones where the edge ASes originate table synthetic /24s between
+// them, under route reflection with latency-delayed delivery and an
+// explicit MRAI batching window.
+func runMultiAS(t *testing.T, table int) (*Result, *Experiment) {
+	t.Helper()
+	g, err := WANMultiAS(2, 4, 11, DelayScale(1), FullTable(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExperiment(wanConfig())
+	exp.SetTopology(g)
+	exp.UseBGP(BGPOptions{
+		RouteReflection: true,
+		LinkLatency:     true,
+		AdvertiseDelay:  10 * time.Millisecond,
+	})
+	if err := exp.SendPermutation(7, 200*Mbps, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(8 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, exp
+}
+
+// totalUpdatesSent sums UPDATE messages across every speaker in the run.
+func totalUpdatesSent(exp *Experiment) uint64 {
+	var total uint64
+	for _, r := range exp.Manager().G.Routers() {
+		if sp := exp.Manager().Speaker(r.ID); sp != nil {
+			total += sp.Stats.UpdatesSent.Load()
+		}
+	}
+	return total
+}
+
+// TestWANMultiASFullTableConverges is the multi-AS acceptance test: a
+// full-table-sized RIB originated at the edge ASes propagates across
+// eBGP peering links and per-AS reflector hierarchies until every
+// cross-AS flow goes active — and the whole distribution takes
+// O(attr-groups × size-splits) UPDATE messages, not O(prefixes).
+func TestWANMultiASFullTableConverges(t *testing.T) {
+	const table = 1200
+	res, exp := runMultiAS(t, table)
+	allActive(t, res, "multi-as")
+	if _, ok := res.ConvergedAt(0.95); !ok {
+		t.Fatal("multi-AS full-table run never converged")
+	}
+	// Every router must have learned the synthetic table (8 routers,
+	// each installing at least the remote-AS half of it).
+	if res.RouteInstalls < uint64(table) {
+		t.Fatalf("RouteInstalls = %d, want >= %d (full table not distributed)", res.RouteInstalls, table)
+	}
+	// The packing criterion: a per-prefix control plane would push
+	// roughly sessions × prefixes UPDATEs through the mesh. Require at
+	// least a 20x reduction against that floor.
+	g := exp.Manager().G
+	sessions := 0
+	for _, l := range g.Links {
+		if l.ID > l.Reverse {
+			continue
+		}
+		if g.Nodes[l.From].Kind == topo.Router && g.Nodes[l.To].Kind == topo.Router {
+			sessions += 2 // one speaker per direction
+		}
+	}
+	perPrefixFloor := uint64(sessions) * uint64(table)
+	got := totalUpdatesSent(exp)
+	if got == 0 {
+		t.Fatal("no UPDATEs sent")
+	}
+	if got*20 > perPrefixFloor {
+		t.Fatalf("total UPDATEs = %d across %d sessions for %d prefixes — packing regressed (per-prefix floor %d)",
+			got, sessions, table, perPrefixFloor)
+	}
+}
+
+// TestWANMultiASUpdateScaling pins the scaling curve: growing the
+// synthetic table 6x may grow the UPDATE count only by the message-size
+// split factor (1200 /24s fit in ~2 messages per attr group), never
+// linearly with the prefix count.
+func TestWANMultiASUpdateScaling(t *testing.T) {
+	_, small := runMultiAS(t, 200)
+	_, large := runMultiAS(t, 1200)
+	su, lu := totalUpdatesSent(small), totalUpdatesSent(large)
+	if su == 0 || lu == 0 {
+		t.Fatalf("no UPDATE traffic: small=%d large=%d", su, lu)
+	}
+	if lu > 4*su {
+		t.Fatalf("UPDATE count scaled with prefixes: %d at 200 prefixes vs %d at 1200 (want <= 4x growth for 6x prefixes)", su, lu)
+	}
+}
