@@ -10,6 +10,8 @@
 //	horse -topo fattree:4 -scenario ecmp5 -traffic permutation:42 -dur 20s
 //	horse -topo ring:8:2 -scenario bgp -traffic stride:1 -dur 30s
 //	horse -topo two-routers -scenario bgp -dur 10s
+//	horse -traffic matrix:demands.csv:2 -capacity walk:7:250ms -dur 10s
+//	horse -traffic incast:42:8 -scenario hedera -dur 10s
 package main
 
 import (
@@ -24,7 +26,8 @@ func main() {
 	var (
 		topoSpec    = flag.String("topo", "fattree:4", "topology: fattree:K, linear:N, star:N, ring:N[:CHORD], two-routers, wan:NAME (abilene, tier1), wan:mesh:SEED[:POPS], wan:multi:SEED[:ASES[:POPS[:PREFIXES]]]")
 		scenario    = flag.String("scenario", "ecmp5", "control plane: bgp, bgp-ecmp, bgp-rr, ecmp5, hedera, reactive")
-		trafficSpec = flag.String("traffic", spec.DefaultTraffic, "workload: permutation:SEED, stride:N, none")
+		trafficSpec = flag.String("traffic", spec.DefaultTraffic, "workload: permutation:SEED, stride:N, matrix:FILE[:SCALE], pareto[:SEED[:N]], lognormal[:SEED[:N]], incast[:SEED[:FANIN]], alltoall[:PHASES], ring[:STEPS], none")
+		capacity    = flag.String("capacity", "", "time-varying link capacity: walk[:SEED[:PERIOD]], trace:FILE, none")
 		rate        = flag.Float64("rate", spec.DefaultRate, "per-flow rate in Gbps")
 		dur         = flag.Duration("dur", spec.DefaultDur.Duration(), "virtual duration")
 		pacing      = flag.Float64("pacing", spec.DefaultPacing, "FTI pacing")
@@ -43,6 +46,7 @@ func main() {
 		Topo:           *topoSpec,
 		Scenario:       *scenario,
 		Traffic:        *trafficSpec,
+		Capacity:       *capacity,
 		RateGbps:       *rate,
 		Dur:            spec.Duration(*dur),
 		Pacing:         *pacing,

@@ -9,9 +9,17 @@
 // controller reacts to PORT_STATUS — followed by full restoration at
 // link-up. A dip/recovery summary quantifies both.
 //
+// The workload defaults to the paper's permutation but any -traffic
+// spec form works (matrix:FILE[:SCALE], pareto, incast, alltoall, …),
+// and -capacity adds time-varying link capacity (seeded random walk or
+// trace replay); both print a workload summary — goodput tracking and
+// the min-host-rx floor distribution — alongside the aggregate series.
+//
 // Usage:
 //
 //	tedemo -te bgp|hedera|ecmp5 [-k 4] [-dur 20s] [-pacing 1.0] [-seed 42] [-tsv] [-fail] [-solver-workers N]
+//	tedemo -traffic matrix:demands.csv:2 -capacity walk:7:250ms
+//	tedemo -traffic incast:42:8 -dur 10s
 package main
 
 import (
@@ -25,6 +33,14 @@ import (
 	"repro/internal/stats"
 )
 
+// orNone renders an empty capacity spec as "none" in the summary.
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
 // scenarioFor maps the demo's TE names onto the shared spec scenarios:
 // the demo's "bgp" is BGP with ECMP path selection.
 var scenarioFor = map[string]string{
@@ -35,16 +51,18 @@ var scenarioFor = map[string]string{
 
 func main() {
 	var (
-		te      = flag.String("te", "ecmp5", "TE approach: bgp, hedera or ecmp5")
-		k       = flag.Int("k", 4, "fat-tree arity (4, 6 or 8 in the demo)")
-		dur     = flag.Duration("dur", 20*time.Second, "virtual experiment duration")
-		pacing  = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = real time)")
-		seed    = flag.Int64("seed", 42, "permutation seed")
-		tsv     = flag.Bool("tsv", false, "print the full time series as TSV")
-		naive   = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
-		fail    = flag.Bool("fail", false, "inject an agg-core link failure at dur/3, repair at 2*dur/3")
-		workers = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
-		pcapDir = flag.String("pcap", "", "record control plane traffic as pcapng traces in DIR")
+		te       = flag.String("te", "ecmp5", "TE approach: bgp, hedera or ecmp5")
+		k        = flag.Int("k", 4, "fat-tree arity (4, 6 or 8 in the demo)")
+		dur      = flag.Duration("dur", 20*time.Second, "virtual experiment duration")
+		pacing   = flag.Float64("pacing", 1.0, "FTI pacing (1.0 = real time)")
+		seed     = flag.Int64("seed", 42, "permutation seed")
+		tsv      = flag.Bool("tsv", false, "print the full time series as TSV")
+		naive    = flag.Bool("naive-solver", false, "use the from-scratch rate solver (ablation baseline)")
+		fail     = flag.Bool("fail", false, "inject an agg-core link failure at dur/3, repair at 2*dur/3")
+		workers  = flag.Int("solver-workers", 0, "rate solver worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		pcapDir  = flag.String("pcap", "", "record control plane traffic as pcapng traces in DIR")
+		trafficS = flag.String("traffic", "", "workload spec (matrix:FILE[:SCALE], pareto[:SEED[:N]], incast[:SEED[:FANIN]], alltoall[:PHASES], ring[:STEPS], …); empty = permutation:<seed>")
+		capacity = flag.String("capacity", "", "time-varying link capacity: walk[:SEED[:PERIOD]] or trace:FILE")
 	)
 	flag.Parse()
 
@@ -53,19 +71,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown TE approach %q\n", *te)
 		os.Exit(2)
 	}
+	workload := fmt.Sprintf("permutation:%d", *seed)
+	if *trafficS != "" {
+		workload = *trafficS
+	}
 	run := spec.Run{
 		Topo:          fmt.Sprintf("fattree:%d", *k),
 		Scenario:      scenario,
-		Traffic:       fmt.Sprintf("permutation:%d", *seed),
+		Traffic:       workload,
+		Capacity:      *capacity,
 		Dur:           spec.Duration(*dur),
 		Pacing:        *pacing,
 		NaiveSolver:   *naive,
 		SolverWorkers: *workers,
 		CaptureDir:    *pcapDir,
 	}
-	if *fail {
-		// Sample finely enough to resolve the dip: control plane repair
-		// takes milliseconds of (FTI-paced) virtual time.
+	if *fail || *capacity != "" || *trafficS != "" {
+		// Sample finely enough to resolve dips: control plane repair and
+		// incast bursts take milliseconds of (FTI-paced) virtual time.
 		run.SampleInterval = spec.Duration(10 * time.Millisecond)
 	}
 	exp, err := run.Experiment()
@@ -119,6 +142,27 @@ func main() {
 	}
 	if len(res.CaptureFiles) > 0 {
 		fmt.Printf("capture             : %d pcapng traces in %s\n", len(res.CaptureFiles), *pcapDir)
+	}
+	if *trafficS != "" || *capacity != "" {
+		// Workload summary over the second half of the run (the same
+		// steady window SteadyAggregateRx uses): goodput tracking under
+		// capacity churn, and the min-host-rx floor distribution that
+		// incast bursts carve out.
+		half := end / 2
+		rx := res.AggregateRx
+		fmt.Printf("workload            : traffic=%s capacity=%s (%d injections)\n",
+			run.Traffic, orNone(run.Capacity), res.Injections)
+		fmt.Printf("  goodput (2nd half): mean %v", horse.Rate(rx.MeanBetween(half, end)))
+		if min, ok := rx.MinBetween(half, end); ok {
+			fmt.Printf(", min %v at %v", horse.Rate(min.Value), min.At)
+		}
+		fmt.Println()
+		if min, ok := res.MinHostRx.MinBetween(half, end); ok {
+			p5, _ := res.MinHostRx.PercentileBetween(half, end, 0.05)
+			med, _ := res.MinHostRx.PercentileBetween(half, end, 0.50)
+			fmt.Printf("  min host rx floor : %v at %v (p5 %v, median %v)\n",
+				horse.Rate(min.Value), min.At, horse.Rate(p5), horse.Rate(med))
+		}
 	}
 	if *fail {
 		rx := res.AggregateRx

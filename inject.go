@@ -157,17 +157,7 @@ func (e *Experiment) FlapRandomLinks(seed int64, count int, start, until, meanUp
 	if count <= 0 || meanUp <= 0 || meanDown <= 0 || until <= start {
 		return 0, fmt.Errorf("horse: invalid flap parameters")
 	}
-	// Candidate cables: forwarding-node to forwarding-node only.
-	var cables []*topo.Link
-	for _, l := range e.g.Links {
-		if l.ID > l.Reverse {
-			continue // one entry per cable
-		}
-		if e.g.Nodes[l.From].Kind == topo.Host || e.g.Nodes[l.To].Kind == topo.Host {
-			continue
-		}
-		cables = append(cables, l)
-	}
+	cables := e.backboneCables()
 	if count > len(cables) {
 		return 0, fmt.Errorf("horse: %d flap links requested, topology has %d eligible cables", count, len(cables))
 	}
@@ -197,6 +187,82 @@ func (e *Experiment) FlapRandomLinks(seed int64, count int, start, until, meanUp
 			if t >= until {
 				break
 			}
+		}
+	}
+	return scheduled, nil
+}
+
+// backboneCables lists the forwarding-node to forwarding-node cables
+// (one entry per cable; host access links are spared so no host is
+// silently cut from its only port) — the candidate set both
+// FlapRandomLinks and WalkLinkRates draw from, in deterministic
+// topology order.
+func (e *Experiment) backboneCables() []*topo.Link {
+	var cables []*topo.Link
+	for _, l := range e.g.Links {
+		if l.ID > l.Reverse {
+			continue // one entry per cable
+		}
+		if e.g.Nodes[l.From].Kind == topo.Host || e.g.Nodes[l.To].Kind == topo.Host {
+			continue
+		}
+		cables = append(cables, l)
+	}
+	return cables
+}
+
+// Walk step bounds: each step multiplies a cable's capacity factor by a
+// draw from [walkStepMin, walkStepMax), clamped to
+// [walkFloor, 1.0]·configured rate — capacity dips and recovers but
+// never exceeds the provisioned link and never quite reaches zero (a
+// zero-capacity walk would be a failure, which is FlapRandomLinks'
+// job).
+const (
+	walkStepMin = 0.75
+	walkStepMax = 1.25
+	walkFloor   = 0.1
+)
+
+// WalkLinkRates schedules a seeded multiplicative random walk over the
+// capacity of every backbone cable: every period from start until
+// until, each cable's capacity factor takes one step and a SetLinkRate
+// injection applies factor·(configured rate) — the time-varying link
+// capacity workload (ABC-style cellular traces, but synthesized). The
+// same seed reproduces the same schedule; factors are relative to the
+// capacity configured at scripting time, so the walk composes with
+// heterogeneous link rates. It returns the number of scheduled
+// capacity changes.
+func (e *Experiment) WalkLinkRates(seed int64, start, period, until Time) (int, error) {
+	if e.g == nil {
+		return 0, fmt.Errorf("horse: set a topology before scheduling injections")
+	}
+	if period <= 0 || until <= start {
+		return 0, fmt.Errorf("horse: invalid walk parameters (period %v, window %v..%v)", period, start, until)
+	}
+	cables := e.backboneCables()
+	if len(cables) == 0 {
+		return 0, fmt.Errorf("horse: topology has no backbone cables to walk")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]float64, len(cables))
+	for i := range factors {
+		factors[i] = 1
+	}
+	scheduled := 0
+	for t := start; t < until; t += period {
+		for i, ab := range cables {
+			f := factors[i] * (walkStepMin + rng.Float64()*(walkStepMax-walkStepMin))
+			if f > 1 {
+				f = 1
+			}
+			if f < walkFloor {
+				f = walkFloor
+			}
+			factors[i] = f
+			ab := ab
+			rate := Rate(f * float64(ab.Rate()))
+			e.addInjection(t, func(m *cm.Manager) { m.CableRate(ab, rate) })
+			scheduled++
 		}
 	}
 	return scheduled, nil

@@ -1,7 +1,7 @@
 // Package campaign is the experiment campaign engine behind the horsed
 // daemon: it expands a sweep specification into the cross-product of
-// runs (topology × scenario × traffic × seed × solver workers ×
-// advertise delay × dampening),
+// runs (topology × scenario × traffic × capacity × seed × solver
+// workers × advertise delay × dampening),
 // schedules them on a bounded worker pool with per-run timeout and
 // retry, and persists each run's spec.Outcome as JSON under a campaign
 // directory alongside its pcapng capture artifacts.
@@ -21,9 +21,9 @@ import (
 )
 
 // Spec is a sweep submission: the axes are crossed in the fixed order
-// topos × scenarios × traffics × seeds × solver workers × advertise
-// delays × dampenings, so run indices are deterministic and a
-// resubmitted spec maps runs to the same indices.
+// topos × scenarios × traffics × capacities × seeds × solver workers ×
+// advertise delays × dampenings, so run indices are deterministic and
+// a resubmitted spec maps runs to the same indices.
 type Spec struct {
 	// Name labels the campaign (used in its ID slug).
 	Name string `json:"name,omitempty"`
@@ -36,10 +36,18 @@ type Spec struct {
 	// traffic (or the permutation:42 default).
 	Traffics []string `json:"traffics,omitempty"`
 
-	// Seeds instantiates seedable traffic templates: a traffic spec
-	// like "permutation" (no explicit seed) expands to one run per
-	// seed. Templates with an explicit seed — and unseeded kinds like
-	// stride — appear once regardless.
+	// Capacities is the time-varying link capacity axis (walk:SEED,
+	// trace:FILE, none); empty means the base run's capacity (usually
+	// none).
+	Capacities []string `json:"capacities,omitempty"`
+
+	// Seeds instantiates seedable templates: a traffic spec like
+	// "permutation" or a capacity spec like "walk" (no explicit seed)
+	// expands to one run per seed. When both the traffic and the
+	// capacity of a workload are templates they are instantiated with
+	// the same seed (one seed per run, not seeds²). Templates with an
+	// explicit seed — and unseeded kinds like stride — appear once
+	// regardless.
 	Seeds []int64 `json:"seeds,omitempty"`
 
 	// SolverWorkers is the solver worker-count axis; empty means one
@@ -91,19 +99,47 @@ func (s Spec) Expand() ([]spec.Run, error) {
 		}
 		traffics = []string{t}
 	}
-	// Instantiate the traffic × seed sub-product once, up front.
-	var workloads []string
+	capacities := s.Capacities
+	if len(capacities) == 0 {
+		capacities = []string{s.Base.Capacity}
+	}
+	// Instantiate the traffic × capacity × seed sub-product once, up
+	// front. A seed instantiates whichever side of the workload is an
+	// unseeded template; when both sides are, they share it.
+	type workload struct{ traffic, capacity string }
+	capString := func(cs spec.CapacitySpec) string {
+		if cs.Kind == "" {
+			return ""
+		}
+		return cs.String()
+	}
+	var workloads []workload
 	for _, t := range traffics {
 		ts, err := spec.ParseTraffic(t)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: traffic %q: %w", t, err)
 		}
-		if len(s.Seeds) > 0 && ts.Seeded() && !ts.ExplicitSeed {
-			for _, seed := range s.Seeds {
-				workloads = append(workloads, ts.WithSeed(seed).String())
+		for _, c := range capacities {
+			cs, err := spec.ParseCapacity(c)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: capacity %q: %w", c, err)
 			}
-		} else {
-			workloads = append(workloads, ts.String())
+			tTemplate := ts.Seeded() && !ts.ExplicitSeed
+			cTemplate := cs.Seeded() && !cs.ExplicitSeed
+			if len(s.Seeds) > 0 && (tTemplate || cTemplate) {
+				for _, seed := range s.Seeds {
+					w := workload{traffic: ts.String(), capacity: capString(cs)}
+					if tTemplate {
+						w.traffic = ts.WithSeed(seed).String()
+					}
+					if cTemplate {
+						w.capacity = capString(cs.WithSeed(seed))
+					}
+					workloads = append(workloads, w)
+				}
+			} else {
+				workloads = append(workloads, workload{traffic: ts.String(), capacity: capString(cs)})
+			}
 		}
 	}
 	workerCounts := s.SolverWorkers
@@ -129,7 +165,8 @@ func (s Spec) Expand() ([]spec.Run, error) {
 							r := s.Base
 							r.Topo = topo
 							r.Scenario = scenario
-							r.Traffic = workload
+							r.Traffic = workload.traffic
+							r.Capacity = workload.capacity
 							r.SolverWorkers = workers
 							r.AdvertiseDelay = adv
 							r.Dampening = damp

@@ -79,6 +79,60 @@ func TestExpandWorkerAxis(t *testing.T) {
 	}
 }
 
+// TestExpandCapacityAxis pins the capacity axis: it nests inside the
+// traffic axis, and a seeded capacity template shares each run's seed
+// with a seeded traffic template (one seed per run, not seeds²).
+func TestExpandCapacityAxis(t *testing.T) {
+	s := Spec{
+		Topos:      []string{"fattree:4"},
+		Scenarios:  []string{"ecmp5"},
+		Traffics:   []string{"permutation"},
+		Capacities: []string{"walk", "none"},
+		Seeds:      []int64{1, 2},
+	}
+	runs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// permutation × walk × {1,2} then permutation × none × {1,2}.
+	want := []struct{ traffic, capacity string }{
+		{"permutation:1", "walk:1"},
+		{"permutation:2", "walk:2"},
+		{"permutation:1", ""},
+		{"permutation:2", ""},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("Expand: %d runs, want %d", len(runs), len(want))
+	}
+	for i, w := range want {
+		if runs[i].Traffic != w.traffic || runs[i].Capacity != w.capacity {
+			t.Errorf("run %d = %s/%s, want %s/%s",
+				i, runs[i].Traffic, runs[i].Capacity, w.traffic, w.capacity)
+		}
+	}
+
+	// A capacity-only template still expands over seeds with unseeded
+	// traffic untouched; an explicitly-seeded capacity is inert.
+	s.Traffics = []string{"stride:2"}
+	s.Capacities = []string{"walk"}
+	runs, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Capacity != "walk:1" || runs[1].Capacity != "walk:2" ||
+		runs[0].Traffic != "stride:2" {
+		t.Fatalf("capacity-only template: %v", runs)
+	}
+	s.Capacities = []string{"walk:9"}
+	runs, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Capacity != "walk:9" {
+		t.Fatalf("explicit capacity seed: %v", runs)
+	}
+}
+
 // TestExpandSeedsWithoutTemplates pins that seeds are inert when every
 // traffic names its seed explicitly.
 func TestExpandSeedsWithoutTemplates(t *testing.T) {
@@ -112,6 +166,8 @@ func TestExpandRejects(t *testing.T) {
 		{"bad traffic", Spec{Topos: []string{"fattree:4"}, Scenarios: []string{"ecmp5"},
 			Traffics: []string{"poisson"}}, `traffic "poisson"`},
 		{"wan without bgp", Spec{Topos: []string{"wan:abilene"}, Scenarios: []string{"ecmp5"}}, "bgp scenario"},
+		{"bad capacity", Spec{Topos: []string{"fattree:4"}, Scenarios: []string{"ecmp5"},
+			Capacities: []string{"flap:3"}}, `capacity "flap:3"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

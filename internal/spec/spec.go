@@ -65,9 +65,14 @@ type Run struct {
 	// Scenario is the control plane: bgp, bgp-ecmp, bgp-rr, ecmp5,
 	// hedera, reactive.
 	Scenario string `json:"scenario"`
-	// Traffic is the workload: permutation[:SEED], stride[:N], none.
+	// Traffic is the workload: permutation[:SEED], stride[:N],
+	// matrix:FILE[:SCALE], pareto[:SEED[:N]], lognormal[:SEED[:N]],
+	// incast[:SEED[:FANIN]], alltoall[:PHASES], ring[:STEPS], none.
 	// Empty means permutation:42 (the CLI default).
 	Traffic string `json:"traffic,omitempty"`
+	// Capacity is the time-varying link capacity generator:
+	// walk[:SEED[:PERIOD]], trace:FILE, none. Empty means none.
+	Capacity string `json:"capacity,omitempty"`
 	// RateGbps is the per-flow rate in Gbps (default 1.0).
 	RateGbps float64 `json:"rate_gbps,omitempty"`
 	// Dur is the virtual experiment duration (default 20s).
@@ -142,6 +147,9 @@ func (r Run) Validate() error {
 	if _, err := ParseTraffic(r.Traffic); err != nil {
 		return err
 	}
+	if _, err := ParseCapacity(r.Capacity); err != nil {
+		return err
+	}
 	if ts.WAN() && !sc.BGP() {
 		return fmt.Errorf("spec: topology %q is a BGP router mesh; it needs a bgp scenario (use bgp-rr), not %q", r.Topo, r.Scenario)
 	}
@@ -214,10 +222,21 @@ func (r Run) Experiment() (*horse.Experiment, error) {
 	}
 	sc.Apply(exp, base)
 	rate := core.Rate(r.RateGbps) * core.Gbps
-	if p := tr.Pattern(rate); p != nil {
+	p, err := tr.Pattern(rate, r.Until())
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
 		if err := exp.AddTraffic(p); err != nil {
 			return nil, err
 		}
+	}
+	cs, err := ParseCapacity(r.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cs.Apply(exp, r.Until()); err != nil {
+		return nil, err
 	}
 	return exp, nil
 }
@@ -241,6 +260,9 @@ func (r Run) Execute() (*Outcome, error) {
 func (r Run) String() string {
 	r = r.WithDefaults()
 	s := fmt.Sprintf("%s/%s/%s", r.Topo, r.Scenario, r.Traffic)
+	if r.Capacity != "" {
+		s += "/" + r.Capacity
+	}
 	if r.SolverWorkers != 0 {
 		s += fmt.Sprintf("/w%d", r.SolverWorkers)
 	}

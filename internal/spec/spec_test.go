@@ -162,6 +162,33 @@ func TestParseTraffic(t *testing.T) {
 		{in: "stride:x", wantErr: "positive"},
 		{in: "none", want: TrafficSpec{Kind: "none"}, wantStr: "none"},
 		{in: "none:1", wantErr: "no arguments"},
+		{in: "matrix:demands.csv", want: TrafficSpec{Kind: "matrix", File: "demands.csv", Scale: 1}, wantStr: "matrix:demands.csv"},
+		{in: "matrix:demands.csv:2", want: TrafficSpec{Kind: "matrix", File: "demands.csv", Scale: 2}, wantStr: "matrix:demands.csv:2"},
+		{in: "matrix:trace.pcapng:0.5", want: TrafficSpec{Kind: "matrix", File: "trace.pcapng", Scale: 0.5}, wantStr: "matrix:trace.pcapng:0.5"},
+		{in: "matrix", wantErr: "needs a file"},
+		{in: "matrix:", wantErr: "needs a file"},
+		{in: "matrix::2", wantErr: "needs a file"},
+		{in: "matrix:demands.csv:0", wantErr: "positive"},
+		{in: "matrix:demands.csv:x", wantErr: "positive"},
+		{in: "pareto", want: TrafficSpec{Kind: "pareto", Seed: 42}, wantStr: "pareto:42", wantSeeded: true},
+		{in: "pareto:7", want: TrafficSpec{Kind: "pareto", Seed: 7, ExplicitSeed: true}, wantStr: "pareto:7", wantSeeded: true},
+		{in: "pareto:7:100", want: TrafficSpec{Kind: "pareto", Seed: 7, ExplicitSeed: true, N: 100}, wantStr: "pareto:7:100", wantSeeded: true},
+		{in: "pareto:x", wantErr: "seed must be an integer"},
+		{in: "pareto:7:0", wantErr: "positive"},
+		{in: "pareto:7:100:9", wantErr: "pareto[:SEED[:N]]"},
+		{in: "lognormal", want: TrafficSpec{Kind: "lognormal", Seed: 42}, wantStr: "lognormal:42", wantSeeded: true},
+		{in: "lognormal:3:50", want: TrafficSpec{Kind: "lognormal", Seed: 3, ExplicitSeed: true, N: 50}, wantStr: "lognormal:3:50", wantSeeded: true},
+		{in: "incast", want: TrafficSpec{Kind: "incast", Seed: 42}, wantStr: "incast:42", wantSeeded: true},
+		{in: "incast:7", want: TrafficSpec{Kind: "incast", Seed: 7, ExplicitSeed: true}, wantStr: "incast:7", wantSeeded: true},
+		{in: "incast:7:8", want: TrafficSpec{Kind: "incast", Seed: 7, ExplicitSeed: true, N: 8}, wantStr: "incast:7:8", wantSeeded: true},
+		{in: "incast:x", wantErr: "seed must be an integer"},
+		{in: "incast:7:0", wantErr: "positive"},
+		{in: "alltoall", want: TrafficSpec{Kind: "alltoall"}, wantStr: "alltoall"},
+		{in: "alltoall:3", want: TrafficSpec{Kind: "alltoall", N: 3}, wantStr: "alltoall:3"},
+		{in: "alltoall:0", wantErr: "positive"},
+		{in: "ring", want: TrafficSpec{Kind: "ring"}, wantStr: "ring"},
+		{in: "ring:4", want: TrafficSpec{Kind: "ring", N: 4}, wantStr: "ring:4"},
+		{in: "ring:x", wantErr: "positive"},
 		{in: "poisson", wantErr: "unknown traffic"},
 		{in: "", wantErr: "unknown traffic"},
 	}
@@ -191,22 +218,109 @@ func TestParseTraffic(t *testing.T) {
 }
 
 // TestTrafficWithSeed pins the campaign seed-axis instantiation: a
-// template without an explicit seed becomes an explicitly-seeded spec.
+// template without an explicit seed becomes an explicitly-seeded spec,
+// for every seedable kind.
 func TestTrafficWithSeed(t *testing.T) {
-	ts, err := ParseTraffic("permutation")
+	for in, want := range map[string]string{
+		"permutation": "permutation:9",
+		"pareto":      "pareto:9",
+		"lognormal":   "lognormal:9",
+		"incast":      "incast:9",
+	} {
+		ts, err := ParseTraffic(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ts.WithSeed(9)
+		if got.Seed != 9 || !got.ExplicitSeed {
+			t.Fatalf("ParseTraffic(%q).WithSeed(9) = %+v, want Seed=9 ExplicitSeed=true", in, got)
+		}
+		if got.String() != want {
+			t.Fatalf("ParseTraffic(%q).WithSeed(9).String() = %q, want %q", in, got.String(), want)
+		}
+		// The receiver is unchanged (value semantics).
+		if ts.ExplicitSeed {
+			t.Errorf("WithSeed mutated its %s receiver", in)
+		}
+	}
+}
+
+// TestParseCapacity covers the -capacity grammar, seed-template
+// detection and canonical String round-trips, mirroring the traffic
+// table.
+func TestParseCapacity(t *testing.T) {
+	cases := []struct {
+		in         string
+		want       CapacitySpec
+		wantStr    string
+		wantSeeded bool
+		wantErr    string
+	}{
+		{in: "", want: CapacitySpec{}, wantStr: "none"},
+		{in: "none", want: CapacitySpec{}, wantStr: "none"},
+		{in: "walk", want: CapacitySpec{Kind: "walk", Seed: 42, Period: DefaultWalkPeriod}, wantStr: "walk:42", wantSeeded: true},
+		{in: "walk:7", want: CapacitySpec{Kind: "walk", Seed: 7, ExplicitSeed: true, Period: DefaultWalkPeriod}, wantStr: "walk:7", wantSeeded: true},
+		{in: "walk:-1", want: CapacitySpec{Kind: "walk", Seed: -1, ExplicitSeed: true, Period: DefaultWalkPeriod}, wantStr: "walk:-1", wantSeeded: true},
+		{in: "walk:7:250ms", want: CapacitySpec{Kind: "walk", Seed: 7, ExplicitSeed: true, Period: Duration(250 * time.Millisecond)}, wantStr: "walk:7:250ms", wantSeeded: true},
+		{in: "walk:7:500ms", want: CapacitySpec{Kind: "walk", Seed: 7, ExplicitSeed: true, Period: DefaultWalkPeriod}, wantStr: "walk:7", wantSeeded: true},
+		{in: "walk:x", wantErr: "seed must be an integer"},
+		{in: "walk:7:0s", wantErr: "positive duration"},
+		{in: "walk:7:brief", wantErr: "positive duration"},
+		{in: "walk:7:250ms:9", wantErr: "walk[:SEED[:PERIOD]]"},
+		{in: "trace:sched.csv", want: CapacitySpec{Kind: "trace", File: "sched.csv"}, wantStr: "trace:sched.csv"},
+		{in: "trace", wantErr: "needs a file"},
+		{in: "trace:", wantErr: "needs a file"},
+		{in: "flap:3", wantErr: "unknown capacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			got, err := ParseCapacity(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseCapacity(%q) error = %v, want it to contain %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseCapacity(%q): %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Fatalf("ParseCapacity(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+			if got.String() != tc.wantStr {
+				t.Errorf("ParseCapacity(%q).String() = %q, want %q", tc.in, got.String(), tc.wantStr)
+			}
+			if got.Seeded() != tc.wantSeeded {
+				t.Errorf("ParseCapacity(%q).Seeded() = %v, want %v", tc.in, got.Seeded(), tc.wantSeeded)
+			}
+		})
+	}
+}
+
+// TestCapacityWithSeed pins seed-axis instantiation for the walk
+// template, including period preservation.
+func TestCapacityWithSeed(t *testing.T) {
+	cs, err := ParseCapacity("walk")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := ts.WithSeed(9)
+	got := cs.WithSeed(9)
 	if got.Seed != 9 || !got.ExplicitSeed {
 		t.Fatalf("WithSeed(9) = %+v, want Seed=9 ExplicitSeed=true", got)
 	}
-	if got.String() != "permutation:9" {
-		t.Fatalf("WithSeed(9).String() = %q, want permutation:9", got.String())
+	if got.String() != "walk:9" {
+		t.Fatalf("WithSeed(9).String() = %q, want walk:9", got.String())
 	}
-	// The receiver is unchanged (value semantics).
-	if ts.ExplicitSeed {
+	if cs.ExplicitSeed {
 		t.Error("WithSeed mutated its receiver")
+	}
+
+	period, err := ParseCapacity("walk:1:250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := period.WithSeed(5).String(); got != "walk:5:250ms" {
+		t.Fatalf("walk:1:250ms WithSeed(5) = %q, want walk:5:250ms", got)
 	}
 }
 
@@ -232,6 +346,8 @@ func TestRunValidate(t *testing.T) {
 		{"bad topo", Run{Topo: "fattree:x", Scenario: "ecmp5"}, "positive"},
 		{"bad scenario", Run{Topo: "fattree:4", Scenario: "ospf"}, "unknown scenario"},
 		{"bad traffic", Run{Topo: "fattree:4", Scenario: "ecmp5", Traffic: "poisson"}, "unknown traffic"},
+		{"bad capacity", Run{Topo: "fattree:4", Scenario: "ecmp5", Capacity: "flap:3"}, "unknown capacity"},
+		{"bad capacity period", Run{Topo: "fattree:4", Scenario: "ecmp5", Capacity: "walk:7:0s"}, "positive duration"},
 		{"wan needs bgp", Run{Topo: "wan:abilene", Scenario: "ecmp5"}, "needs a bgp scenario"},
 		{"wan mesh needs bgp", Run{Topo: "wan:mesh:7", Scenario: "hedera"}, "needs a bgp scenario"},
 		{"negative rate", neg(func(r *Run) { r.RateGbps = -1 }), "negative rate"},
@@ -336,6 +452,7 @@ func TestRunJSONRoundTrip(t *testing.T) {
 	ds := 0.5
 	r := Run{
 		Topo: "wan:mesh:7:24", Scenario: "bgp-rr", Traffic: "permutation:9",
+		Capacity: "walk:7:250ms",
 		RateGbps: 2, Dur: Duration(5 * time.Second), Pacing: 40,
 		SampleInterval: Duration(10 * time.Millisecond),
 		NaiveSolver:    true, SolverWorkers: 4, DelayScale: &ds,
@@ -367,6 +484,10 @@ func TestRunString(t *testing.T) {
 	}
 	r.SolverWorkers = 4
 	if got := r.String(); got != "fattree:4/ecmp5/permutation:7/w4" {
+		t.Fatalf("String() = %q", got)
+	}
+	r.Capacity = "walk:7"
+	if got := r.String(); got != "fattree:4/ecmp5/permutation:7/walk:7/w4" {
 		t.Fatalf("String() = %q", got)
 	}
 }

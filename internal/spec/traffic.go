@@ -11,19 +11,26 @@ import (
 
 // TrafficSpec is a parsed -traffic argument.
 type TrafficSpec struct {
-	// Kind is "permutation", "stride" or "none".
+	// Kind is "permutation", "stride", "matrix", "pareto", "lognormal",
+	// "incast", "alltoall", "ring" or "none".
 	Kind string
-	// Seed is the permutation seed (default 42).
+	// Seed parameterizes the seeded kinds (default 42).
 	Seed int64
 	// ExplicitSeed records whether the spec named its seed; the
 	// campaign seed axis only instantiates specs that did not.
 	ExplicitSeed bool
-	// N is the stride distance (default 1).
+	// N is the kind-specific count: stride distance, heavy-tail flow
+	// count (0 = 4 per host), incast fan-in (0 = half the hosts),
+	// all-to-all phases / ring steps (0 = full collective).
 	N int
+	// File is the matrix source (CSV/JSON/pcapng).
+	File string
+	// Scale multiplies matrix demands (1 = as loaded).
+	Scale float64
 }
 
 // trafficUsage is the accepted grammar, quoted by parse errors.
-const trafficUsage = "permutation[:SEED], stride[:N], none"
+const trafficUsage = "permutation[:SEED], stride[:N], matrix:FILE[:SCALE], pareto[:SEED[:N]], lognormal[:SEED[:N]], incast[:SEED[:FANIN]], alltoall[:PHASES], ring[:STEPS], none"
 
 // ParseTraffic parses a -traffic spec string.
 func ParseTraffic(s string) (TrafficSpec, error) {
@@ -55,13 +62,97 @@ func ParseTraffic(s string) (TrafficSpec, error) {
 			ts.N = n
 		}
 		return ts, nil
+	case "matrix":
+		if !hasArg || arg == "" {
+			return TrafficSpec{}, fmt.Errorf("spec: matrix needs a file, want matrix:FILE[:SCALE] in %q", s)
+		}
+		ts := TrafficSpec{Kind: "matrix", File: arg, Scale: 1}
+		// An optional trailing :SCALE multiplies the loaded demands.
+		// File paths containing colons are not supported by the string
+		// form (use the JSON Run field with a pre-scaled matrix).
+		if i := strings.LastIndex(arg, ":"); i >= 0 {
+			scale, err := strconv.ParseFloat(arg[i+1:], 64)
+			if err != nil || scale <= 0 {
+				return TrafficSpec{}, fmt.Errorf("spec: matrix scale must be a positive number, got %q in %q", arg[i+1:], s)
+			}
+			ts.File = arg[:i]
+			ts.Scale = scale
+			if ts.File == "" {
+				return TrafficSpec{}, fmt.Errorf("spec: matrix needs a file, want matrix:FILE[:SCALE] in %q", s)
+			}
+		}
+		return ts, nil
+	case "pareto", "lognormal":
+		ts := TrafficSpec{Kind: kind, Seed: 42}
+		if hasArg {
+			parts := strings.Split(arg, ":")
+			if len(parts) > 2 {
+				return TrafficSpec{}, fmt.Errorf("spec: want %s[:SEED[:N]], got %q", kind, s)
+			}
+			seed, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return TrafficSpec{}, fmt.Errorf("spec: %s seed must be an integer, got %q in %q", kind, parts[0], s)
+			}
+			ts.Seed = seed
+			ts.ExplicitSeed = true
+			if len(parts) == 2 {
+				n, err := strconv.Atoi(parts[1])
+				if err != nil || n < 1 {
+					return TrafficSpec{}, fmt.Errorf("spec: %s flow count must be a positive integer, got %q in %q", kind, parts[1], s)
+				}
+				ts.N = n
+			}
+		}
+		return ts, nil
+	case "incast":
+		ts := TrafficSpec{Kind: "incast", Seed: 42}
+		if hasArg {
+			parts := strings.Split(arg, ":")
+			if len(parts) > 2 {
+				return TrafficSpec{}, fmt.Errorf("spec: want incast[:SEED[:FANIN]], got %q", s)
+			}
+			seed, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil {
+				return TrafficSpec{}, fmt.Errorf("spec: incast seed must be an integer, got %q in %q", parts[0], s)
+			}
+			ts.Seed = seed
+			ts.ExplicitSeed = true
+			if len(parts) == 2 {
+				n, err := strconv.Atoi(parts[1])
+				if err != nil || n < 1 {
+					return TrafficSpec{}, fmt.Errorf("spec: incast fan-in must be a positive integer, got %q in %q", parts[1], s)
+				}
+				ts.N = n
+			}
+		}
+		return ts, nil
+	case "alltoall", "ring":
+		ts := TrafficSpec{Kind: kind}
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				what := "phase count"
+				if kind == "ring" {
+					what = "step count"
+				}
+				return TrafficSpec{}, fmt.Errorf("spec: %s %s must be a positive integer, got %q in %q", kind, what, arg, s)
+			}
+			ts.N = n
+		}
+		return ts, nil
 	default:
 		return TrafficSpec{}, fmt.Errorf("spec: unknown traffic %q (want %s)", s, trafficUsage)
 	}
 }
 
 // Seeded reports whether the traffic kind is parameterized by a seed.
-func (ts TrafficSpec) Seeded() bool { return ts.Kind == "permutation" }
+func (ts TrafficSpec) Seeded() bool {
+	switch ts.Kind {
+	case "permutation", "pareto", "lognormal", "incast":
+		return true
+	}
+	return false
+}
 
 // WithSeed returns the spec with its seed replaced — the campaign seed
 // axis instantiating a template like "permutation".
@@ -78,20 +169,53 @@ func (ts TrafficSpec) String() string {
 		return fmt.Sprintf("permutation:%d", ts.Seed)
 	case "stride":
 		return fmt.Sprintf("stride:%d", ts.N)
+	case "matrix":
+		if ts.Scale != 1 {
+			return fmt.Sprintf("matrix:%s:%s", ts.File, strconv.FormatFloat(ts.Scale, 'g', -1, 64))
+		}
+		return "matrix:" + ts.File
+	case "pareto", "lognormal", "incast":
+		if ts.N > 0 {
+			return fmt.Sprintf("%s:%d:%d", ts.Kind, ts.Seed, ts.N)
+		}
+		return fmt.Sprintf("%s:%d", ts.Kind, ts.Seed)
+	case "alltoall", "ring":
+		if ts.N > 0 {
+			return fmt.Sprintf("%s:%d", ts.Kind, ts.N)
+		}
+		return ts.Kind
 	default:
 		return ts.Kind
 	}
 }
 
-// Pattern returns the workload pattern at the given per-flow rate, or
-// nil for "none".
-func (ts TrafficSpec) Pattern(rate core.Rate) traffic.Pattern {
+// Pattern returns the workload pattern at the given per-flow rate over
+// the run horizon (arrival-driven kinds schedule within it), or nil for
+// "none". Matrix sources are loaded here, so a missing or malformed
+// file surfaces as an error at experiment build time.
+func (ts TrafficSpec) Pattern(rate core.Rate, until core.Time) (traffic.Pattern, error) {
 	switch ts.Kind {
 	case "permutation":
-		return traffic.Permutation(ts.Seed, rate, 0, 0)
+		return traffic.Permutation(ts.Seed, rate, 0, 0), nil
 	case "stride":
-		return traffic.Stride(ts.N, rate, 0, 0)
+		return traffic.Stride(ts.N, rate, 0, 0), nil
+	case "matrix":
+		m, err := traffic.LoadMatrix(ts.File, ts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return m.Pattern(0, 0), nil
+	case "pareto":
+		return traffic.Pareto(ts.Seed, ts.N, rate, until), nil
+	case "lognormal":
+		return traffic.Lognormal(ts.Seed, ts.N, rate, until), nil
+	case "incast":
+		return traffic.Incast(ts.Seed, ts.N, rate, until), nil
+	case "alltoall":
+		return traffic.AllToAll(ts.N, rate, 0), nil
+	case "ring":
+		return traffic.Ring(ts.N, rate, 0), nil
 	default:
-		return nil
+		return nil, nil
 	}
 }

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -111,6 +112,34 @@ func (s *Series) MinBetween(t0, t1 core.Time) (Sample, bool) {
 		}
 	}
 	return min, found
+}
+
+// PercentileBetween returns the p-quantile (0 ≤ p ≤ 1, nearest-rank) of
+// the sample values in [t0, t1); ok is false when the window holds no
+// samples. Workload summaries use it to characterize the dip
+// distribution of a series (e.g. the min-host-rx floor under incast).
+func (s *Series) PercentileBetween(t0, t1 core.Time, p float64) (float64, bool) {
+	var vals []float64
+	for _, x := range s.Samples {
+		if x.At >= t0 && x.At < t1 {
+			vals = append(vals, x.Value)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0], true
+	}
+	if p >= 1 {
+		return vals[len(vals)-1], true
+	}
+	idx := int(math.Ceil(p*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return vals[idx], true
 }
 
 // FirstAtLeast returns the first sample at or after t whose value

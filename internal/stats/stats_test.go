@@ -92,6 +92,39 @@ func TestWindowedHelpers(t *testing.T) {
 	}
 }
 
+func TestPercentileBetween(t *testing.T) {
+	s := &Series{Name: "x"}
+	// Values 0..9 at seconds 0..9, deliberately out of value order.
+	for i, v := range []float64{5, 2, 9, 0, 7, 1, 8, 3, 6, 4} {
+		s.Add(core.Time(i)*core.Second, v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 0},    // min
+		{-1, 0},   // clamped to min
+		{0.05, 0}, // nearest rank: ceil(0.05·10) = 1st
+		{0.5, 4},  // ceil(0.5·10) = 5th smallest
+		{0.91, 9}, // ceil(0.91·10) = 10th
+		{1, 9},    // max
+		{2, 9},    // clamped to max
+	}
+	for _, tc := range cases {
+		got, ok := s.PercentileBetween(0, 10*core.Second, tc.p)
+		if !ok || got != tc.want {
+			t.Errorf("PercentileBetween(p=%v) = %v ok=%v, want %v", tc.p, got, ok, tc.want)
+		}
+	}
+	// Windowing: seconds [3,6) hold values {0, 7, 1}.
+	if got, ok := s.PercentileBetween(3*core.Second, 6*core.Second, 0.5); !ok || got != 1 {
+		t.Errorf("windowed median = %v ok=%v, want 1", got, ok)
+	}
+	if _, ok := s.PercentileBetween(20*core.Second, 30*core.Second, 0.5); ok {
+		t.Error("PercentileBetween found samples in an empty window")
+	}
+}
+
 func TestRepairAfter(t *testing.T) {
 	s := &Series{Name: "rx"}
 	// 10 steady, failure at 5s dips to 2, control plane repairs to the

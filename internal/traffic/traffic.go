@@ -123,7 +123,11 @@ func Churn(seed int64, n int, rate core.Rate, horizon, meanLife core.Time) Patte
 				Duration: life,
 				Proto:    core.ProtoUDP,
 				SrcPort:  uint16(1024 + i%60000),
-				DstPort:  uint16(1024 + i/60000),
+				// The offset by i/60000 keeps (SrcPort, DstPort) pairs
+				// distinct after the src range wraps; plain i/60000 here
+				// used to collapse almost every flow onto port 1024,
+				// starving 5-tuple ECMP of hash entropy.
+				DstPort: uint16(1024 + (i+i/60000)%60000),
 			})
 		}
 		return out

@@ -60,13 +60,14 @@ func newParityNet(t *testing.T, k int, name string, workers int, naive bool) *pa
 // flows are identified by position so the event applies to each
 // configuration's own graph instance.
 type parityEvent struct {
-	kind   int // 0 = cable flap, 1 = cable rate, 2 = flow churn, 3 = multi-pod batch
+	kind   int // 0 = cable flap, 1 = cable rate, 2 = flow churn, 3 = multi-pod batch, 4 = walk step
 	cable  int // index into the eligible-cable list
 	down   bool
 	rate   core.Rate
 	flow   fluid.FlowID
 	hash   uint64
-	cables []int // kind 3: cables rate-changed in one coalesced batch
+	cables []int       // kinds 3/4: cables rate-changed in one coalesced batch
+	rates  []core.Rate // kind 4: per-cable walked rate, parallel to cables
 }
 
 // eligibleCables lists backbone cables (switch-switch) in deterministic
@@ -140,24 +141,34 @@ func TestParallelSolverParityUnderFailures(t *testing.T) {
 	// flow churn.
 	cables := eligibleCables(configs[0].g)
 	flapped := map[int]bool{}
+	// A fixed seeded cable subset carries a multiplicative capacity
+	// random walk across events — the WalkLinkRates capacity-churn
+	// workload expressed at netmodel level, with factors clamped the same
+	// way ([0.1, 1.0]·base).
+	walkSet := make([]int, 8)
+	walkFactors := make([]float64, len(walkSet))
+	for i := range walkSet {
+		walkSet[i] = rng.Intn(len(cables))
+		walkFactors[i] = 1
+	}
 	var events []parityEvent
 	for i := 0; i < nEvents; i++ {
 		switch r := rng.Float64(); {
-		case r < 0.4:
+		case r < 0.35:
 			ci := rng.Intn(len(cables))
 			down := !flapped[ci]
 			flapped[ci] = down
 			events = append(events, parityEvent{kind: 0, cable: ci, down: down})
-		case r < 0.55:
+		case r < 0.5:
 			rates := []core.Rate{200 * core.Mbps, 500 * core.Mbps, core.Gbps}
 			events = append(events, parityEvent{
 				kind: 1, cable: rng.Intn(len(cables)), rate: rates[rng.Intn(len(rates))],
 			})
-		case r < 0.75:
+		case r < 0.7:
 			events = append(events, parityEvent{
 				kind: 2, flow: fluid.FlowID(rng.Intn(nFlows) + 1), hash: rng.Uint64(),
 			})
-		default:
+		case r < 0.85:
 			// A coalesced storm touching several pods at once — the shape
 			// the Connection Manager produces, and the one that fans out.
 			batch := make([]int, 6)
@@ -167,6 +178,26 @@ func TestParallelSolverParityUnderFailures(t *testing.T) {
 			events = append(events, parityEvent{
 				kind: 3, rate: core.Rate(rng.Intn(800)+200) * core.Mbps, cables: batch,
 			})
+		default:
+			// One walk tick: every walked cable takes a multiplicative
+			// step, applied as a single coalesced batch.
+			ev := parityEvent{
+				kind:   4,
+				cables: append([]int(nil), walkSet...),
+				rates:  make([]core.Rate, len(walkSet)),
+			}
+			for j := range walkSet {
+				f := walkFactors[j] * (0.75 + rng.Float64()*0.5)
+				if f > 1 {
+					f = 1
+				}
+				if f < 0.1 {
+					f = 0.1
+				}
+				walkFactors[j] = f
+				ev.rates[j] = core.Rate(f * float64(core.Gbps))
+			}
+			events = append(events, ev)
 		}
 	}
 
@@ -183,6 +214,12 @@ func TestParallelSolverParityUnderFailures(t *testing.T) {
 				c.net.Flows.Defer()
 				for _, ci := range ev.cables {
 					c.net.SetCableRate(cc[ci].ID, ev.rate, 0)
+				}
+				c.net.Flows.Resume(0)
+			case 4:
+				c.net.Flows.Defer()
+				for j, ci := range ev.cables {
+					c.net.SetCableRate(cc[ci].ID, ev.rates[j], 0)
 				}
 				c.net.Flows.Resume(0)
 			case 2:
