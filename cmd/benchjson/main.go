@@ -37,7 +37,12 @@ type Benchmark struct {
 
 // Entry is one labelled benchmark run.
 type Entry struct {
-	Label      string      `json:"label"`
+	Label string `json:"label"`
+	// Seq is a monotonic recording counter across the trajectory file:
+	// every invocation gets max(existing)+1, so sorting by seq recovers
+	// recording order even when a label (or the same commit) is re-run
+	// on the same day — date and commit alone can't order that.
+	Seq        int64       `json:"seq"`
 	Date       string      `json:"date"`
 	Commit     string      `json:"commit,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
@@ -99,8 +104,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 // merge appends the entry to the trajectory, replacing an existing entry
 // with the same label in place (re-running a configuration updates its
-// numbers rather than duplicating them).
+// numbers rather than duplicating them). The merged entry always takes
+// the next seq, so a replaced entry's seq still reflects when it was
+// last recorded.
 func merge(entries []Entry, entry Entry) []Entry {
+	entry.Seq = nextSeq(entries)
 	for i := range entries {
 		if entries[i].Label == entry.Label {
 			entries[i] = entry
@@ -108,6 +116,18 @@ func merge(entries []Entry, entry Entry) []Entry {
 		}
 	}
 	return append(entries, entry)
+}
+
+// nextSeq is one past the highest seq in the trajectory (1 for a fresh
+// or pre-seq file, whose entries all carry zero).
+func nextSeq(entries []Entry) int64 {
+	var max int64
+	for i := range entries {
+		if entries[i].Seq > max {
+			max = entries[i].Seq
+		}
+	}
+	return max + 1
 }
 
 // load reads an existing trajectory file; a missing file is an empty one.

@@ -105,6 +105,38 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeSeqMonotonic pins the run-ordering key: every recording
+// takes the next seq — including a re-run of an existing label, which
+// keeps its array slot but moves to the end of the seq order. Without
+// this, a commit re-run on the same day is unsortable (same label,
+// same date, same commit).
+func TestMergeSeqMonotonic(t *testing.T) {
+	entries := merge(nil, Entry{Label: "before"})
+	entries = merge(entries, Entry{Label: "after"})
+	if entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d, want 1, 2", entries[0].Seq, entries[1].Seq)
+	}
+
+	entries = merge(entries, Entry{Label: "before", Commit: "abc123"})
+	if len(entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(entries))
+	}
+	if entries[0].Seq != 3 {
+		t.Errorf("re-run label seq = %d, want 3 (latest recording)", entries[0].Seq)
+	}
+	if entries[1].Seq != 2 {
+		t.Errorf("untouched entry seq = %d, want 2", entries[1].Seq)
+	}
+
+	// Legacy trajectory files predate seq: their entries unmarshal with
+	// seq 0 and the next recording starts the counter at 1.
+	legacy := []Entry{{Label: "old-a"}, {Label: "old-b"}}
+	got := merge(legacy, Entry{Label: "ci"})
+	if got[2].Seq != 1 {
+		t.Errorf("first recording over a legacy file: seq = %d, want 1", got[2].Seq)
+	}
+}
+
 // TestRunAppendsToTrajectory drives run() end to end twice: the file is
 // created, then the second invocation appends while a re-run of the
 // first label replaces.
@@ -145,6 +177,11 @@ func TestRunAppendsToTrajectory(t *testing.T) {
 	}
 	if len(entries[0].Benchmarks) != 3 {
 		t.Errorf("entry 0 has %d benchmarks, want 3", len(entries[0].Benchmarks))
+	}
+	// Seq survives the round trip through the file: the re-run "before"
+	// was the third recording, "after" the second.
+	if entries[0].Seq != 3 || entries[1].Seq != 2 {
+		t.Errorf("seqs = %d, %d, want 3, 2", entries[0].Seq, entries[1].Seq)
 	}
 }
 

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/spec"
+)
+
+// sseFrame renders one event as its SSE wire frame.
+func sseFrame(t *testing.T, ev campaign.Event) string {
+	t.Helper()
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+}
+
+// campaignEvents is a full 2-run lifecycle, seq 1..7.
+func campaignEvents() []campaign.Event {
+	wall := &spec.WallStats{}
+	return []campaign.Event{
+		{Seq: 1, Type: campaign.EvCampaignAccepted, Campaign: "c1", State: campaign.Pending, Total: 2},
+		{Seq: 2, Type: campaign.EvCampaignStarted, Campaign: "c1", State: campaign.Running, Total: 2},
+		{Seq: 3, Type: campaign.EvRunStarted, Campaign: "c1", Run: &campaign.RunEvent{Index: 0, Spec: "fattree:4/ecmp5", Attempt: 1}},
+		{Seq: 4, Type: campaign.EvRunSucceeded, Campaign: "c1", Run: &campaign.RunEvent{Index: 0, Spec: "fattree:4/ecmp5", Digest: "abcd1234abcd1234", SteadyRx: "300Mbps", Wall: wall}},
+		{Seq: 5, Type: campaign.EvRunStarted, Campaign: "c1", Run: &campaign.RunEvent{Index: 1, Spec: "linear:4/ecmp5", Attempt: 1}},
+		{Seq: 6, Type: campaign.EvRunSucceeded, Campaign: "c1", Run: &campaign.RunEvent{Index: 1, Spec: "linear:4/ecmp5", Digest: "ffff0000ffff0000", SteadyRx: "280Mbps", Wall: wall}},
+		{Seq: 7, Type: campaign.EvCampaignDone, Campaign: "c1", State: campaign.Done, Total: 2, Succeeded: 2},
+	}
+}
+
+// TestWatchResumesWithLastEventID serves the stream in two halves: the
+// first connection is cut after event 4, so the client must reconnect
+// carrying Last-Event-ID: 4 and see only the rest. Exit 0 because the
+// campaign finishes in the -until state.
+func TestWatchResumesWithLastEventID(t *testing.T) {
+	events := campaignEvents()
+	var mu sync.Mutex
+	var gotResume []string
+	conns := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/campaigns/c1/events" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		conns++
+		first := conns == 1
+		gotResume = append(gotResume, r.Header.Get("Last-Event-ID"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		if first {
+			for _, ev := range events[:4] {
+				fmt.Fprint(w, sseFrame(t, ev))
+			}
+			return // connection drops mid-campaign
+		}
+		for _, ev := range events[4:] {
+			fmt.Fprint(w, sseFrame(t, ev))
+		}
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-addr", ts.URL, "watch", "-until", "done", "c1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gotResume) != 2 || gotResume[0] != "" || gotResume[1] != "4" {
+		t.Fatalf("Last-Event-ID per connection = %q, want [\"\" \"4\"]", gotResume)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"campaign c1: accepted, 2 runs",
+		"run 0 ok [1/2]",
+		"fp=abcd1234abcd1234",
+		"steady-rx=300Mbps",
+		"run 1 ok [2/2]",
+		"campaign c1: done (2/2 succeeded, 0 failed, 0 canceled)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWatchExitCodes pins the CI contract: 0 on the wanted final
+// state, 1 on a different final state, 2 on transport-level failure.
+func TestWatchExitCodes(t *testing.T) {
+	events := campaignEvents()
+	events[6].State = campaign.Failed
+	events[6].Succeeded = 1
+	events[6].Failed = 1
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/missing/events") {
+			http.Error(w, "no such campaign", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		for _, ev := range events {
+			fmt.Fprint(w, sseFrame(t, ev))
+		}
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "watch", "-until", "done", "c1"}, &stdout, &stderr); code != 1 {
+		t.Errorf("failed campaign with -until done: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", ts.URL, "watch", "-until", "failed", "c1"}, &stdout, &stderr); code != 0 {
+		t.Errorf("failed campaign with -until failed: exit %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", ts.URL, "watch", "-until", "done", "missing"}, &stdout, &stderr); code != 2 {
+		t.Errorf("404 campaign: exit %d, want 2", code)
+	}
+	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no command: exit %d, want 2", code)
+	}
+}
+
+// TestWatchStreamEndRetriesExhausted: a stream that keeps ending
+// before campaign_done exhausts -retries and exits 2.
+func TestWatchStreamEndRetriesExhausted(t *testing.T) {
+	events := campaignEvents()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, sseFrame(t, events[0]))
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "watch", "-until", "done", "-retries", "1", "c1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stream ended before campaign") {
+		t.Errorf("stderr = %s", stderr.String())
+	}
+	// Without -until, a closed stream is simply the end: exit 0.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", ts.URL, "watch", "c1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("watch without -until: exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+}
+
+// cannedAnalysis is a 2-point converged_rate curve over advertise_delay.
+func cannedAnalysis() campaign.Analysis {
+	return campaign.Analysis{
+		Campaign: "c1", State: campaign.Done, Runs: 4,
+		Axes:    []string{"advertise_delay", "dampening"},
+		Metrics: []string{"converged_rate"},
+		Series: []campaign.Series{{
+			Axis: "advertise_delay", Metric: "converged_rate", Unit: "bps",
+			Points: []campaign.Point{
+				{Value: "2ms", Runs: 2, N: 6, Mean: 1.1375e8, P5: 4.75e7, Min: 4.75e7, Max: 2e8},
+				{Value: "50ms", Runs: 2, N: 6, Mean: 1.02e8, P5: 4.25e7, Min: 4.25e7, Max: 1.8e8},
+			},
+		}},
+	}
+}
+
+// TestAnalyzeRendering pins the table and CSV outputs over a canned
+// analysis response, and the metric-path plumbing.
+func TestAnalyzeRendering(t *testing.T) {
+	var gotPath string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		if strings.Contains(r.URL.Path, "bogus") {
+			http.Error(w, "unknown metric", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(cannedAnalysis()) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-addr", ts.URL, "analyze", "c1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if gotPath != "/campaigns/c1/analysis" {
+		t.Errorf("path = %s", gotPath)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"campaign c1  state=done  runs=4  axes=advertise_delay,dampening",
+		"converged_rate vs advertise_delay (bps)",
+		"2ms", "50ms", "1.1375e+08",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-addr", ts.URL, "analyze", "-metric", "converged_rate", "-csv", "c1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("csv: exit %d, stderr: %s", code, stderr.String())
+	}
+	if gotPath != "/campaigns/c1/analysis/converged_rate" {
+		t.Errorf("metric path = %s", gotPath)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 points:\n%s", len(lines), stdout.String())
+	}
+	if lines[0] != "axis,metric,unit,value,runs,n,mean,p5,min,max" {
+		t.Errorf("csv header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "advertise_delay,converged_rate,bps,2ms,2,6,") {
+		t.Errorf("csv row = %s", lines[1])
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-addr", ts.URL, "analyze", "-metric", "bogus", "c1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bogus metric: exit %d, want 2", code)
+	}
+}

@@ -27,8 +27,13 @@
 //	curl localhost:7600/campaigns/c0001-smoke
 //	curl localhost:7600/campaigns/c0001-smoke/runs/0
 //
+// Or skip the polling: cmd/horsectl tails the campaign's SSE event
+// stream (`horsectl watch -until done c0001-smoke`) and fetches the
+// cross-run analysis (`horsectl analyze c0001-smoke`).
+//
 // SIGTERM drains gracefully: in-flight runs finish and persist their
-// results, unstarted runs are recorded as canceled.
+// results, unstarted runs are recorded as canceled, and every SSE
+// stream ends after its campaign's final event.
 package main
 
 import (
@@ -91,12 +96,18 @@ func main() {
 	logf("shutdown requested; draining (timeout %v)", *drainTO)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
-	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logf("http shutdown: %v", err)
-	}
+	// Drain the pool and shut the HTTP server down concurrently: open
+	// SSE streams only end when their campaigns publish their final
+	// event, so Shutdown (which waits for active connections) must not
+	// run before the pool drain that closes those streams.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Shutdown(drainCtx) }()
 	if err := srv.Drain(drainCtx); err != nil {
 		logf("%v", err)
 		os.Exit(1)
+	}
+	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("http shutdown: %v", err)
 	}
 	logf("drained cleanly")
 }

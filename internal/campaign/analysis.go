@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// AnalysisMetrics names the per-group aggregates the analysis
+// endpoints compute, each a projection of the persisted spec.Outcome:
+//
+//	converged_rate  per-flow converged max–min rates (bps), pooled
+//	                across the group's runs — the fingerprint itself
+//	steady_rx       per-run steady aggregate receive rate (bps)
+//	converged_at    per-run 95% convergence latency (seconds; runs
+//	                that never converged contribute nothing)
+//	min_host_rx     per-run fairness floor (bps, lowest per-host rx
+//	                over the second half)
+//	solves          per-run rate-solver invocation count
+var AnalysisMetrics = []string{"converged_rate", "steady_rx", "converged_at", "min_host_rx", "solves"}
+
+// metricUnits maps each metric to the unit its values carry.
+var metricUnits = map[string]string{
+	"converged_rate": "bps",
+	"steady_rx":      "bps",
+	"converged_at":   "s",
+	"min_host_rx":    "bps",
+	"solves":         "count",
+}
+
+// Analysis is the cross-run aggregation of a campaign: for every swept
+// axis and every metric, a series of per-axis-value summary points —
+// the convergence-vs-latency or goodput-vs-MRAI curve, straight from
+// the API.
+type Analysis struct {
+	Campaign string `json:"campaign"`
+	State    State  `json:"state"`
+	// Runs counts the completed runs aggregated (a running campaign
+	// analyzes what has finished so far).
+	Runs int `json:"runs"`
+	// Axes lists the swept axes — those with at least two distinct
+	// values across the aggregated runs (falling back to "topo" when
+	// nothing was swept, so a single-point campaign still answers).
+	Axes    []string `json:"axes"`
+	Metrics []string `json:"metrics"`
+	Series  []Series `json:"series"`
+}
+
+// Series is one metric grouped along one axis.
+type Series struct {
+	Axis   string  `json:"axis"`
+	Metric string  `json:"metric"`
+	Unit   string  `json:"unit"`
+	Points []Point `json:"points"`
+}
+
+// Point summarizes one axis value's pooled metric samples.
+type Point struct {
+	// Value is the axis label ("2ms", "wan:tier1", "true", "7").
+	Value string `json:"value"`
+	// Runs counts the completed runs that contributed samples.
+	Runs int     `json:"runs"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P5   float64 `json:"p5"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// metricValues projects one outcome onto a metric's sample values.
+func metricValues(metric string, out *spec.Outcome) []float64 {
+	switch metric {
+	case "converged_rate":
+		vals := make([]float64, 0, len(out.Fingerprint.Flows))
+		for _, f := range out.Fingerprint.Flows {
+			vals = append(vals, math.Float64frombits(f.RateBits))
+		}
+		return vals
+	case "steady_rx":
+		return []float64{math.Float64frombits(out.Fingerprint.SteadyRxBits)}
+	case "converged_at":
+		if out.Wall.ConvergedAt <= 0 {
+			return nil
+		}
+		return []float64{out.Wall.ConvergedAt.Duration().Seconds()}
+	case "min_host_rx":
+		return []float64{out.Wall.MinHostRxFloor}
+	case "solves":
+		return []float64{float64(out.Wall.Solves)}
+	default:
+		return nil
+	}
+}
+
+// axesOf labels an outcome, preferring the persisted axes (absent only
+// in results written before the axes field existed, or by stubs).
+func axesOf(out *spec.Outcome) map[string]string {
+	if out.Axes != nil {
+		return out.Axes
+	}
+	return out.Spec.Axes()
+}
+
+// Analyze aggregates the completed runs' outcomes (keyed by run index)
+// into per-axis series. metrics selects a subset; empty means all of
+// AnalysisMetrics. It is a pure function of its inputs so goldens can
+// pin it; the Server wraps it with the campaign's persisted outcomes.
+func Analyze(id string, state State, outcomes map[int]*spec.Outcome, metrics ...string) Analysis {
+	if len(metrics) == 0 {
+		metrics = AnalysisMetrics
+	}
+	a := Analysis{Campaign: id, State: state, Runs: len(outcomes), Metrics: metrics}
+
+	// Deterministic outcome order: by run index.
+	idxs := make([]int, 0, len(outcomes))
+	for i := range outcomes {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+
+	// Swept axes: at least two distinct label values across the runs.
+	labels := make([]map[string]string, 0, len(idxs))
+	for _, i := range idxs {
+		labels = append(labels, axesOf(outcomes[i]))
+	}
+	for _, axis := range spec.AxisNames {
+		distinct := map[string]bool{}
+		for _, lab := range labels {
+			if v, ok := lab[axis]; ok {
+				distinct[v] = true
+			}
+		}
+		if len(distinct) > 1 {
+			a.Axes = append(a.Axes, axis)
+		}
+	}
+	if len(a.Axes) == 0 && len(idxs) > 0 {
+		a.Axes = []string{"topo"}
+	}
+
+	for _, axis := range a.Axes {
+		for _, metric := range metrics {
+			s := Series{Axis: axis, Metric: metric, Unit: metricUnits[metric]}
+			groups := map[string]*Point{}
+			samples := map[string][]float64{}
+			for k, i := range idxs {
+				v, ok := labels[k][axis]
+				if !ok {
+					continue
+				}
+				vals := metricValues(metric, outcomes[i])
+				if len(vals) == 0 {
+					continue
+				}
+				if groups[v] == nil {
+					groups[v] = &Point{Value: v}
+				}
+				groups[v].Runs++
+				samples[v] = append(samples[v], vals...)
+			}
+			for v, p := range groups {
+				p.Mean, p.P5, p.Min, p.Max = summarize(samples[v])
+				p.N = len(samples[v])
+				s.Points = append(s.Points, *p)
+			}
+			sortPoints(s.Points)
+			a.Series = append(a.Series, s)
+		}
+	}
+	return a
+}
+
+// summarize reduces samples to mean/p5 (nearest-rank)/min/max.
+func summarize(vals []float64) (mean, p5, min, max float64) {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	min, max = sorted[0], sorted[len(sorted)-1]
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean = sum / float64(len(sorted))
+	rank := int(math.Ceil(0.05*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	p5 = sorted[rank]
+	return mean, p5, min, max
+}
+
+// sortPoints orders a series' points along the axis: numerically when
+// every value parses as a number, by duration when every value parses
+// as one ("2ms" < "50ms"), lexically otherwise — so curves plot in
+// axis order, not map order.
+func sortPoints(pts []Point) {
+	numeric, duration := len(pts) > 0, len(pts) > 0
+	for _, p := range pts {
+		if _, err := strconv.ParseFloat(p.Value, 64); err != nil {
+			numeric = false
+		}
+		if _, err := time.ParseDuration(p.Value); err != nil {
+			duration = false
+		}
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		switch {
+		case numeric:
+			a, _ := strconv.ParseFloat(pts[i].Value, 64)
+			b, _ := strconv.ParseFloat(pts[j].Value, 64)
+			return a < b
+		case duration:
+			a, _ := time.ParseDuration(pts[i].Value)
+			b, _ := time.ParseDuration(pts[j].Value)
+			return a < b
+		default:
+			return pts[i].Value < pts[j].Value
+		}
+	})
+}
+
+// analysisFor assembles the campaign's analysis from its persisted
+// run results.
+func (s *Server) analysisFor(c *Campaign, metrics ...string) Analysis {
+	st := c.Status()
+	outcomes := map[int]*spec.Outcome{}
+	for _, r := range st.Runs {
+		if r.State != Done {
+			continue
+		}
+		out, err := s.runner.Outcome(c.ID, r.Index)
+		if err != nil {
+			if s.logf != nil {
+				s.logf("campaign %s: analysis: run %d: %v", c.ID, r.Index, err)
+			}
+			continue
+		}
+		outcomes[r.Index] = out
+	}
+	return Analyze(c.ID, st.State, outcomes, metrics...)
+}
+
+// validMetric reports whether the analysis knows the metric.
+func validMetric(m string) bool {
+	for _, known := range AnalysisMetrics {
+		if m == known {
+			return true
+		}
+	}
+	return false
+}
+
+// metricsUsage lists the known metrics for error messages.
+func metricsUsage() string {
+	return fmt.Sprintf("%v", AnalysisMetrics)
+}

@@ -1,0 +1,224 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// mraiFixture builds the completed 2×2 MRAI×dampening campaign the
+// golden pins: advertise_delay {2ms, 50ms} × dampening {false, true},
+// with fabricated but internally consistent outcomes (longer MRAI →
+// slower convergence, dampening → slightly lower goodput).
+func mraiFixture() map[int]*spec.Outcome {
+	outcomes := map[int]*spec.Outcome{}
+	idx := 0
+	for _, delay := range []time.Duration{2 * time.Millisecond, 50 * time.Millisecond} {
+		for _, damp := range []bool{false, true} {
+			r := spec.Run{
+				Topo:           "wan:tier1",
+				Scenario:       "bgp-rr",
+				Traffic:        "permutation:7",
+				AdvertiseDelay: spec.Duration(delay),
+				Dampening:      damp,
+			}
+			out := &spec.Outcome{Spec: r, Axes: r.Axes()}
+			// Rates shaped by the axes so the series are non-trivial.
+			base := 2e8 - float64(idx)*1e7
+			out.Fingerprint.Flows = []spec.FlowPrint{
+				{Tuple: "h0->h4", State: "active", RateBits: math.Float64bits(base)},
+				{Tuple: "h1->h5", State: "active", RateBits: math.Float64bits(base / 2)},
+				{Tuple: "h2->h6", State: "active", RateBits: math.Float64bits(base / 4)},
+			}
+			out.Fingerprint.SteadyRxBits = math.Float64bits(base * 1.75)
+			out.Wall.ConvergedAt = spec.Duration(100*time.Millisecond + 4*delay)
+			out.Wall.MinHostRxFloor = base / 4
+			out.Wall.Solves = 10 + idx
+			outcomes[idx] = out
+			idx++
+		}
+	}
+	return outcomes
+}
+
+// TestAnalyzeGolden pins the full analysis JSON for the completed 2×2
+// campaign fixture — axis detection, grouping, point ordering, and
+// every summary statistic. Regenerate with -update after a deliberate
+// format change.
+func TestAnalyzeGolden(t *testing.T) {
+	a := Analyze("c0001-mrai", Done, mraiFixture())
+	got, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "analysis_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("analysis diverged from golden (run with -update after deliberate changes)\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestAnalyzeShape spot-checks the semantics the golden can't explain:
+// which axes count as swept, how points group and order, and the
+// metric projections.
+func TestAnalyzeShape(t *testing.T) {
+	a := Analyze("c1", Done, mraiFixture())
+
+	if len(a.Axes) != 2 || a.Axes[0] != "advertise_delay" || a.Axes[1] != "dampening" {
+		t.Fatalf("swept axes = %v, want [advertise_delay dampening]", a.Axes)
+	}
+	if a.Runs != 4 {
+		t.Fatalf("runs = %d, want 4", a.Runs)
+	}
+	if len(a.Series) != len(a.Axes)*len(AnalysisMetrics) {
+		t.Fatalf("series = %d, want %d", len(a.Series), len(a.Axes)*len(AnalysisMetrics))
+	}
+
+	var conv *Series
+	for i := range a.Series {
+		if a.Series[i].Axis == "advertise_delay" && a.Series[i].Metric == "converged_rate" {
+			conv = &a.Series[i]
+		}
+	}
+	if conv == nil {
+		t.Fatal("no converged_rate vs advertise_delay series")
+	}
+	// Duration ordering: 2ms sorts before 50ms (lexically it would not).
+	if len(conv.Points) != 2 || conv.Points[0].Value != "2ms" || conv.Points[1].Value != "50ms" {
+		t.Fatalf("points = %+v, want [2ms 50ms]", conv.Points)
+	}
+	for _, p := range conv.Points {
+		if p.Runs != 2 || p.N != 6 {
+			t.Errorf("point %s: runs=%d n=%d, want 2 runs pooling 6 flow samples", p.Value, p.Runs, p.N)
+		}
+		if !(p.Min <= p.P5 && p.P5 <= p.Mean && p.Mean <= p.Max) {
+			t.Errorf("point %s: min %g p5 %g mean %g max %g out of order", p.Value, p.Min, p.P5, p.Mean, p.Max)
+		}
+	}
+
+	// converged_at is per-run and carries the fixture's MRAI penalty.
+	var at *Series
+	for i := range a.Series {
+		if a.Series[i].Axis == "advertise_delay" && a.Series[i].Metric == "converged_at" {
+			at = &a.Series[i]
+		}
+	}
+	if at == nil || len(at.Points) != 2 {
+		t.Fatalf("converged_at series = %+v", at)
+	}
+	if at.Points[0].Mean >= at.Points[1].Mean {
+		t.Errorf("converged_at mean: 2ms %g >= 50ms %g; longer MRAI must converge later",
+			at.Points[0].Mean, at.Points[1].Mean)
+	}
+	if at.Unit != "s" {
+		t.Errorf("converged_at unit = %q, want s", at.Unit)
+	}
+
+	// Runs that never converged contribute no converged_at sample.
+	fixture := mraiFixture()
+	fixture[0].Wall.ConvergedAt = 0
+	a2 := Analyze("c1", Done, fixture)
+	for _, s := range a2.Series {
+		if s.Axis == "advertise_delay" && s.Metric == "converged_at" {
+			if s.Points[0].Runs != 1 {
+				t.Errorf("unconverged run still counted: %+v", s.Points[0])
+			}
+		}
+	}
+
+	// Metric subset narrows Series and Metrics.
+	one := Analyze("c1", Done, mraiFixture(), "steady_rx")
+	if len(one.Metrics) != 1 || len(one.Series) != 2 {
+		t.Fatalf("single-metric analysis: metrics=%v series=%d", one.Metrics, len(one.Series))
+	}
+
+	// Nothing swept: fall back to grouping everything under topo.
+	solo := map[int]*spec.Outcome{0: mraiFixture()[0]}
+	sa := Analyze("c1", Done, solo)
+	if len(sa.Axes) != 1 || sa.Axes[0] != "topo" {
+		t.Fatalf("unswept axes = %v, want [topo]", sa.Axes)
+	}
+
+	// Empty campaign: no axes, no series, not an error.
+	ea := Analyze("c1", Pending, nil)
+	if ea.Runs != 0 || len(ea.Axes) != 0 || len(ea.Series) != 0 {
+		t.Fatalf("empty analysis = %+v", ea)
+	}
+}
+
+// TestAnalysisEndpoints exercises the HTTP surface over a real
+// completed campaign: full analysis, single-metric narrowing, and the
+// error paths.
+func TestAnalysisEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t, func(r spec.Run) (*spec.Outcome, error) {
+		return flowOutcome(r), nil
+	})
+	c, err := srv.Submit(Spec{
+		Topos:     []string{"fattree:4", "linear:4"},
+		Scenarios: []string{"ecmp5"},
+		Traffics:  []string{"permutation"},
+		Seeds:     []int64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ts, c.ID)
+
+	var a Analysis
+	getJSON(t, ts.URL+"/campaigns/"+c.ID+"/analysis", 200, &a)
+	if a.Campaign != c.ID || a.State != Done || a.Runs != 4 {
+		t.Fatalf("analysis header = %+v", a)
+	}
+	wantAxes := map[string]bool{"topo": true, "seed": true}
+	for _, ax := range a.Axes {
+		if !wantAxes[ax] {
+			t.Errorf("unexpected swept axis %q", ax)
+		}
+		delete(wantAxes, ax)
+	}
+	if len(wantAxes) != 0 {
+		t.Errorf("missing swept axes: %v (got %v)", wantAxes, a.Axes)
+	}
+	if len(a.Series) == 0 {
+		t.Fatal("no series in full analysis")
+	}
+
+	var one Analysis
+	getJSON(t, ts.URL+"/campaigns/"+c.ID+"/analysis/converged_rate", 200, &one)
+	if len(one.Metrics) != 1 || one.Metrics[0] != "converged_rate" {
+		t.Fatalf("metrics = %v, want [converged_rate]", one.Metrics)
+	}
+	for _, s := range one.Series {
+		if s.Metric != "converged_rate" {
+			t.Errorf("narrowed analysis contains series for %q", s.Metric)
+		}
+		if len(s.Points) == 0 {
+			t.Errorf("empty series for axis %q", s.Axis)
+		}
+	}
+
+	getJSON(t, ts.URL+"/campaigns/"+c.ID+"/analysis/bogus", 404, nil)
+	getJSON(t, ts.URL+"/campaigns/nope/analysis", 404, nil)
+}

@@ -218,9 +218,12 @@ type Campaign struct {
 	state State
 	runs  []RunStatus
 	done  chan struct{}
+	bus   *bus
 }
 
-// NewCampaign expands the spec into a pending campaign.
+// NewCampaign expands the spec into a pending campaign and publishes
+// its campaign_accepted event (the first entry of the event log every
+// SSE subscriber replays).
 func NewCampaign(id string, s Spec) (*Campaign, error) {
 	runs, err := s.Expand()
 	if err != nil {
@@ -232,10 +235,12 @@ func NewCampaign(id string, s Spec) (*Campaign, error) {
 		Submitted: time.Now(),
 		state:     Pending,
 		done:      make(chan struct{}),
+		bus:       newBus(),
 	}
 	for i, r := range runs {
 		c.runs = append(c.runs, RunStatus{Index: i, Spec: r, State: Pending})
 	}
+	c.bus.publish(Event{Type: EvCampaignAccepted, Campaign: id, State: Pending, Total: len(runs)})
 	return c, nil
 }
 

@@ -19,6 +19,7 @@ import (
 //
 //	<id>/campaign.json     the submitted Spec
 //	<id>/status.json       progress snapshot, rewritten as runs finish
+//	<id>/events.jsonl      the typed lifecycle event log (one JSON per line)
 //	<id>/runs/<n>/result.json   the run's spec.Outcome
 //	<id>/runs/<n>/pcap/*.pcapng capture artifacts (Spec.Capture)
 type Runner struct {
@@ -66,6 +67,7 @@ func (rn *Runner) RunDir(id string, n int) string {
 // its final status (and status.json) reflects every run.
 func (rn *Runner) Run(ctx context.Context, c *Campaign) error {
 	defer close(c.done)
+	defer c.bus.close()
 	dir := rn.CampaignDir(c.ID)
 	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
 		c.setState(Failed)
@@ -75,7 +77,17 @@ func (rn *Runner) Run(ctx context.Context, c *Campaign) error {
 		c.setState(Failed)
 		return err
 	}
+	// Persist the event log from here on (the accepted event published
+	// before the directory existed is flushed first).
+	if logF, err := os.OpenFile(filepath.Join(dir, "events.jsonl"),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644); err == nil {
+		c.bus.attachLog(logF)
+		defer logF.Close()
+	} else {
+		rn.logf("campaign %s: opening event log: %v", c.ID, err)
+	}
 	c.setState(Running)
+	c.bus.publish(Event{Type: EvCampaignStarted, Campaign: c.ID, State: Running, Total: len(c.Status().Runs)})
 	rn.persistStatus(c)
 
 	workers := rn.Concurrency
@@ -121,6 +133,10 @@ feed:
 				rs.State = Canceled
 				rs.Error = "campaign drained before this run started"
 			})
+			c.bus.publish(Event{Type: EvRunCanceled, Campaign: c.ID, Run: &RunEvent{
+				Index: r.Index, Spec: r.Spec.String(),
+				Error: "campaign drained before this run started",
+			}})
 		}
 	}
 	st = c.Status()
@@ -133,8 +149,11 @@ feed:
 		c.setState(Done)
 	}
 	rn.persistStatus(c)
+	final := c.Status()
+	c.bus.publish(Event{Type: EvCampaignDone, Campaign: c.ID, State: final.State,
+		Total: final.Total, Succeeded: final.Succeeded, Failed: final.Failed, Canceled: final.Canceled})
 	rn.logf("campaign %s: %s (%d/%d succeeded, %d failed, %d canceled)",
-		c.ID, c.Status().State, st.Succeeded, st.Total, st.Failed, st.Canceled)
+		c.ID, final.State, st.Succeeded, st.Total, st.Failed, st.Canceled)
 	return nil
 }
 
@@ -156,6 +175,12 @@ func (rn *Runner) runOne(c *Campaign, idx int) {
 			rs.State = Running
 			rs.Attempts = a
 		})
+		startType := EvRunStarted
+		if a > 1 {
+			startType = EvRunRetried
+		}
+		c.bus.publish(Event{Type: startType, Campaign: c.ID,
+			Run: &RunEvent{Index: idx, Spec: r.String(), Attempt: a}})
 		rn.logf("campaign %s: run %d (%s) attempt %d/%d", c.ID, idx, r, a, attempts)
 		out, err := rn.attempt(r, timeout)
 		if err == nil {
@@ -163,19 +188,31 @@ func (rn *Runner) runOne(c *Campaign, idx int) {
 				err = writeJSONFile(filepath.Join(runDir, "result.json"), out)
 			}
 			if err != nil {
+				msg := fmt.Sprintf("persisting result: %v", err)
 				c.setRun(idx, func(rs *RunStatus) {
 					rs.State = Failed
-					rs.Error = fmt.Sprintf("persisting result: %v", err)
+					rs.Error = msg
 				})
+				c.bus.publish(Event{Type: EvRunFailed, Campaign: c.ID,
+					Run: &RunEvent{Index: idx, Spec: r.String(), Attempt: a, Error: msg}})
 				return
 			}
 			c.setRun(idx, func(rs *RunStatus) {
 				rs.State = Done
 				rs.Error = ""
 			})
+			wall := out.Wall
+			c.bus.publish(Event{Type: EvRunSucceeded, Campaign: c.ID, Run: &RunEvent{
+				Index: idx, Spec: r.String(), Attempt: a,
+				Digest:   out.Fingerprint.Digest(),
+				SteadyRx: out.Fingerprint.SteadyRx,
+				Wall:     &wall,
+			}})
 			return
 		}
 		c.setRun(idx, func(rs *RunStatus) { rs.Error = err.Error() })
+		c.bus.publish(Event{Type: EvRunFailed, Campaign: c.ID,
+			Run: &RunEvent{Index: idx, Spec: r.String(), Attempt: a, Error: err.Error()}})
 		rn.logf("campaign %s: run %d (%s) attempt %d failed: %v", c.ID, idx, r, a, err)
 	}
 	c.setRun(idx, func(rs *RunStatus) { rs.State = Failed })

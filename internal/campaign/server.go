@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"os"
@@ -21,6 +22,9 @@ import (
 //	POST /campaigns                                   submit a Spec
 //	GET  /campaigns                                   list summaries
 //	GET  /campaigns/{id}                              status + per-run states
+//	GET  /campaigns/{id}/events                       SSE lifecycle stream (Last-Event-ID resume)
+//	GET  /campaigns/{id}/analysis                     cross-run aggregation, all metrics
+//	GET  /campaigns/{id}/analysis/{metric}            one metric's per-axis series
 //	GET  /campaigns/{id}/runs/{n}                     the run's persisted spec.Outcome
 //	GET  /campaigns/{id}/runs/{n}/artifacts           list capture artifacts
 //	GET  /campaigns/{id}/runs/{n}/artifacts/{file}    fetch one pcapng trace
@@ -28,6 +32,11 @@ import (
 type Server struct {
 	runner *Runner
 	logf   func(format string, args ...any)
+
+	// EventBuffer bounds each SSE subscriber's live-event buffer
+	// (default 64). A client that falls this far behind is dropped —
+	// its connection closes — rather than ever stalling the runner.
+	EventBuffer int
 
 	ctx    context.Context // canceled by Drain; parents every campaign
 	cancel context.CancelFunc
@@ -126,6 +135,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/analysis", s.handleAnalysis)
+	mux.HandleFunc("GET /campaigns/{id}/analysis/{metric}", s.handleAnalysis)
 	mux.HandleFunc("GET /campaigns/{id}/runs/{n}", s.handleRun)
 	mux.HandleFunc("GET /campaigns/{id}/runs/{n}/artifacts", s.handleArtifacts)
 	mux.HandleFunc("GET /campaigns/{id}/runs/{n}/artifacts/{file}", s.handleArtifact)
@@ -172,6 +184,110 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// defaultEventBuffer is the per-subscriber live-event buffer when the
+// Server does not override it.
+const defaultEventBuffer = 64
+
+// handleEvents streams the campaign's lifecycle events as Server-Sent
+// Events. A reconnecting client sends Last-Event-ID (or ?after=N) and
+// replays from the persisted event log before going live, so it misses
+// nothing; the stream ends after campaign_done. A client that cannot
+// keep up with the live flow is disconnected rather than buffered
+// without bound (the event log makes reconnect-and-resume lossless).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.Campaign(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		return
+	}
+	after := int64(0)
+	if v := r.Header.Get("Last-Event-ID"); v == "" {
+		v = r.URL.Query().Get("after")
+		if v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", v))
+				return
+			}
+			after = n
+		}
+	} else {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad Last-Event-ID %q", v))
+			return
+		}
+		after = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("response writer cannot stream"))
+		return
+	}
+	buf := s.EventBuffer
+	if buf <= 0 {
+		buf = defaultEventBuffer
+	}
+	replay, live := c.Events(after, buf)
+	defer c.Unsubscribe(live)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range replay {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				// Campaign finished (stream complete) or this client
+				// fell too far behind (it reconnects with its last id).
+				return
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in SSE wire form: the id field carries the
+// sequence number clients resume from.
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// handleAnalysis serves the cross-run aggregation, optionally narrowed
+// to one metric by the {metric} path segment.
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.Campaign(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		return
+	}
+	var metrics []string
+	if m := r.PathValue("metric"); m != "" {
+		if !validMetric(m) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown metric %q (want one of %s)", m, metricsUsage()))
+			return
+		}
+		metrics = []string{m}
+	}
+	writeJSON(w, http.StatusOK, s.analysisFor(c, metrics...))
 }
 
 // runForRequest resolves the {id}/{n} path segments.

@@ -85,6 +85,19 @@ func (cs CapacitySpec) WithSeed(seed int64) CapacitySpec {
 	return cs
 }
 
+// Family is the canonical spec string with the seed elided — the
+// capacity-dynamics identity an analysis groups by (the seed lives on
+// its own axis).
+func (cs CapacitySpec) Family() string {
+	if !cs.Seeded() {
+		return cs.String()
+	}
+	if cs.Period != DefaultWalkPeriod && cs.Period != 0 {
+		return fmt.Sprintf("walk:*:%s", cs.Period.Duration())
+	}
+	return "walk"
+}
+
 // String reconstructs the canonical spec string.
 func (cs CapacitySpec) String() string {
 	switch cs.Kind {

@@ -1,6 +1,9 @@
 package spec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"math"
 
 	horse "repro"
@@ -15,6 +18,10 @@ type Outcome struct {
 	Spec        Run         `json:"spec"`
 	Fingerprint Fingerprint `json:"fingerprint"`
 	Wall        WallStats   `json:"wall"`
+	// Axes labels the run's position on every sweep axis (Run.Axes),
+	// persisted so campaign analysis — and anyone pointing jq at a
+	// result.json — can group runs without re-parsing spec grammars.
+	Axes map[string]string `json:"axes,omitempty"`
 	// CaptureFiles lists the pcapng traces the run wrote, relative to
 	// nothing in particular (they are absolute paths on the machine
 	// that ran the experiment; the campaign API serves them as run
@@ -79,6 +86,19 @@ type WallStats struct {
 	Injections      uint64 `json:"injections,omitempty"`
 	Drops           uint64 `json:"drops,omitempty"`
 	RxBytes         uint64 `json:"rx_bytes"`
+
+	// ConvergedAt is the virtual time at which the aggregate receive
+	// rate first reached 95% of its steady value — the run's
+	// convergence latency (zero when it never converged). Convergence
+	// timing races the emulated control plane against the FTI clock,
+	// so it jitters with wall scheduling and lives here, not in the
+	// Fingerprint.
+	ConvergedAt Duration `json:"converged_at,omitempty"`
+
+	// MinHostRxFloor is the lowest per-host receive rate (bps)
+	// observed over the second half of the run — the fairness floor
+	// of the converged allocation as sampled.
+	MinHostRxFloor float64 `json:"min_host_rx_floor,omitempty"`
 }
 
 // NewOutcome projects a finished run's Result into its Outcome.
@@ -103,9 +123,20 @@ func NewOutcome(r Run, res *horse.Result) *Outcome {
 		})
 		rxBytes += f.Bytes
 	}
+	var convergedAt Duration
+	if at, ok := res.ConvergedAt(0.95); ok {
+		convergedAt = Duration(at.Duration())
+	}
+	var minFloor float64
+	if res.MinHostRx != nil {
+		if s, ok := res.MinHostRx.MinBetween(res.Sim.VirtualEnd/2, res.Sim.VirtualEnd); ok {
+			minFloor = s.Value
+		}
+	}
 	return &Outcome{
 		Spec:        r,
 		Fingerprint: fp,
+		Axes:        r.Axes(),
 		Wall: WallStats{
 			Setup:           Duration(res.SetupWall),
 			Exec:            Duration(res.Sim.WallTotal),
@@ -121,9 +152,24 @@ func NewOutcome(r Run, res *horse.Result) *Outcome {
 			Injections:      res.Injections,
 			Drops:           res.Drops,
 			RxBytes:         rxBytes,
+			ConvergedAt:     convergedAt,
+			MinHostRxFloor:  minFloor,
 		},
 		CaptureFiles: res.CaptureFiles,
 	}
+}
+
+// Digest is a short deterministic hash of the fingerprint — the
+// compact identity campaign events carry so a live watcher can spot
+// fingerprint divergence between runs of the same spec without
+// shipping every flow. Identical fingerprints hash identically (JSON
+// field order is fixed by the struct).
+func (f Fingerprint) Digest() string {
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(f); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // SteadyRxRate recovers the steady aggregate rate from the bit pattern.

@@ -13,6 +13,7 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	horse "repro"
@@ -254,6 +255,46 @@ func (r Run) Execute() (*Outcome, error) {
 		return nil, err
 	}
 	return NewOutcome(r, res), nil
+}
+
+// AxisNames lists the sweep-axis labels in campaign expansion order.
+// Axes keys the run with these names, and the campaign analysis
+// endpoints group completed runs by them.
+var AxisNames = []string{
+	"topo", "scenario", "traffic", "capacity",
+	"seed", "solver_workers", "advertise_delay", "dampening",
+}
+
+// Axes labels the run with its position on every sweep axis — the
+// grouping keys campaign analysis aggregates by. The traffic and
+// capacity labels elide the seed (Family), which gets its own "seed"
+// axis, so a seed sweep over one workload template groups as one
+// traffic value with N seed values rather than N distinct traffics.
+// The "capacity" and "seed" keys are absent when the run has no
+// capacity dynamics or no seeded workload.
+func (r Run) Axes() map[string]string {
+	r = r.WithDefaults()
+	ax := map[string]string{
+		"topo":            r.Topo,
+		"scenario":        r.Scenario,
+		"traffic":         r.Traffic,
+		"solver_workers":  strconv.Itoa(r.SolverWorkers),
+		"advertise_delay": r.AdvertiseDelay.Duration().String(),
+		"dampening":       strconv.FormatBool(r.Dampening),
+	}
+	if ts, err := ParseTraffic(r.Traffic); err == nil {
+		ax["traffic"] = ts.Family()
+		if ts.Seeded() {
+			ax["seed"] = strconv.FormatInt(ts.Seed, 10)
+		}
+	}
+	if cs, err := ParseCapacity(r.Capacity); err == nil && cs.Kind != "" {
+		ax["capacity"] = cs.Family()
+		if _, ok := ax["seed"]; !ok && cs.Seeded() {
+			ax["seed"] = strconv.FormatInt(cs.Seed, 10)
+		}
+	}
+	return ax
 }
 
 // String is a compact one-line label for logs and progress output.

@@ -162,6 +162,20 @@ func (ts TrafficSpec) WithSeed(seed int64) TrafficSpec {
 	return ts
 }
 
+// Family is the canonical spec string with the seed elided — the
+// workload identity an analysis groups by, so the seed-swept instances
+// of one template ("pareto:1:2000", "pareto:2:2000") share a label
+// while the seed itself lives on its own axis.
+func (ts TrafficSpec) Family() string {
+	if !ts.Seeded() {
+		return ts.String()
+	}
+	if ts.N > 0 {
+		return fmt.Sprintf("%s:*:%d", ts.Kind, ts.N)
+	}
+	return ts.Kind
+}
+
 // String reconstructs the canonical spec string.
 func (ts TrafficSpec) String() string {
 	switch ts.Kind {
